@@ -1,0 +1,257 @@
+package absolver_test
+
+import (
+	"strings"
+	"testing"
+
+	"absolver"
+	"absolver/internal/core"
+	"absolver/internal/simulink"
+)
+
+// fig2Input is the paper's Fig. 2 problem in the extended DIMACS format,
+// plus bounds for the nonlinear search.
+const fig2Input = `p cnf 4 3
+1 0
+-2 3 0
+4 0
+c def int 1 i >= 0
+c def int 1 j >= 0
+c def int 2 2*i + j < 10
+c def int 3 i + j < 5
+c def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1
+c bound a -10 10
+c bound x -10 10
+c bound y -10 3.9
+c bound i -100 100
+c bound j -100 100
+`
+
+func TestFacadeParseSolveFig2(t *testing.T) {
+	p, err := absolver.ParseDIMACSString(fig2Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := absolver.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != absolver.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model.Real
+	// Paper semantics: i, j ≥ 0 and the nonlinear constraint holds.
+	if m["i"] < 0 || m["j"] < 0 {
+		t.Fatalf("i=%g j=%g", m["i"], m["j"])
+	}
+	nl := m["a"]*m["x"] + 3.5/(4-m["y"]) + 2*m["y"]
+	if nl < 7.1-1e-6 {
+		t.Fatalf("nonlinear constraint value %g < 7.1", nl)
+	}
+}
+
+func TestFacadeFormatRoundTrip(t *testing.T) {
+	p, err := absolver.ParseDIMACSString(fig2Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := absolver.FormatProblem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := absolver.ParseDIMACSString(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	r1, err := absolver.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := absolver.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != r2.Status {
+		t.Fatalf("round trip changed verdict: %v vs %v", r1.Status, r2.Status)
+	}
+}
+
+func TestFacadeConvertSimulinkFig1(t *testing.T) {
+	p, err := absolver.ConvertSimulink(simulink.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"a", "x", "i", "j"} {
+		p.SetBounds(v, -10, 10)
+	}
+	p.SetBounds("y", -10, 3.9)
+	res, err := absolver.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != absolver.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestFacadeParseSMTLIB(t *testing.T) {
+	p, err := absolver.ParseSMTLIB(`(benchmark tiny
+  :logic QF_LRA
+  :extrafuns ((x Real))
+  :formula (and (> x 1) (< x 2))
+)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := absolver.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != absolver.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x := res.Model.Real["x"]
+	if x <= 1 || x >= 2 {
+		t.Fatalf("x = %g outside (1,2)", x)
+	}
+}
+
+func TestFacadeParseLustre(t *testing.T) {
+	p, err := absolver.ParseLustre(`
+node gate(x: real) returns (ok: bool);
+let ok = (x > 3.0) and (x < 4.0); tel;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := absolver.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != absolver.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestFacadeAllModels(t *testing.T) {
+	p := absolver.NewProblem()
+	p.AddClause(1, 2)
+	n, status, err := absolver.AllModels(p, absolver.Config{}, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || status != absolver.StatusUnsat {
+		t.Fatalf("n=%d status=%v", n, status)
+	}
+}
+
+func TestFacadeParseAtom(t *testing.T) {
+	a, err := absolver.ParseAtom("2*x + y <= 10", absolver.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Domain != absolver.Int {
+		t.Fatal("domain lost")
+	}
+	if !strings.Contains(a.String(), "<=") {
+		t.Fatalf("atom renders as %q", a.String())
+	}
+}
+
+func TestFacadeCustomSolverConfig(t *testing.T) {
+	// The plug-in mechanism: an engine assembled from explicitly chosen
+	// sub-solvers, including the external-process emulation.
+	p, err := absolver.ParseDIMACSString(fig2Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := absolver.Config{
+		Bool:           core.NewExternalCDCLSolver(),
+		Linear:         absolver.NewSimplexSolver(),
+		Nonlinear:      absolver.NewPenaltySolver(),
+		RestartBoolean: true,
+	}
+	res, err := absolver.NewEngine(p, cfg).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != absolver.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestFacadeWriteDIMACS(t *testing.T) {
+	p, err := absolver.ParseDIMACSString(fig2Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := absolver.WriteDIMACS(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "c def") {
+		t.Fatal("def lines missing from output")
+	}
+}
+
+func TestFacadeParseSimulinkModel(t *testing.T) {
+	src := `model tiny
+block u inport
+block c constant 3
+block r relop >
+block o outport
+line u -> r 1
+line c -> r 2
+line r -> o 1
+`
+	m, err := absolver.ParseSimulinkModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := absolver.ConvertSimulink(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetBounds("u", 0, 10)
+	res, err := absolver.Solve(p)
+	if err != nil || res.Status != absolver.StatusSat {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	if res.Model.Real["u"] <= 3 {
+		t.Fatalf("u = %g should exceed 3", res.Model.Real["u"])
+	}
+}
+
+func TestFacadeSolverChains(t *testing.T) {
+	p, err := absolver.ParseDIMACSString(fig2Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := absolver.Config{
+		Linear:    absolver.NewLinearChain(absolver.NewSimplexSolver()),
+		Nonlinear: absolver.NewNonlinearChain(absolver.NewPenaltySolver(), absolver.NewPenaltySolver()),
+	}
+	res, err := absolver.NewEngine(p, cfg).Solve()
+	if err != nil || res.Status != absolver.StatusSat {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+}
+
+func TestFacadeGenerateTestVectors(t *testing.T) {
+	p := absolver.NewProblem()
+	p.AddClause(1, 2)
+	a1, _ := absolver.ParseAtom("x >= 5", absolver.Real)
+	a2, _ := absolver.ParseAtom("x <= 4", absolver.Real)
+	p.Bind(0, a1)
+	p.Bind(1, a2)
+	vecs, _, err := absolver.GenerateTestVectors(p, absolver.Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 2 {
+		t.Fatalf("vectors = %d", len(vecs))
+	}
+}

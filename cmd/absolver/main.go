@@ -1,0 +1,145 @@
+// Command absolver is the stand-alone solver executable: it reads an
+// AB-satisfiability problem in the extended DIMACS format (Fig. 2 of the
+// paper) from a file or standard input, decides it, and prints the verdict
+// together with the Boolean model and the arithmetic witness. As in the
+// paper, "the various constituents of our solver are customisable via
+// command line parameters".
+//
+// Usage:
+//
+//	absolver [flags] [problem.cnf]
+//
+// Flags:
+//
+//	-all            enumerate all models (LSAT mode) instead of one
+//	-max N          stop enumeration after N models
+//	-restart        restart the Boolean solver on every iteration (the
+//	                paper's external-combination mode)
+//	-no-iis         disable smallest-conflicting-subset refinement
+//	-no-lemmas      disable static theory-lemma grounding
+//	-stats          print engine statistics
+//	-q              verdict only
+//	-v              trace engine iterations to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"absolver"
+	"absolver/internal/core"
+)
+
+func main() {
+	all := flag.Bool("all", false, "enumerate all models")
+	max := flag.Int("max", 0, "bound the number of enumerated models (0 = unbounded)")
+	restart := flag.Bool("restart", false, "restart the Boolean solver per iteration")
+	noIIS := flag.Bool("no-iis", false, "disable conflict-set minimisation")
+	noLemmas := flag.Bool("no-lemmas", false, "disable theory-lemma grounding")
+	stats := flag.Bool("stats", false, "print statistics")
+	quiet := flag.Bool("q", false, "print the verdict only")
+	verbose := flag.Bool("v", false, "trace engine iterations")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "absolver: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "absolver:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	p, err := absolver.ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "absolver:", err)
+		os.Exit(2)
+	}
+
+	cfg := absolver.Config{
+		RestartBoolean: *restart,
+		NoIIS:          *noIIS,
+		NoGroundLemmas: *noLemmas,
+	}
+	if *verbose {
+		cfg.Trace = os.Stderr
+	}
+	eng := absolver.NewEngine(p, cfg)
+
+	exit := 0
+	if *all {
+		n, status, err := eng.AllModels(nil, *max, func(m absolver.Model) error {
+			printModel(p, m, *quiet)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "absolver:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("c %d model(s); final status %s\n", n, status)
+		if n == 0 {
+			fmt.Println("s UNSATISFIABLE")
+			exit = 20
+		} else {
+			fmt.Println("s SATISFIABLE")
+			exit = 10
+		}
+	} else {
+		res, err := eng.Solve()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "absolver:", err)
+			os.Exit(2)
+		}
+		switch res.Status {
+		case absolver.StatusSat:
+			fmt.Println("s SATISFIABLE")
+			printModel(p, *res.Model, *quiet)
+			exit = 10
+		case absolver.StatusUnsat:
+			fmt.Println("s UNSATISFIABLE")
+			exit = 20
+		default:
+			fmt.Println("s UNKNOWN")
+		}
+	}
+	if *stats {
+		st := eng.Stats()
+		fmt.Printf("c iterations=%d linear-checks=%d nonlinear-checks=%d conflicts=%d ne-splits=%d\n",
+			st.Iterations, st.LinearChecks, st.NonlinearChecks, st.ConflictClauses, st.NESplits)
+		fmt.Printf("c time: bool=%v linear=%v nonlinear=%v\n", st.BoolTime, st.LinearTime, st.NonlinearTime)
+	}
+	os.Exit(exit)
+}
+
+func printModel(p *core.Problem, m absolver.Model, quiet bool) {
+	if quiet {
+		return
+	}
+	fmt.Print("v")
+	for i, b := range m.Bool {
+		if b {
+			fmt.Printf(" %d", i+1)
+		} else {
+			fmt.Printf(" %d", -(i + 1))
+		}
+	}
+	fmt.Println(" 0")
+	if len(m.Real) > 0 {
+		names := make([]string, 0, len(m.Real))
+		for n := range m.Real {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("c value %s = %g\n", n, m.Real[n])
+		}
+	}
+}

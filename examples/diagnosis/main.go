@@ -1,0 +1,78 @@
+// Diagnosis demonstrates the LSAT use-case of the paper (Sec. 4): "the use
+// of LSAT is desirable for applications such as consistency-based
+// diagnosis, where more than one Boolean solution may be required to
+// reason about the failure state of systems."
+//
+// A three-sensor voltage monitor is modelled: each sensor i reads the same
+// physical voltage u unless its health bit ok_i is false. The readings are
+// inconsistent with all three sensors healthy, so AllModels enumerates the
+// *diagnoses*: the minimal assumptions about broken sensors that explain
+// the observations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"absolver"
+)
+
+func main() {
+	p := absolver.NewProblem()
+
+	// Health bits: var 1..3 ⇔ sensor i works correctly, i.e. reads u.
+	mustBind := func(v int, src string) {
+		a, err := absolver.ParseAtom(src, absolver.Real)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Bind(v, a)
+	}
+	// Observed readings: 5.0 V, 5.1 V, 7.3 V. A healthy sensor is within
+	// ±0.2 V of the true voltage (the tolerance is part of the model).
+	// okHi/okLo pairs realise |reading − u| ≤ 0.2 per sensor.
+	mustBind(0, "5.0 - u <= 0.2") // 1: sensor 1 upper
+	mustBind(1, "u - 5.0 <= 0.2") // 2: sensor 1 lower
+	mustBind(2, "5.1 - u <= 0.2") // 3: sensor 2 upper
+	mustBind(3, "u - 5.1 <= 0.2") // 4: sensor 2 lower
+	mustBind(4, "7.3 - u <= 0.2") // 5: sensor 3 upper
+	mustBind(5, "u - 7.3 <= 0.2") // 6: sensor 3 lower
+
+	// ok_i (vars 7..9) ⇔ both tolerance atoms of sensor i hold.
+	ok := []int{7, 8, 9}
+	atoms := [][2]int{{1, 2}, {3, 4}, {5, 6}}
+	for i, o := range ok {
+		p.AddClause(-o, atoms[i][0])
+		p.AddClause(-o, atoms[i][1])
+		p.AddClause(o, -atoms[i][0], -atoms[i][1])
+	}
+	// At most one sensor broken is the preferred diagnosis class: require
+	// at least two healthy sensors (2-out-of-3 voting).
+	p.AddClause(7, 8)
+	p.AddClause(7, 9)
+	p.AddClause(8, 9)
+	p.SetBounds("u", 0, 24)
+
+	fmt.Println("Sensor readings: 5.0 V, 5.1 V, 7.3 V (tolerance ±0.2 V)")
+	fmt.Println("Enumerating consistent diagnoses (projected on health bits):")
+
+	n, status, err := absolver.AllModels(p, absolver.Config{}, ok, 0, func(m absolver.Model) error {
+		healthy := []string{}
+		broken := []string{}
+		for i, o := range ok {
+			if m.Bool[o-1] {
+				healthy = append(healthy, fmt.Sprintf("S%d", i+1))
+			} else {
+				broken = append(broken, fmt.Sprintf("S%d", i+1))
+			}
+		}
+		fmt.Printf("  diagnosis: broken=%v healthy=%v, consistent voltage u=%.2f V\n",
+			broken, healthy, m.Real["u"])
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d diagnosis/es; enumeration ended with status %v\n", n, status)
+	fmt.Println("(expected: exactly one — sensor 3 broken, u ≈ 5.0-5.1 V)")
+}

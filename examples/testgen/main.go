@@ -1,0 +1,85 @@
+// Testgen demonstrates the paper's Sec. 6 use-case: "further possible
+// use-cases of ABSOLVER include the automatic generation of test cases.
+// Since ABSOLVER, internally, determines the solutions by computing all
+// possible assignments, common coverage metrics like path coverage can be
+// obtained for free."
+//
+// The Fig. 1 model is converted to an AB problem and every theory-
+// consistent atom-decision profile (= path through the model's condition
+// structure) is enumerated, each with concrete sensor inputs driving it —
+// a condition-coverage test suite for the model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"absolver"
+	"absolver/internal/simulink"
+)
+
+func main() {
+	model := simulink.Fig1()
+	problem, err := absolver.ConvertSimulink(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range []string{"a", "x", "i", "j"} {
+		problem.SetBounds(v, -10, 10)
+	}
+	problem.SetBounds("y", -10, 3.9)
+
+	vectors, status, err := absolver.GenerateTestVectors(problem, absolver.Config{}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fig. 1 model: %d feasible condition profiles (paths); enumeration ended %v\n\n",
+		len(vectors), status)
+
+	// Stable ordering of decision variables for printing.
+	var decVars []int
+	if len(vectors) > 0 {
+		for v := range vectors[0].Decisions {
+			decVars = append(decVars, v)
+		}
+		sort.Ints(decVars)
+	}
+	inputs := []string{"a", "x", "y", "i", "j"}
+
+	for n, tv := range vectors {
+		profile := make([]byte, len(decVars))
+		for i, v := range decVars {
+			if tv.Decisions[v] {
+				profile[i] = '1'
+			} else {
+				profile[i] = '0'
+			}
+		}
+		// Close the loop: run the classic simulation path on the generated
+		// stimulus and confirm the modelled output.
+		stim := map[string]float64{}
+		for _, in := range inputs {
+			stim[in] = tv.Inputs[in]
+		}
+		sim, err := model.Simulate(stim)
+		if err != nil {
+			log.Fatalf("simulating test %d: %v", n+1, err)
+		}
+		fmt.Printf("test %2d: atoms=%s  Out1=%-5v inputs:", n+1, profile, sim.Bool["Out1"])
+		for _, in := range inputs {
+			fmt.Printf(" %s=%.3g", in, tv.Inputs[in])
+		}
+		fmt.Println()
+		if !sim.Bool["Out1"] {
+			log.Fatalf("test %d: simulation contradicts the solver's witness", n+1)
+		}
+		if n == 14 && len(vectors) > 16 {
+			fmt.Printf("… and %d more\n", len(vectors)-15)
+			break
+		}
+	}
+	fmt.Println("\nEach line is a concrete sensor stimulus, validated by simulation;")
+	fmt.Println("running all of them achieves full condition coverage of the model.")
+}

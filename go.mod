@@ -1,0 +1,3 @@
+module absolver
+
+go 1.22

@@ -1,0 +1,320 @@
+// Package circuit implements ABsolver's core internal representation
+// (Fig. 4/5 of the paper): "a data structure for modelling an integrated
+// circuit where arithmetic and Boolean operations are represented as gates
+// taking either a single (e.g., negation), a pair (e.g., arithmetic
+// comparison), or an arbitrary number of inputs. The variables are then
+// seen as the input pins of a circuit, and the single output pin provides
+// the formula's truth value, which is either tt, ff, or ?".
+//
+// Leaves are Boolean input pins or arithmetic comparison atoms; inner gates
+// are NOT/AND/OR/XOR/IMPLIES/ITE. Evaluation uses Kleene 3-valued logic so
+// that undecided arithmetic atoms propagate "?" — the signal that the
+// nonlinear solver must be consulted (Sec. 4). The circuit converts to CNF
+// by Tseitin transformation for the Boolean solver.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"absolver/internal/expr"
+)
+
+// Kind discriminates gate types.
+type Kind int
+
+// Gate kinds. Leaf kinds: KInput (a free Boolean pin), KAtom (an arithmetic
+// comparison), KConst.
+const (
+	KInput Kind = iota
+	KAtom
+	KConst
+	KNot
+	KAnd
+	KOr
+	KXor
+	KImplies
+	KIte
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KInput:
+		return "input"
+	case KAtom:
+		return "atom"
+	case KConst:
+		return "const"
+	case KNot:
+		return "not"
+	case KAnd:
+		return "and"
+	case KOr:
+		return "or"
+	case KXor:
+		return "xor"
+	case KImplies:
+		return "implies"
+	case KIte:
+		return "ite"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Gate is a node of the circuit. Gates are shared: building diamond-shaped
+// circuits reuses pointers, and the Tseitin conversion assigns one variable
+// per distinct gate.
+type Gate struct {
+	Kind   Kind
+	Inputs []*Gate
+
+	// Name identifies a KInput pin.
+	Name string
+	// Atom is the comparison of a KAtom leaf.
+	Atom expr.Atom
+	// Value is the constant of a KConst gate (True or False).
+	Value expr.Truth
+}
+
+// Input returns a named Boolean input pin.
+func Input(name string) *Gate { return &Gate{Kind: KInput, Name: name} }
+
+// AtomGate returns an arithmetic comparison leaf.
+func AtomGate(a expr.Atom) *Gate { return &Gate{Kind: KAtom, Atom: a} }
+
+// Const returns a constant gate.
+func Const(v bool) *Gate {
+	t := expr.False
+	if v {
+		t = expr.True
+	}
+	return &Gate{Kind: KConst, Value: t}
+}
+
+// Not returns ¬x.
+func Not(x *Gate) *Gate { return &Gate{Kind: KNot, Inputs: []*Gate{x}} }
+
+// And returns the conjunction of xs (true for the empty conjunction).
+func And(xs ...*Gate) *Gate { return &Gate{Kind: KAnd, Inputs: xs} }
+
+// Or returns the disjunction of xs (false for the empty disjunction).
+func Or(xs ...*Gate) *Gate { return &Gate{Kind: KOr, Inputs: xs} }
+
+// Xor returns x ⊕ y.
+func Xor(x, y *Gate) *Gate { return &Gate{Kind: KXor, Inputs: []*Gate{x, y}} }
+
+// Implies returns x → y.
+func Implies(x, y *Gate) *Gate { return &Gate{Kind: KImplies, Inputs: []*Gate{x, y}} }
+
+// Ite returns if c then t else e.
+func Ite(c, t, e *Gate) *Gate { return &Gate{Kind: KIte, Inputs: []*Gate{c, t, e}} }
+
+// Circuit is a formula with a single output pin.
+type Circuit struct {
+	Output *Gate
+}
+
+// New wraps an output gate.
+func New(out *Gate) *Circuit { return &Circuit{Output: out} }
+
+// Env supplies values for evaluation: Boolean pins by name, and a real
+// environment for arithmetic atoms. Either may be partial; missing values
+// evaluate to Unknown ("?").
+type Env struct {
+	Bool map[string]expr.Truth
+	// Real, when non-nil, decides atoms by point evaluation.
+	Real expr.Env
+	// Box, when non-nil (and Real is nil or lacks the atom's variables),
+	// decides atoms by interval evaluation — the paper's 3-valued
+	// semantics over undecided subproblems.
+	Box expr.Box
+}
+
+// Eval computes the 3-valued output of the circuit under env.
+func (c *Circuit) Eval(env Env) expr.Truth {
+	memo := map[*Gate]expr.Truth{}
+	return evalGate(c.Output, env, memo)
+}
+
+func evalGate(g *Gate, env Env, memo map[*Gate]expr.Truth) expr.Truth {
+	if v, ok := memo[g]; ok {
+		return v
+	}
+	v := evalGateUncached(g, env, memo)
+	memo[g] = v
+	return v
+}
+
+func evalGateUncached(g *Gate, env Env, memo map[*Gate]expr.Truth) expr.Truth {
+	switch g.Kind {
+	case KConst:
+		return g.Value
+	case KInput:
+		if env.Bool != nil {
+			if v, ok := env.Bool[g.Name]; ok {
+				return v
+			}
+		}
+		return expr.Unknown
+	case KAtom:
+		if env.Real != nil {
+			if ok, err := g.Atom.Holds(env.Real); err == nil {
+				return expr.FromBool(ok)
+			}
+		}
+		if env.Box != nil {
+			return g.Atom.IntervalHolds(env.Box)
+		}
+		return expr.Unknown
+	case KNot:
+		return evalGate(g.Inputs[0], env, memo).Not()
+	case KAnd:
+		out := expr.True
+		for _, in := range g.Inputs {
+			out = out.And(evalGate(in, env, memo))
+			if out == expr.False {
+				return expr.False
+			}
+		}
+		return out
+	case KOr:
+		out := expr.False
+		for _, in := range g.Inputs {
+			out = out.Or(evalGate(in, env, memo))
+			if out == expr.True {
+				return expr.True
+			}
+		}
+		return out
+	case KXor:
+		a := evalGate(g.Inputs[0], env, memo)
+		b := evalGate(g.Inputs[1], env, memo)
+		if a == expr.Unknown || b == expr.Unknown {
+			return expr.Unknown
+		}
+		return expr.FromBool(a != b)
+	case KImplies:
+		a := evalGate(g.Inputs[0], env, memo)
+		b := evalGate(g.Inputs[1], env, memo)
+		return a.Not().Or(b)
+	case KIte:
+		c := evalGate(g.Inputs[0], env, memo)
+		t := evalGate(g.Inputs[1], env, memo)
+		e := evalGate(g.Inputs[2], env, memo)
+		switch c {
+		case expr.True:
+			return t
+		case expr.False:
+			return e
+		}
+		if t == e {
+			return t
+		}
+		return expr.Unknown
+	}
+	return expr.Unknown
+}
+
+// Atoms returns the distinct arithmetic atoms of the circuit in first-visit
+// order.
+func (c *Circuit) Atoms() []expr.Atom {
+	var out []expr.Atom
+	seen := map[*Gate]bool{}
+	var walk func(*Gate)
+	walk = func(g *Gate) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if g.Kind == KAtom {
+			out = append(out, g.Atom)
+		}
+		for _, in := range g.Inputs {
+			walk(in)
+		}
+	}
+	walk(c.Output)
+	return out
+}
+
+// Inputs returns the distinct Boolean input pin names in first-visit order.
+func (c *Circuit) Inputs() []string {
+	var out []string
+	seen := map[*Gate]bool{}
+	seenName := map[string]bool{}
+	var walk func(*Gate)
+	walk = func(g *Gate) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if g.Kind == KInput && !seenName[g.Name] {
+			seenName[g.Name] = true
+			out = append(out, g.Name)
+		}
+		for _, in := range g.Inputs {
+			walk(in)
+		}
+	}
+	walk(c.Output)
+	return out
+}
+
+// Size returns the number of distinct gates.
+func (c *Circuit) Size() int {
+	seen := map[*Gate]bool{}
+	var walk func(*Gate)
+	walk = func(g *Gate) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		for _, in := range g.Inputs {
+			walk(in)
+		}
+	}
+	walk(c.Output)
+	return len(seen)
+}
+
+// String renders the circuit as a formula.
+func (c *Circuit) String() string {
+	var sb strings.Builder
+	formatGate(c.Output, &sb)
+	return sb.String()
+}
+
+func formatGate(g *Gate, sb *strings.Builder) {
+	switch g.Kind {
+	case KInput:
+		sb.WriteString(g.Name)
+	case KAtom:
+		sb.WriteByte('(')
+		sb.WriteString(g.Atom.String())
+		sb.WriteByte(')')
+	case KConst:
+		sb.WriteString(g.Value.String())
+	case KNot:
+		sb.WriteString("¬")
+		formatGate(g.Inputs[0], sb)
+	case KAnd, KOr, KXor, KImplies:
+		op := map[Kind]string{KAnd: " ∧ ", KOr: " ∨ ", KXor: " ⊕ ", KImplies: " → "}[g.Kind]
+		sb.WriteByte('(')
+		for i, in := range g.Inputs {
+			if i > 0 {
+				sb.WriteString(op)
+			}
+			formatGate(in, sb)
+		}
+		sb.WriteByte(')')
+	case KIte:
+		sb.WriteString("ite(")
+		formatGate(g.Inputs[0], sb)
+		sb.WriteString(", ")
+		formatGate(g.Inputs[1], sb)
+		sb.WriteString(", ")
+		formatGate(g.Inputs[2], sb)
+		sb.WriteByte(')')
+	}
+}

@@ -1,0 +1,232 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"absolver/internal/expr"
+	"absolver/internal/interval"
+	"absolver/internal/sat"
+)
+
+func atom(t *testing.T, src string) expr.Atom {
+	t.Helper()
+	a, err := expr.ParseAtom(src, expr.Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestEvalKleene(t *testing.T) {
+	a, b := Input("a"), Input("b")
+	cases := []struct {
+		g    *Gate
+		env  map[string]expr.Truth
+		want expr.Truth
+	}{
+		{And(a, b), map[string]expr.Truth{"a": expr.True, "b": expr.True}, expr.True},
+		{And(a, b), map[string]expr.Truth{"a": expr.False}, expr.False},
+		{And(a, b), map[string]expr.Truth{"a": expr.True}, expr.Unknown},
+		{Or(a, b), map[string]expr.Truth{"a": expr.True}, expr.True},
+		{Or(a, b), map[string]expr.Truth{"a": expr.False}, expr.Unknown},
+		{Or(a, b), map[string]expr.Truth{"a": expr.False, "b": expr.False}, expr.False},
+		{Not(a), map[string]expr.Truth{"a": expr.True}, expr.False},
+		{Not(a), nil, expr.Unknown},
+		{Xor(a, b), map[string]expr.Truth{"a": expr.True, "b": expr.False}, expr.True},
+		{Xor(a, b), map[string]expr.Truth{"a": expr.True}, expr.Unknown},
+		{Implies(a, b), map[string]expr.Truth{"a": expr.False}, expr.True},
+		{Implies(a, b), map[string]expr.Truth{"b": expr.True}, expr.True},
+		{Implies(a, b), map[string]expr.Truth{"a": expr.True, "b": expr.False}, expr.False},
+		{Ite(a, b, b), map[string]expr.Truth{"b": expr.True}, expr.True},
+		{Ite(a, Const(true), Const(false)), map[string]expr.Truth{"a": expr.True}, expr.True},
+		{Ite(a, Const(true), Const(false)), nil, expr.Unknown},
+		{Const(true), nil, expr.True},
+		{And(), nil, expr.True},
+		{Or(), nil, expr.False},
+	}
+	for i, c := range cases {
+		got := New(c.g).Eval(Env{Bool: c.env})
+		if got != c.want {
+			t.Fatalf("case %d (%s): got %v, want %v", i, New(c.g).String(), got, c.want)
+		}
+	}
+}
+
+// TestPaperFig1Circuit builds the example of Fig. 1/2: the output is
+// ((i≥0) ∧ (j≥0)) ∧ (¬(2i+j<10) ∨ (i+j<5)) ∧ (a·x+3.5/(4−y)+2y ≥ 7.1).
+func paperCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	iGe := AtomGate(atom(t, "i >= 0"))
+	jGe := AtomGate(atom(t, "j >= 0"))
+	lin := AtomGate(atom(t, "2*i + j < 10"))
+	lin2 := AtomGate(atom(t, "i + j < 5"))
+	nl := AtomGate(atom(t, "a * x + 3.5 / (4 - y) + 2 * y >= 7.1"))
+	out := And(And(iGe, jGe), Or(Not(lin), lin2), nl)
+	return New(out)
+}
+
+func TestPaperCircuitPointEval(t *testing.T) {
+	c := paperCircuit(t)
+	env := Env{Real: expr.Env{"i": 1, "j": 2, "a": 2, "x": 2, "y": 2}}
+	// i,j ≥ 0 ✓; 2i+j=4<10 so need i+j=3<5 ✓; 2·2+3.5/2+2·2 = 9.75 ≥ 7.1 ✓.
+	if got := c.Eval(env); got != expr.True {
+		t.Fatalf("got %v, want tt", got)
+	}
+	env.Real["i"] = -1
+	if got := c.Eval(env); got != expr.False {
+		t.Fatalf("got %v, want ff", got)
+	}
+}
+
+func TestPaperCircuitThreeValued(t *testing.T) {
+	c := paperCircuit(t)
+	// Integer parts decided, nonlinear part undecided over a box: the
+	// output pin must be "?", signalling the nonlinear solver (Sec. 4).
+	env := Env{
+		Real: expr.Env{"i": 1, "j": 2},
+		Box: expr.Box{
+			"a": interval.New(-10, 10),
+			"x": interval.New(-10, 10),
+			"y": interval.New(0, 3),
+		},
+	}
+	// Atom eval: Real lacks a/x/y → falls to Box → unknown for nl.
+	if got := c.Eval(env); got != expr.Unknown {
+		t.Fatalf("got %v, want ?", got)
+	}
+}
+
+func TestAtomsAndInputs(t *testing.T) {
+	c := paperCircuit(t)
+	if got := len(c.Atoms()); got != 5 {
+		t.Fatalf("atoms = %d, want 5", got)
+	}
+	g := And(Input("p"), Or(Input("q"), Input("p")))
+	if got := New(g).Inputs(); len(got) != 2 {
+		t.Fatalf("inputs = %v", got)
+	}
+}
+
+func TestSizeSharing(t *testing.T) {
+	shared := Input("s")
+	g := And(shared, Or(shared, Not(shared)))
+	// Gates: s, Not, Or, And = 4 distinct.
+	if got := New(g).Size(); got != 4 {
+		t.Fatalf("size = %d, want 4", got)
+	}
+}
+
+// TestTseitinEquisatisfiable compares circuit truth tables with CNF
+// satisfiability under forced input values, on random circuits.
+func TestTseitinEquisatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	names := []string{"p", "q", "r", "s"}
+	var build func(depth int) *Gate
+	build = func(depth int) *Gate {
+		if depth == 0 || rng.Intn(4) == 0 {
+			return Input(names[rng.Intn(len(names))])
+		}
+		switch rng.Intn(6) {
+		case 0:
+			return Not(build(depth - 1))
+		case 1:
+			return And(build(depth-1), build(depth-1))
+		case 2:
+			return Or(build(depth-1), build(depth-1), build(depth-1))
+		case 3:
+			return Xor(build(depth-1), build(depth-1))
+		case 4:
+			return Implies(build(depth-1), build(depth-1))
+		default:
+			return Ite(build(depth-1), build(depth-1), build(depth-1))
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		c := New(build(4))
+		cnf := c.ToCNF()
+		for m := 0; m < 16; m++ {
+			envB := map[string]expr.Truth{}
+			for i, n := range names {
+				envB[n] = expr.FromBool(m>>uint(i)&1 == 1)
+			}
+			want := c.Eval(Env{Bool: envB})
+			// CNF with inputs forced must be SAT iff the circuit is true.
+			s := sat.New()
+			s.EnsureVars(cnf.NumVars)
+			for _, cl := range cnf.Clauses {
+				lits := make([]sat.Lit, len(cl))
+				for i, n := range cl {
+					lits[i] = sat.FromDIMACS(n)
+				}
+				if !s.AddClause(lits...) {
+					break
+				}
+			}
+			var assumps []sat.Lit
+			for n, v := range cnf.InputVar {
+				assumps = append(assumps, sat.MkLit(v, envB[n] == expr.False))
+			}
+			res, err := s.Solve(assumps...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSAT := res == sat.LTrue
+			if gotSAT != (want == expr.True) {
+				t.Fatalf("iter %d m=%d: circuit %v, CNF sat=%v\ncircuit: %s",
+					iter, m, want, gotSAT, c.String())
+			}
+		}
+	}
+}
+
+func TestToCNFAtomBindings(t *testing.T) {
+	c := paperCircuit(t)
+	cnf := c.ToCNF()
+	bindings := cnf.AtomBindings()
+	if len(bindings) != 5 {
+		t.Fatalf("bindings = %d, want 5", len(bindings))
+	}
+	for _, b := range bindings {
+		if cnf.AtomOf[b.Var] == nil {
+			t.Fatal("binding variable without AtomOf entry")
+		}
+	}
+	// Def-line rendering must carry domain and 1-based variable.
+	s := bindings[0].String()
+	if s == "" || s[0] != 'c' {
+		t.Fatalf("def line %q", s)
+	}
+}
+
+func TestConstGateCNF(t *testing.T) {
+	// Output = false constant → CNF unsatisfiable.
+	cnf := New(Const(false)).ToCNF()
+	s := sat.New()
+	s.EnsureVars(cnf.NumVars)
+	ok := true
+	for _, cl := range cnf.Clauses {
+		lits := make([]sat.Lit, len(cl))
+		for i, n := range cl {
+			lits[i] = sat.FromDIMACS(n)
+		}
+		ok = s.AddClause(lits...)
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		res, _ := s.Solve()
+		if res != sat.LFalse {
+			t.Fatal("constant-false circuit should yield UNSAT CNF")
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := And(Input("a"), Not(Input("b")))
+	s := New(g).String()
+	if s != "(a ∧ ¬b)" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,166 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"absolver/internal/expr"
+)
+
+// CNF is the Tseitin transformation result: clauses in DIMACS integer
+// convention (±(var+1)), with variable 0..NumVars-1, and the mapping from
+// circuit leaves to variables that the SMT engine needs to bind atoms.
+type CNF struct {
+	NumVars int
+	Clauses [][]int
+	// OutputVar is the variable standing for the circuit's output pin; a
+	// unit clause asserting it is included in Clauses.
+	OutputVar int
+	// InputVar maps Boolean pin names to variables.
+	InputVar map[string]int
+	// AtomVar maps atom leaves (by gate) to variables; AtomOf inverts it.
+	AtomVar map[*Gate]int
+	// AtomOf lists, per variable index, the atom bound to it (nil entries
+	// for non-atom variables).
+	AtomOf []*expr.Atom
+}
+
+// ToCNF converts the circuit to an equisatisfiable CNF: one variable per
+// distinct gate (structural sharing respected), clauses defining each inner
+// gate, and a unit clause asserting the output pin.
+func (c *Circuit) ToCNF() *CNF {
+	cnf := &CNF{InputVar: map[string]int{}, AtomVar: map[*Gate]int{}}
+	gateVar := map[*Gate]int{}
+
+	newVar := func() int {
+		v := cnf.NumVars
+		cnf.NumVars++
+		cnf.AtomOf = append(cnf.AtomOf, nil)
+		return v
+	}
+	lit := func(v int, neg bool) int {
+		if neg {
+			return -(v + 1)
+		}
+		return v + 1
+	}
+
+	var walk func(g *Gate) int
+	walk = func(g *Gate) int {
+		if v, ok := gateVar[g]; ok {
+			return v
+		}
+		// Input pins with the same name share a variable even across
+		// distinct gate objects.
+		if g.Kind == KInput {
+			if v, ok := cnf.InputVar[g.Name]; ok {
+				gateVar[g] = v
+				return v
+			}
+		}
+		v := newVar()
+		gateVar[g] = v
+		switch g.Kind {
+		case KInput:
+			cnf.InputVar[g.Name] = v
+		case KAtom:
+			cnf.AtomVar[g] = v
+			a := g.Atom
+			cnf.AtomOf[v] = &a
+		case KConst:
+			if g.Value == expr.True {
+				cnf.Clauses = append(cnf.Clauses, []int{lit(v, false)})
+			} else {
+				cnf.Clauses = append(cnf.Clauses, []int{lit(v, true)})
+			}
+		case KNot:
+			a := walk(g.Inputs[0])
+			cnf.Clauses = append(cnf.Clauses,
+				[]int{lit(v, true), lit(a, true)},
+				[]int{lit(v, false), lit(a, false)},
+			)
+		case KAnd:
+			ins := make([]int, len(g.Inputs))
+			for i, in := range g.Inputs {
+				ins[i] = walk(in)
+			}
+			long := []int{lit(v, false)}
+			for _, a := range ins {
+				cnf.Clauses = append(cnf.Clauses, []int{lit(v, true), lit(a, false)})
+				long = append(long, lit(a, true))
+			}
+			cnf.Clauses = append(cnf.Clauses, long)
+		case KOr:
+			ins := make([]int, len(g.Inputs))
+			for i, in := range g.Inputs {
+				ins[i] = walk(in)
+			}
+			long := []int{lit(v, true)}
+			for _, a := range ins {
+				cnf.Clauses = append(cnf.Clauses, []int{lit(v, false), lit(a, true)})
+				long = append(long, lit(a, false))
+			}
+			cnf.Clauses = append(cnf.Clauses, long)
+		case KXor:
+			a := walk(g.Inputs[0])
+			b := walk(g.Inputs[1])
+			cnf.Clauses = append(cnf.Clauses,
+				[]int{lit(v, true), lit(a, false), lit(b, false)},
+				[]int{lit(v, true), lit(a, true), lit(b, true)},
+				[]int{lit(v, false), lit(a, false), lit(b, true)},
+				[]int{lit(v, false), lit(a, true), lit(b, false)},
+			)
+		case KImplies:
+			a := walk(g.Inputs[0])
+			b := walk(g.Inputs[1])
+			cnf.Clauses = append(cnf.Clauses,
+				[]int{lit(v, true), lit(a, true), lit(b, false)},
+				[]int{lit(v, false), lit(a, false)},
+				[]int{lit(v, false), lit(b, true)},
+			)
+		case KIte:
+			cc := walk(g.Inputs[0])
+			tt := walk(g.Inputs[1])
+			ee := walk(g.Inputs[2])
+			cnf.Clauses = append(cnf.Clauses,
+				[]int{lit(v, true), lit(cc, true), lit(tt, false)},
+				[]int{lit(v, false), lit(cc, true), lit(tt, true)},
+				[]int{lit(v, true), lit(cc, false), lit(ee, false)},
+				[]int{lit(v, false), lit(cc, false), lit(ee, true)},
+				// Redundant but propagation-strengthening:
+				[]int{lit(v, true), lit(tt, false), lit(ee, false)},
+				[]int{lit(v, false), lit(tt, true), lit(ee, true)},
+			)
+		}
+		return v
+	}
+
+	out := walk(c.Output)
+	cnf.OutputVar = out
+	cnf.Clauses = append(cnf.Clauses, []int{lit(out, false)})
+	return cnf
+}
+
+// AtomBindings returns the variable/atom pairs sorted by variable index —
+// the "c def" lines of the extended DIMACS format.
+func (c *CNF) AtomBindings() []AtomBinding {
+	var out []AtomBinding
+	for v, a := range c.AtomOf {
+		if a != nil {
+			out = append(out, AtomBinding{Var: v, Atom: *a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	return out
+}
+
+// AtomBinding pairs a CNF variable with the arithmetic atom it stands for.
+type AtomBinding struct {
+	Var  int
+	Atom expr.Atom
+}
+
+// String renders the binding as an extended-DIMACS def line.
+func (b AtomBinding) String() string {
+	return fmt.Sprintf("c def %s %d %s", b.Atom.Domain, b.Var+1, b.Atom.String())
+}

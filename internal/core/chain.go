@@ -1,0 +1,83 @@
+package core
+
+import (
+	"absolver/internal/expr"
+	"absolver/internal/lp"
+	"absolver/internal/nlp"
+)
+
+// Solver chains implement the paper's fallback mechanism (Sec. 4): "at
+// each of those steps a list of solvers is used, if more than one solver
+// is enabled for some domain and the preceding solvers thereof failed to
+// provide a decent result." A chain consults its members in order and
+// returns the first decisive verdict.
+
+// LinearChain tries each linear solver in order; the first verdict that is
+// not an iteration-limit failure wins.
+type LinearChain struct {
+	Solvers []LinearSolver
+}
+
+// NewLinearChain builds a chain over the given solvers.
+func NewLinearChain(solvers ...LinearSolver) *LinearChain {
+	return &LinearChain{Solvers: solvers}
+}
+
+// Name implements LinearSolver.
+func (c *LinearChain) Name() string {
+	name := "chain("
+	for i, s := range c.Solvers {
+		if i > 0 {
+			name += ","
+		}
+		name += s.Name()
+	}
+	return name + ")"
+}
+
+// Check implements LinearSolver.
+func (c *LinearChain) Check(rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict {
+	last := LinearVerdict{Status: lp.IterLimit}
+	for _, s := range c.Solvers {
+		v := s.Check(rows, lower, upper, ints)
+		if v.Status == lp.Feasible || v.Status == lp.Infeasible {
+			return v
+		}
+		last = v
+	}
+	return last
+}
+
+// NonlinearChain tries each nonlinear solver in order; the first Feasible
+// or Infeasible verdict wins, Unknown falls through to the next solver.
+type NonlinearChain struct {
+	Solvers []NonlinearSolver
+}
+
+// NewNonlinearChain builds a chain over the given solvers.
+func NewNonlinearChain(solvers ...NonlinearSolver) *NonlinearChain {
+	return &NonlinearChain{Solvers: solvers}
+}
+
+// Name implements NonlinearSolver.
+func (c *NonlinearChain) Name() string {
+	name := "chain("
+	for i, s := range c.Solvers {
+		if i > 0 {
+			name += ","
+		}
+		name += s.Name()
+	}
+	return name + ")"
+}
+
+// Check implements NonlinearSolver.
+func (c *NonlinearChain) Check(atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict {
+	for _, s := range c.Solvers {
+		v := s.Check(atoms, box, hint)
+		if v.Status != nlp.Unknown {
+			return v
+		}
+	}
+	return NonlinearVerdict{Status: nlp.Unknown}
+}

@@ -1,0 +1,797 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"absolver/internal/expr"
+	"absolver/internal/interval"
+	"absolver/internal/lp"
+	"absolver/internal/nlp"
+)
+
+// Status is the engine's verdict.
+type Status int
+
+// Verdicts. StatusUnknown is reported instead of StatusUnsat whenever an
+// approximation was used while closing the search space (e.g. a nonlinear
+// subproblem the solver could neither witness nor refute) — matching the
+// incompleteness the paper accepts for nonlinear arithmetic.
+const (
+	StatusUnknown Status = iota
+	StatusSat
+	StatusUnsat
+)
+
+// String returns the verdict name.
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Config selects and tunes the sub-solvers — the paper's "most appropriate
+// solver for a given task can be integrated and used".
+type Config struct {
+	// Bool is the propositional solver (default NewCDCLSolver).
+	Bool BoolSolver
+	// Linear is the linear-arithmetic solver (default NewSimplexSolver).
+	Linear LinearSolver
+	// Nonlinear is the nonlinear solver (default NewPenaltySolver).
+	Nonlinear NonlinearSolver
+	// RestartBoolean re-creates the Boolean solver from scratch on every
+	// iteration, reproducing the paper's external-restart overhead ("at
+	// the expense of the time required for restarting the entire solving
+	// process externally"). Incremental solving is the default.
+	RestartBoolean bool
+	// NoIIS disables smallest-conflicting-subset refinement; conflicts
+	// block the complete atom assignment instead (ablation knob).
+	NoIIS bool
+	// NoGroundLemmas disables the static pair-lemma grounding pass that
+	// seeds the Boolean skeleton with theory-valid clauses (ablation knob).
+	NoGroundLemmas bool
+	// MaxIterations bounds SAT↔theory iterations (0 = 1e6).
+	MaxIterations int
+	// MaxNESplits bounds the disequality case-split tree per theory check
+	// (0 = 4096).
+	MaxNESplits int
+	// Timeout bounds the wall-clock time of Solve (0 = none). Exceeding it
+	// returns ErrTimeout with StatusUnknown.
+	Timeout time.Duration
+	// Trace, when non-nil, receives a line per engine iteration (the
+	// stand-alone tool's -v output).
+	Trace io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bool == nil {
+		c.Bool = NewCDCLSolver()
+	}
+	if c.Linear == nil {
+		c.Linear = NewSimplexSolver()
+	}
+	if c.Nonlinear == nil {
+		c.Nonlinear = NewPenaltySolver()
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 1000000
+	}
+	if c.MaxNESplits == 0 {
+		c.MaxNESplits = 4096
+	}
+	return c
+}
+
+// Stats aggregates engine counters and per-stage wall time.
+type Stats struct {
+	Iterations      int
+	LinearChecks    int
+	NonlinearChecks int
+	ConflictClauses int
+	LossyBlocks     int
+	NESplits        int
+	BoolTime        time.Duration
+	LinearTime      time.Duration
+	NonlinearTime   time.Duration
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	Model  *Model
+	Stats  Stats
+}
+
+// ErrIterationLimit is returned when MaxIterations is exceeded.
+var ErrIterationLimit = errors.New("core: iteration limit exceeded")
+
+// ErrTimeout is returned when Config.Timeout elapses before a verdict.
+var ErrTimeout = errors.New("core: timeout")
+
+// Engine runs the control loop of Sec. 4 over one problem.
+type Engine struct {
+	p         *Problem
+	cfg       Config
+	st        Stats
+	boolReady bool
+	// blocking accumulates conflict clauses for restart mode.
+	blocking [][]int
+	lossy    bool
+	intVars  map[string]bool
+	lower    map[string]float64
+	upper    map[string]float64
+	lemmas   [][]int
+}
+
+// NewEngine prepares an engine for p. The problem must not be mutated
+// while the engine is in use.
+func NewEngine(p *Problem, cfg Config) *Engine {
+	e := &Engine{p: p, cfg: cfg.withDefaults()}
+	e.intVars = p.IntVars()
+	e.lower, e.upper = boundsMaps(p.Bounds)
+	if !e.cfg.NoGroundLemmas {
+		e.lemmas = GroundPairLemmas(p)
+	}
+	return e
+}
+
+// Stats returns the counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.st }
+
+// Solve runs the lazy combination loop: Boolean model → theory check →
+// conflict refinement, until a consistent model or exhaustion.
+func (e *Engine) Solve() (Result, error) {
+	if err := e.p.Validate(); err != nil {
+		return Result{}, err
+	}
+	deadline := time.Time{}
+	if e.cfg.Timeout > 0 {
+		deadline = time.Now().Add(e.cfg.Timeout)
+	}
+	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return Result{Status: StatusUnknown, Stats: e.st}, ErrTimeout
+		}
+		e.st.Iterations++
+		model, ok, err := e.nextBoolModel()
+		if err != nil {
+			return Result{Stats: e.st}, err
+		}
+		if !ok {
+			if e.lossy {
+				return Result{Status: StatusUnknown, Stats: e.st}, nil
+			}
+			return Result{Status: StatusUnsat, Stats: e.st}, nil
+		}
+		verdict := e.theoryCheck(model)
+		if e.cfg.Trace != nil {
+			kind := map[theoryKind]string{thSat: "sat", thConflict: "conflict", thLossyBlock: "lossy-block"}[verdict.kind]
+			fmt.Fprintf(e.cfg.Trace, "c iter %d: %s", iter+1, kind)
+			if verdict.kind != thSat {
+				fmt.Fprintf(e.cfg.Trace, " (clause of %d literals)", len(verdict.conflict))
+			}
+			fmt.Fprintln(e.cfg.Trace)
+		}
+		switch verdict.kind {
+		case thSat:
+			m := &Model{Bool: model, Real: verdict.env}
+			return Result{Status: StatusSat, Model: m, Stats: e.st}, nil
+		case thConflict:
+			if err := e.block(verdict.conflict); err != nil {
+				return Result{Stats: e.st}, err
+			}
+		case thLossyBlock:
+			e.lossy = true
+			e.st.LossyBlocks++
+			if err := e.block(verdict.conflict); err != nil {
+				return Result{Stats: e.st}, err
+			}
+		}
+	}
+	return Result{Status: StatusUnknown, Stats: e.st}, ErrIterationLimit
+}
+
+// AllModels enumerates satisfying models (the LSAT use-case: "due to its
+// internal bookkeeping it is able to compute all models"). Projection: two
+// models are distinct when they differ on projectVars (1-based DIMACS
+// variables; nil = all Boolean variables). The callback may return
+// ErrStopEnumeration to end early. Returns the number of models reported
+// and the final status (StatusUnsat when the space was exhausted cleanly,
+// StatusUnknown when lossy blocks may have hidden models).
+func (e *Engine) AllModels(projectVars []int, max int, report func(Model) error) (int, Status, error) {
+	if projectVars == nil {
+		projectVars = make([]int, e.p.NumVars)
+		for i := range projectVars {
+			projectVars[i] = i + 1
+		}
+	}
+	count := 0
+	for {
+		if max > 0 && count >= max {
+			return count, StatusSat, nil
+		}
+		res, err := e.Solve()
+		if err != nil {
+			return count, res.Status, err
+		}
+		if res.Status != StatusSat {
+			return count, res.Status, nil
+		}
+		count++
+		if report != nil {
+			if err := report(*res.Model); err != nil {
+				if errors.Is(err, ErrStopEnumeration) {
+					return count, StatusSat, nil
+				}
+				return count, StatusSat, err
+			}
+		}
+		// Block this model on the projection.
+		cl := make([]int, 0, len(projectVars))
+		for _, v := range projectVars {
+			if v < 1 || v > len(res.Model.Bool) {
+				return count, StatusUnknown, fmt.Errorf("core: projection variable %d out of range", v)
+			}
+			if res.Model.Bool[v-1] {
+				cl = append(cl, -v)
+			} else {
+				cl = append(cl, v)
+			}
+		}
+		if err := e.block(cl); err != nil {
+			return count, StatusUnknown, err
+		}
+	}
+}
+
+// ErrStopEnumeration ends AllModels early without error.
+var ErrStopEnumeration = errors.New("core: enumeration stopped by callback")
+
+// nextBoolModel obtains the next Boolean model, honouring restart mode.
+func (e *Engine) nextBoolModel() ([]bool, bool, error) {
+	start := time.Now()
+	defer func() { e.st.BoolTime += time.Since(start) }()
+	if e.cfg.RestartBoolean || !e.boolReady {
+		clauses := e.p.Clauses
+		extra := len(e.lemmas)
+		if e.cfg.RestartBoolean {
+			extra += len(e.blocking)
+		}
+		if extra > 0 {
+			clauses = make([][]int, 0, len(e.p.Clauses)+extra)
+			clauses = append(clauses, e.p.Clauses...)
+			clauses = append(clauses, e.lemmas...)
+			if e.cfg.RestartBoolean {
+				clauses = append(clauses, e.blocking...)
+			}
+		}
+		if err := e.cfg.Bool.Reset(e.p.NumVars, clauses); err != nil {
+			return nil, false, err
+		}
+		e.applyPolarityHints()
+		e.boolReady = true
+	}
+	model, ok, err := e.cfg.Bool.Solve()
+	return model, ok, err
+}
+
+// applyPolarityHints biases the Boolean search towards theory-cheap
+// assignments when the solver supports polarity control: equality atoms
+// prefer true (a pinned value is one row; its negation is a disequality
+// needing a case split), disequality atoms prefer false for the same
+// reason.
+func (e *Engine) applyPolarityHints() {
+	ps, ok := e.cfg.Bool.(interface{ SetPolarity(v int, neg bool) })
+	if !ok {
+		return
+	}
+	for v, a := range e.p.Bindings {
+		switch a.Op {
+		case expr.CmpEQ:
+			ps.SetPolarity(v, false) // try true first
+		case expr.CmpNE:
+			ps.SetPolarity(v, true) // try false first: ¬(x≠c) is the cheap equality x=c
+		}
+	}
+}
+
+// block records a conflict clause both with the Boolean solver and the
+// restart-mode accumulator.
+func (e *Engine) block(clause []int) error {
+	if len(clause) == 0 {
+		// Theory refuted independently of any assumption: force UNSAT by
+		// adding an unsatisfiable pair on variable 1.
+		if e.p.NumVars == 0 {
+			e.p.NumVars = 1
+		}
+		e.blocking = append(e.blocking, []int{1}, []int{-1})
+		e.st.ConflictClauses++
+		if !e.cfg.RestartBoolean {
+			if err := e.cfg.Bool.AddBlocking([]int{1}); err != nil {
+				return err
+			}
+			return e.cfg.Bool.AddBlocking([]int{-1})
+		}
+		return nil
+	}
+	e.blocking = append(e.blocking, clause)
+	e.st.ConflictClauses++
+	if !e.cfg.RestartBoolean {
+		return e.cfg.Bool.AddBlocking(clause)
+	}
+	return nil
+}
+
+// assertedAtom pairs a literal with the atom it asserts under the current
+// Boolean model.
+type assertedAtom struct {
+	lit  int // DIMACS literal that is true in the model
+	atom expr.Atom
+}
+
+type theoryKind int
+
+const (
+	thSat theoryKind = iota
+	thConflict
+	thLossyBlock
+)
+
+type theoryVerdict struct {
+	kind     theoryKind
+	env      expr.Env
+	conflict []int
+}
+
+// theoryCheck implements the solver-interface layer: extract the asserted
+// atoms from the Boolean model, dispatch the linear part (with disequality
+// case-splitting), then — if the output pin is still "?" — the nonlinear
+// part, and assemble either a witness or a conflict clause.
+func (e *Engine) theoryCheck(model []bool) theoryVerdict {
+	var asserted []assertedAtom
+	for v, a := range e.p.Bindings {
+		if model[v] {
+			asserted = append(asserted, assertedAtom{lit: v + 1, atom: a})
+		} else {
+			asserted = append(asserted, assertedAtom{lit: -(v + 1), atom: a.Negate()})
+		}
+	}
+	if len(asserted) == 0 {
+		return theoryVerdict{kind: thSat, env: e.defaultEnv(nil)}
+	}
+
+	// Partition into linear rows, linear disequalities, and nonlinear atoms.
+	var rows []lp.Constraint
+	var rowLits []int
+	var neqs []assertedAtom
+	var nonlinear []assertedAtom
+	for _, aa := range asserted {
+		la, ok := expr.LinearizeAtom(aa.atom)
+		if !ok {
+			nonlinear = append(nonlinear, aa)
+			continue
+		}
+		if aa.atom.Op == expr.CmpNE {
+			neqs = append(neqs, aa)
+			continue
+		}
+		row := linearRow(la, aa.atom.Domain, e.intVars)
+		row.Tag = aa.lit
+		rowLits = append(rowLits, aa.lit)
+		rows = append(rows, row)
+	}
+
+	// Linear stage.
+	start := time.Now()
+	st, x, conflictLits := e.checkLinearWithNE(rows, neqs)
+	e.st.LinearTime += time.Since(start)
+	if st == lp.Infeasible {
+		if e.cfg.NoIIS || conflictLits == nil {
+			conflictLits = allLits(asserted)
+		}
+		return theoryVerdict{kind: thConflict, conflict: negate(conflictLits)}
+	}
+	if st == lp.IterLimit {
+		// Cannot decide this assignment: lossy block.
+		return theoryVerdict{kind: thLossyBlock, conflict: negate(allLits(asserted))}
+	}
+
+	if len(nonlinear) == 0 {
+		env := e.defaultEnv(x)
+		if verifyAsserted(asserted, env) {
+			return theoryVerdict{kind: thSat, env: env}
+		}
+		// The completed environment broke an atom the witness left
+		// unconstrained (e.g. a disequality over a variable with no weak
+		// row). Escalate to the nonlinear solver, which handles the full
+		// conjunction natively.
+	}
+
+	// Nonlinear stage: the output pin is "?" — consult the nonlinear
+	// solver on the joint system (nonlinear atoms plus the linear
+	// conjunction, since they share variables).
+	atoms := make([]expr.Atom, 0, len(asserted))
+	lits := make([]int, 0, len(asserted))
+	for _, aa := range nonlinear {
+		atoms = append(atoms, aa.atom)
+		lits = append(lits, aa.lit)
+	}
+	for _, aa := range asserted {
+		if aa.atom.Op == expr.CmpNE {
+			if _, ok := expr.LinearizeAtom(aa.atom); ok {
+				atoms = append(atoms, aa.atom)
+				lits = append(lits, aa.lit)
+			}
+			continue
+		}
+	}
+	for i, r := range rows {
+		_ = r
+		// Re-assert linear atoms in atom form for the joint check.
+		atoms = append(atoms, atomOfLit(e.p, rowLits[i]))
+		lits = append(lits, rowLits[i])
+	}
+
+	hint := envFromLP(x)
+	startNL := time.Now()
+	defer func() { e.st.NonlinearTime += time.Since(startNL) }()
+	e.st.NonlinearChecks++
+
+	// The nonlinear solver is integrality-blind. When the linear stage
+	// pinned integer variables to integral values, freeze them (point
+	// boxes) so the nonlinear search ranges only over the continuous part.
+	if len(e.intVars) > 0 && x != nil {
+		pinned := e.p.Bounds.Clone()
+		if pinned == nil {
+			pinned = expr.Box{}
+		}
+		anyPin := false
+		for v := range e.intVars {
+			if val, ok := x[v]; ok {
+				pinned[v] = interval.Point(math.Round(val))
+				anyPin = true
+			}
+		}
+		if anyPin {
+			verdict := e.cfg.Nonlinear.Check(atoms, pinned, hint)
+			if verdict.Status == nlp.Feasible {
+				env := e.defaultEnv(nil)
+				for k, v := range verdict.X {
+					env[k] = v
+				}
+				for v := range e.intVars {
+					env[v] = math.Round(env[v])
+				}
+				if verifyAsserted(asserted, env) {
+					return theoryVerdict{kind: thSat, env: env}
+				}
+			}
+			// Infeasible or Unknown under pinned integers proves nothing
+			// about the assignment (other integer values may work): fall
+			// through to the unpinned check.
+		}
+	}
+
+	verdict := e.cfg.Nonlinear.Check(atoms, e.p.Bounds, hint)
+	switch verdict.Status {
+	case nlp.Feasible:
+		env := e.defaultEnv(nil)
+		for k, v := range verdict.X {
+			env[k] = v
+		}
+		for v := range e.intVars {
+			if val, ok := env[v]; ok {
+				env[v] = math.Round(val)
+			}
+		}
+		if verifyAsserted(asserted, env) {
+			return theoryVerdict{kind: thSat, env: env}
+		}
+		// The rounded witness broke an atom: treat the assignment as
+		// undecidable rather than report a bogus model.
+		return theoryVerdict{kind: thLossyBlock, conflict: negate(allLits(asserted))}
+	case nlp.Infeasible:
+		core := e.minimizeNonlinearConflict(atoms, lits)
+		if e.cfg.NoIIS {
+			core = lits
+		}
+		return theoryVerdict{kind: thConflict, conflict: negate(core)}
+	default:
+		return theoryVerdict{kind: thLossyBlock, conflict: negate(allLits(asserted))}
+	}
+}
+
+// checkLinearWithNE decides the conjunction of weak linear rows plus linear
+// disequalities by case-splitting each violated disequality into its two
+// strict sides (the paper: "either Σ aᵢxᵢ < c, or Σ aᵢxᵢ > c must be
+// satisfiable"). Returns the status, a witness when feasible, and the
+// literals of a conflicting subset when infeasible (nil = caller blocks
+// everything).
+func (e *Engine) checkLinearWithNE(rows []lp.Constraint, neqs []assertedAtom) (lp.Status, map[string]float64, []int) {
+	base := e.checkRows(rows)
+	if base.Status == lp.Infeasible {
+		return lp.Infeasible, nil, tagsToLits(rows, base.IIS)
+	}
+	if base.Status != lp.Feasible {
+		return base.Status, nil, nil
+	}
+	if len(neqs) == 0 {
+		return lp.Feasible, base.X, nil
+	}
+
+	// Fast path: all disequalities already hold at the witness.
+	violated := violatedNE(neqs, base.X)
+	if len(violated) == 0 {
+		return lp.Feasible, base.X, nil
+	}
+
+	// DFS over case splits of violated disequalities.
+	budget := e.cfg.MaxNESplits
+	st, x, conflict := e.neSplit(rows, neqs, &budget)
+	if st == lp.Feasible {
+		return lp.Feasible, x, nil
+	}
+	if st == lp.IterLimit || budget <= 0 {
+		return lp.IterLimit, nil, nil
+	}
+	return lp.Infeasible, nil, dedupLits(conflict)
+}
+
+// neSplit recursively splits the first violated disequality ("either
+// Σ aᵢxᵢ < c, or Σ aᵢxᵢ > c must be satisfiable"). On infeasibility it
+// returns the union of the two branches' conflict literals — each branch's
+// IIS maps split rows back to the disequality's literal via the row tag.
+func (e *Engine) neSplit(rows []lp.Constraint, neqs []assertedAtom, budget *int) (lp.Status, map[string]float64, []int) {
+	if *budget <= 0 {
+		return lp.IterLimit, nil, nil
+	}
+	*budget--
+	res := e.checkRows(rows)
+	if res.Status == lp.Infeasible {
+		lits := tagsToLits(rows, res.IIS)
+		if lits == nil {
+			for _, r := range rows {
+				lits = append(lits, r.Tag)
+			}
+		}
+		return lp.Infeasible, nil, lits
+	}
+	if res.Status != lp.Feasible {
+		return res.Status, nil, nil
+	}
+	violated := violatedNE(neqs, res.X)
+	if len(violated) == 0 {
+		return lp.Feasible, res.X, nil
+	}
+	e.st.NESplits++
+	aa := violated[0]
+	la, _ := expr.LinearizeAtom(aa.atom) // Op == CmpNE
+	var conflict []int
+	for _, side := range []expr.CmpOp{expr.CmpLT, expr.CmpGT} {
+		sideAtomLA := la
+		sideAtomLA.Op = side
+		row := linearRow(sideAtomLA, aa.atom.Domain, e.intVars)
+		row.Tag = aa.lit
+		st, x, c := e.neSplit(append(rows[:len(rows):len(rows)], row), neqs, budget)
+		if st == lp.Feasible {
+			return st, x, nil
+		}
+		if st == lp.IterLimit {
+			return st, nil, nil
+		}
+		conflict = append(conflict, c...)
+	}
+	return lp.Infeasible, nil, conflict
+}
+
+// dedupLits removes duplicate literals, preserving order.
+func dedupLits(lits []int) []int {
+	seen := make(map[int]bool, len(lits))
+	out := lits[:0]
+	for _, l := range lits {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// checkRows dispatches a weak-row conjunction to the linear plug-in.
+func (e *Engine) checkRows(rows []lp.Constraint) LinearVerdict {
+	e.st.LinearChecks++
+	ints := map[string]bool{}
+	for _, r := range rows {
+		for v := range r.Coeffs {
+			if e.intVars[v] {
+				ints[v] = true
+			}
+		}
+	}
+	return e.cfg.Linear.Check(rows, e.lower, e.upper, ints)
+}
+
+// verifyAsserted checks every asserted atom at env with the engine's
+// acceptance tolerances.
+func verifyAsserted(asserted []assertedAtom, env expr.Env) bool {
+	for _, aa := range asserted {
+		ok, err := holdsForCheck(aa.atom, env)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// violatedNE returns the disequalities that fail at x.
+func violatedNE(neqs []assertedAtom, x map[string]float64) []assertedAtom {
+	var out []assertedAtom
+	for _, aa := range neqs {
+		la, _ := expr.LinearizeAtom(aa.atom)
+		lhs := 0.0
+		for v, c := range la.Form.Coeffs {
+			lhs += c * x[v]
+		}
+		if math.Abs(lhs-la.Bound) <= 1e-9 {
+			out = append(out, aa)
+		}
+	}
+	return out
+}
+
+// minimizeNonlinearConflict shrinks the refuted atom set using the cheap
+// interval-propagation refutation as the oracle (deletion filter). When
+// the full set is not propagation-refutable (the verdict came from a
+// richer argument), the full literal set is returned.
+func (e *Engine) minimizeNonlinearConflict(atoms []expr.Atom, lits []int) []int {
+	refuted := func(sub []expr.Atom) bool {
+		p := &nlp.Problem{Atoms: sub, Box: e.p.Bounds}
+		r := nlp.Solve(p, nlp.Options{Starts: 1, MaxIters: 1})
+		return r.Status == nlp.Infeasible
+	}
+	if !refuted(atoms) {
+		return lits
+	}
+	keepAtoms := append([]expr.Atom(nil), atoms...)
+	keepLits := append([]int(nil), lits...)
+	for i := 0; i < len(keepAtoms); {
+		trial := make([]expr.Atom, 0, len(keepAtoms)-1)
+		trial = append(trial, keepAtoms[:i]...)
+		trial = append(trial, keepAtoms[i+1:]...)
+		if refuted(trial) {
+			keepAtoms = trial
+			keepLits = append(keepLits[:i], keepLits[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return keepLits
+}
+
+// linearRow converts a normalised linear atom into an lp row, relaxing
+// strict inequalities: by a unit step when the row is integral over
+// integer-marked variables (regardless of the atom's declared domain — a
+// Real-domain atom over an elsewhere-integer variable still only admits
+// integer solutions), by lp.Epsilon otherwise.
+func linearRow(la expr.LinearAtom, dom expr.Domain, intVars map[string]bool) lp.Constraint {
+	_ = dom
+	row := lp.Constraint{Coeffs: la.Form.Coeffs, RHS: la.Bound}
+	delta := lp.Epsilon
+	if integralRow(la, intVars) {
+		delta = 1
+	}
+	switch la.Op {
+	case expr.CmpLT:
+		row.Rel, row.RHS = lp.LE, la.Bound-delta
+	case expr.CmpLE:
+		row.Rel = lp.LE
+	case expr.CmpGT:
+		row.Rel, row.RHS = lp.GE, la.Bound+delta
+	case expr.CmpGE:
+		row.Rel = lp.GE
+	case expr.CmpEQ:
+		row.Rel = lp.EQ
+	default:
+		// CmpNE never reaches here (handled by case splitting).
+		row.Rel = lp.EQ
+	}
+	return row
+}
+
+// integralRow reports whether every coefficient and the bound are integers
+// and every variable is integer-constrained — the condition under which
+// "< c" tightens to "≤ c−1".
+func integralRow(la expr.LinearAtom, intVars map[string]bool) bool {
+	if la.Bound != math.Trunc(la.Bound) {
+		return false
+	}
+	for v, c := range la.Form.Coeffs {
+		if c != math.Trunc(c) || !intVars[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// tagsToLits maps IIS row indices back to literals via row tags.
+func tagsToLits(rows []lp.Constraint, iis []int) []int {
+	if iis == nil {
+		return nil
+	}
+	out := make([]int, 0, len(iis))
+	for _, i := range iis {
+		if i >= 0 && i < len(rows) {
+			out = append(out, rows[i].Tag)
+		}
+	}
+	return out
+}
+
+func allLits(asserted []assertedAtom) []int {
+	out := make([]int, len(asserted))
+	for i, aa := range asserted {
+		out[i] = aa.lit
+	}
+	return out
+}
+
+// negate builds the blocking clause ¬(l₁ ∧ … ∧ lₙ).
+func negate(lits []int) []int {
+	out := make([]int, len(lits))
+	for i, l := range lits {
+		out[i] = -l
+	}
+	return out
+}
+
+// atomOfLit returns the atom asserted by the literal under the problem's
+// bindings (negated atom for negative literals).
+func atomOfLit(p *Problem, lit int) expr.Atom {
+	if lit > 0 {
+		return p.Bindings[lit-1]
+	}
+	return p.Bindings[-lit-1].Negate()
+}
+
+// envFromLP converts an LP witness map into an expression environment.
+func envFromLP(x map[string]float64) expr.Env {
+	if x == nil {
+		return nil
+	}
+	env := make(expr.Env, len(x))
+	for k, v := range x {
+		env[k] = v
+	}
+	return env
+}
+
+// defaultEnv assembles a complete arithmetic environment: LP values where
+// available, bound midpoints otherwise, zero for unconstrained variables.
+func (e *Engine) defaultEnv(x map[string]float64) expr.Env {
+	env := expr.Env{}
+	for _, v := range e.p.ArithVars() {
+		if x != nil {
+			if val, ok := x[v]; ok {
+				env[v] = val
+				continue
+			}
+		}
+		if iv, ok := e.p.Bounds[v]; ok && !iv.IsEmpty() {
+			env[v] = iv.Mid()
+			if e.intVars[v] {
+				env[v] = math.Round(env[v])
+				env[v] = iv.Clamp(env[v])
+			}
+			continue
+		}
+		env[v] = 0
+	}
+	return env
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"testing"
+
+	"absolver/internal/expr"
+)
+
+func atomT(t *testing.T, src string, dom expr.Domain) expr.Atom {
+	t.Helper()
+	a, err := expr.ParseAtom(src, dom)
+	if err != nil {
+		t.Fatalf("ParseAtom(%q): %v", src, err)
+	}
+	return a
+}
+
+func solveP(t *testing.T, p *Problem, cfg Config) Result {
+	t.Helper()
+	res, err := NewEngine(p, cfg).Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func requireSat(t *testing.T, p *Problem, cfg Config) *Model {
+	t.Helper()
+	res := solveP(t, p, cfg)
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v, want sat", res.Status)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatalf("model check: %v", err)
+	}
+	return res.Model
+}
+
+func TestPureBooleanSat(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1, 2)
+	p.AddClause(-1, 2)
+	m := requireSat(t, p, Config{})
+	if !m.Bool[1] {
+		t.Fatal("var 2 must be true")
+	}
+}
+
+func TestPureBooleanUnsat(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(-1)
+	res := solveP(t, p, Config{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+// TestPaperFig2 solves the exact problem of Fig. 2:
+//
+//	p cnf 4 3
+//	1 0 / -2 3 0 / 4 0
+//	c def int 1 i >= 0 ; c def int 1 j >= 0  (paper binds two atoms to var 1
+//	via conjunction; we model them as var 1 = i≥0 ∧ j≥0 through the clause
+//	structure: here we bind separate vars and add unit clauses, preserving
+//	the same AB problem)
+func TestPaperFig2(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(-2, 3)
+	p.AddClause(4)
+	p.AddClause(5) // companion of var 1's second def (j >= 0)
+	p.Bind(0, atomT(t, "i >= 0", expr.Int))
+	p.Bind(4, atomT(t, "j >= 0", expr.Int))
+	p.Bind(1, atomT(t, "2*i + j < 10", expr.Int))
+	p.Bind(2, atomT(t, "i + j < 5", expr.Int))
+	p.Bind(3, atomT(t, "a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1", expr.Real))
+	p.SetBounds("a", -10, 10)
+	p.SetBounds("x", -10, 10)
+	p.SetBounds("y", -10, 3.9)
+	p.SetBounds("i", -100, 100)
+	p.SetBounds("j", -100, 100)
+	m := requireSat(t, p, Config{})
+	if m.Real["i"] < -1e-9 || m.Real["j"] < -1e-9 {
+		t.Fatalf("i,j must be nonnegative: %v", m.Real)
+	}
+}
+
+func TestLinearConflictLoop(t *testing.T) {
+	// Var 1 ⇔ x ≥ 5, var 2 ⇔ x ≤ 4; clause structure forces both true →
+	// theory conflict → UNSAT after refinement.
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	p.Bind(0, atomT(t, "x >= 5", expr.Real))
+	p.Bind(1, atomT(t, "x <= 4", expr.Real))
+	// Grounding would discharge this pair at the Boolean level; disable it
+	// to exercise the SAT↔theory conflict loop itself.
+	res := solveP(t, p, Config{NoGroundLemmas: true})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Stats.ConflictClauses == 0 {
+		t.Fatal("expected at least one conflict clause")
+	}
+}
+
+func TestGroundLemmasShortCircuit(t *testing.T) {
+	// With grounding on, the same conflict dies inside the SAT solver:
+	// no theory check is ever needed.
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	p.Bind(0, atomT(t, "x >= 5", expr.Real))
+	p.Bind(1, atomT(t, "x <= 4", expr.Real))
+	res := solveP(t, p, Config{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Stats.LinearChecks != 0 {
+		t.Fatalf("grounding should avoid theory checks, did %d", res.Stats.LinearChecks)
+	}
+}
+
+func TestGroundLemmasBoundsUnit(t *testing.T) {
+	// x ≥ 100 with x ∈ [0,1] grounds to a unit clause ¬v → instant UNSAT.
+	p := NewProblem()
+	p.AddClause(1)
+	p.Bind(0, atomT(t, "x >= 100", expr.Real))
+	p.SetBounds("x", 0, 1)
+	res := solveP(t, p, Config{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Stats.LinearChecks != 0 {
+		t.Fatalf("bounds lemma should avoid theory checks, did %d", res.Stats.LinearChecks)
+	}
+}
+
+func TestLinearChoiceViaBoolean(t *testing.T) {
+	// (x ≥ 5 ∨ x ≤ 4): SAT either way; the solver must pick a consistent
+	// combination.
+	p := NewProblem()
+	p.AddClause(1, 2)
+	p.Bind(0, atomT(t, "x >= 5", expr.Real))
+	p.Bind(1, atomT(t, "x <= 4", expr.Real))
+	requireSat(t, p, Config{})
+}
+
+func TestNegatedAtomSemantics(t *testing.T) {
+	// Clause (-1): atom must be falsified, i.e. x < 5 must hold.
+	p := NewProblem()
+	p.AddClause(-1)
+	p.Bind(0, atomT(t, "x >= 5", expr.Real))
+	m := requireSat(t, p, Config{})
+	if m.Real["x"] >= 5 {
+		t.Fatalf("x = %g should be < 5", m.Real["x"])
+	}
+	if m.Bool[0] {
+		t.Fatal("var 1 must be false")
+	}
+}
+
+func TestNegatedEqualitySplit(t *testing.T) {
+	// ¬(x = 3) with 2.5 ≤ x ≤ 3.5 — the split "either < or >" must find a
+	// witness off the point.
+	p := NewProblem()
+	p.AddClause(-1)
+	p.AddClause(2)
+	p.AddClause(3)
+	p.Bind(0, atomT(t, "x = 3", expr.Real))
+	p.Bind(1, atomT(t, "x >= 2.5", expr.Real))
+	p.Bind(2, atomT(t, "x <= 3.5", expr.Real))
+	m := requireSat(t, p, Config{})
+	if m.Real["x"] == 3 {
+		t.Fatalf("x = 3 violates the disequality")
+	}
+}
+
+func TestNegatedEqualityUnsat(t *testing.T) {
+	// x ≥ 3 ∧ x ≤ 3 ∧ x ≠ 3 is unsatisfiable.
+	p := NewProblem()
+	p.AddClause(-1)
+	p.AddClause(2)
+	p.AddClause(3)
+	p.Bind(0, atomT(t, "x = 3", expr.Real))
+	p.Bind(1, atomT(t, "x >= 3", expr.Real))
+	p.Bind(2, atomT(t, "x <= 3", expr.Real))
+	res := solveP(t, p, Config{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestIntegerStrictTightening(t *testing.T) {
+	// Integers: 2 < i < 4 forces i = 3.
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	p.Bind(0, atomT(t, "i > 2", expr.Int))
+	p.Bind(1, atomT(t, "i < 4", expr.Int))
+	p.SetBounds("i", -100, 100)
+	m := requireSat(t, p, Config{})
+	if m.Real["i"] != 3 {
+		t.Fatalf("i = %g, want 3", m.Real["i"])
+	}
+}
+
+func TestIntegerInfeasibleGap(t *testing.T) {
+	// Integers: 2 < i < 3 has no integer solution.
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	p.Bind(0, atomT(t, "i > 2", expr.Int))
+	p.Bind(1, atomT(t, "i < 3", expr.Int))
+	p.SetBounds("i", -100, 100)
+	res := solveP(t, p, Config{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestNonlinearSat(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1)
+	p.Bind(0, atomT(t, "x * x = 4", expr.Real))
+	p.SetBounds("x", 0, 10)
+	m := requireSat(t, p, Config{})
+	if d := m.Real["x"] - 2; d > 1e-4 || d < -1e-4 {
+		t.Fatalf("x = %g, want 2", m.Real["x"])
+	}
+}
+
+func TestNonlinearUnsat(t *testing.T) {
+	// The paper's nonlinear_unsat shape: x² < 0 forced true.
+	p := NewProblem()
+	p.AddClause(1)
+	p.Bind(0, atomT(t, "x * x < 0", expr.Real))
+	p.SetBounds("x", -1000, 1000)
+	res := solveP(t, p, Config{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestNonlinearConflictDrivesBoolean(t *testing.T) {
+	// (x² < 0 ∨ x ≥ 1): the nonlinear refutation must push the Boolean
+	// search to the second disjunct.
+	p := NewProblem()
+	p.AddClause(1, 2)
+	p.Bind(0, atomT(t, "x * x < 0", expr.Real))
+	p.Bind(1, atomT(t, "x >= 1", expr.Real))
+	p.SetBounds("x", -1000, 1000)
+	m := requireSat(t, p, Config{})
+	if !m.Bool[1] {
+		t.Fatal("second disjunct must be chosen")
+	}
+}
+
+func TestMixedLinearNonlinear(t *testing.T) {
+	// x + y = 7 (linear) ∧ x·y = 12 (nonlinear) → {3,4}.
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	p.Bind(0, atomT(t, "x + y = 7", expr.Real))
+	p.Bind(1, atomT(t, "x * y = 12", expr.Real))
+	p.SetBounds("x", 0, 10)
+	p.SetBounds("y", 0, 10)
+	m := requireSat(t, p, Config{})
+	prod := m.Real["x"] * m.Real["y"]
+	if prod < 12-1e-3 || prod > 12+1e-3 {
+		t.Fatalf("x·y = %g, want 12", prod)
+	}
+}
+
+func TestDivisionOperator(t *testing.T) {
+	// The paper's div_operator benchmark shape.
+	p := NewProblem()
+	p.AddClause(1)
+	p.Bind(0, atomT(t, "1 / x >= 2", expr.Real))
+	p.SetBounds("x", 0.001, 100)
+	m := requireSat(t, p, Config{})
+	if m.Real["x"] > 0.5+1e-6 {
+		t.Fatalf("x = %g, want ≤ 0.5", m.Real["x"])
+	}
+}
+
+func TestBoundsAreBackground(t *testing.T) {
+	// Bounds alone make the single atom unsatisfiable; the engine must
+	// conclude UNSAT (not loop).
+	p := NewProblem()
+	p.AddClause(1)
+	p.Bind(0, atomT(t, "x >= 100", expr.Real))
+	p.SetBounds("x", 0, 1)
+	res := solveP(t, p, Config{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestIISRefinementFewerIterations(t *testing.T) {
+	// Chain of independent choices with one infeasible pair: IIS blocks
+	// the pair directly; NoIIS must enumerate combinations.
+	build := func() *Problem {
+		p := NewProblem()
+		// Free choice vars 3..8 (both polarities fine), conflicting pair 1,2.
+		p.AddClause(1)
+		p.AddClause(2)
+		for v := 3; v <= 8; v++ {
+			p.AddClause(v, -v)
+		}
+		p.Bind(0, atomT(t, "x >= 5", expr.Real))
+		p.Bind(1, atomT(t, "x <= 4", expr.Real))
+		for v := 3; v <= 8; v++ {
+			p.Bind(v-1, atomT(t, "y"+string(rune('0'+v))+" >= 0", expr.Real))
+		}
+		return p
+	}
+	resIIS := solveP(t, build(), Config{})
+	resNo := solveP(t, build(), Config{NoIIS: true})
+	if resIIS.Status != StatusUnsat || resNo.Status != StatusUnsat {
+		t.Fatalf("both must be unsat: %v %v", resIIS.Status, resNo.Status)
+	}
+	if resIIS.Stats.Iterations > resNo.Stats.Iterations {
+		t.Fatalf("IIS iterations %d > NoIIS %d", resIIS.Stats.Iterations, resNo.Stats.Iterations)
+	}
+}
+
+func TestRestartModeSameVerdicts(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		p.AddClause(1, 2)
+		p.AddClause(-1, 3)
+		p.Bind(0, atomT(t, "x >= 5", expr.Real))
+		p.Bind(1, atomT(t, "x <= 4", expr.Real))
+		p.Bind(2, atomT(t, "x <= 100", expr.Real))
+		return p
+	}
+	a := solveP(t, build(), Config{})
+	b := solveP(t, build(), Config{RestartBoolean: true})
+	if a.Status != b.Status {
+		t.Fatalf("incremental %v vs restart %v", a.Status, b.Status)
+	}
+	if a.Status != StatusSat {
+		t.Fatalf("should be sat, got %v", a.Status)
+	}
+}
+
+func TestAllModelsPureBoolean(t *testing.T) {
+	// (1 ∨ 2): three models over {1,2}.
+	p := NewProblem()
+	p.AddClause(1, 2)
+	e := NewEngine(p, Config{})
+	n, status, err := e.AllModels(nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("models = %d, want 3", n)
+	}
+	if status != StatusUnsat {
+		t.Fatalf("final status = %v", status)
+	}
+}
+
+func TestAllModelsTheoryFiltered(t *testing.T) {
+	// Vars 1 ⇔ x ≥ 5, 2 ⇔ x ≤ 4. Boolean models: all 4 minus those blocked
+	// by theory: (1∧2) inconsistent → 3 AB-models.
+	p := NewProblem()
+	p.AddClause(1, 2, -1) // tautology to register vars
+	p.Bind(0, atomT(t, "x >= 5", expr.Real))
+	p.Bind(1, atomT(t, "x <= 4", expr.Real))
+	p.NumVars = 2
+	e := NewEngine(p, Config{})
+	var models []Model
+	n, _, err := e.AllModels(nil, 0, func(m Model) error {
+		models = append(models, m)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("models = %d, want 3 (TT blocked by theory)", n)
+	}
+	for _, m := range models {
+		if m.Bool[0] && m.Bool[1] {
+			t.Fatal("inconsistent model reported")
+		}
+		if err := p.Check(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllModelsProjection(t *testing.T) {
+	// Projecting on var 1 only: two models regardless of var 2.
+	p := NewProblem()
+	p.AddClause(1, 2, -2)
+	p.NumVars = 2
+	e := NewEngine(p, Config{})
+	n, _, err := e.AllModels([]int{1}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("projected models = %d, want 2", n)
+	}
+}
+
+func TestAllModelsMax(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1, 2, 3, -1)
+	p.NumVars = 3
+	e := NewEngine(p, Config{})
+	n, status, err := e.AllModels(nil, 2, nil)
+	if err != nil || n != 2 || status != StatusSat {
+		t.Fatalf("n=%d status=%v err=%v", n, status, err)
+	}
+}
+
+func TestCountsTable1Shape(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	p.Bind(0, atomT(t, "x >= 0", expr.Real))
+	p.Bind(1, atomT(t, "x * x <= 9", expr.Real))
+	cl, bv, lin, nl := p.Counts()
+	if cl != 2 || bv != 2 || lin != 1 || nl != 1 {
+		t.Fatalf("counts = %d %d %d %d", cl, bv, lin, nl)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1)
+	p.Clauses = append(p.Clauses, []int{}) // empty clause
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty clause must fail validation")
+	}
+	p2 := NewProblem()
+	p2.Clauses = [][]int{{3}}
+	p2.NumVars = 1
+	if err := p2.Validate(); err == nil {
+		t.Fatal("out-of-range literal must fail validation")
+	}
+}
+
+func TestModelCheckRejectsBadModel(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1)
+	p.Bind(0, atomT(t, "x >= 5", expr.Real))
+	bad := Model{Bool: []bool{true}, Real: expr.Env{"x": 0}}
+	if err := p.Check(bad); err == nil {
+		t.Fatal("inconsistent model accepted")
+	}
+	good := Model{Bool: []bool{true}, Real: expr.Env{"x": 6}}
+	if err := p.Check(good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	p.Bind(0, atomT(t, "x >= 5", expr.Real))
+	p.Bind(1, atomT(t, "x <= 4", expr.Real))
+	res := solveP(t, p, Config{NoGroundLemmas: true})
+	if res.Stats.Iterations == 0 || res.Stats.LinearChecks == 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+}
+
+func TestManyDisjointChoices(t *testing.T) {
+	// 10 independent (xi ≥ i ∨ xi ≤ i−1) choices, all satisfiable.
+	p := NewProblem()
+	for i := 1; i <= 10; i++ {
+		p.AddClause(2*i-1, 2*i)
+		lo := atomT(t, "x"+string(rune('a'+i-1))+" >= 1", expr.Real)
+		hi := atomT(t, "x"+string(rune('a'+i-1))+" <= 0", expr.Real)
+		p.Bind(2*i-2, lo)
+		p.Bind(2*i-1, hi)
+	}
+	requireSat(t, p, Config{})
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"absolver/internal/expr"
+)
+
+func TestExternalSolverBasics(t *testing.T) {
+	e := NewExternalCDCLSolver()
+	if err := e.Reset(3, [][]int{{1, 2}, {-1, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	model, ok, err := e.Solve()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(model) < 3 {
+		t.Fatalf("model len %d", len(model))
+	}
+	if !(model[0] || model[1]) || (model[0] && !model[2]) {
+		t.Fatalf("model %v violates clauses", model)
+	}
+	if e.Resets != 1 || e.BytesExchanged == 0 {
+		t.Fatalf("accounting: resets=%d bytes=%d", e.Resets, e.BytesExchanged)
+	}
+	// Blocking makes it unsat eventually.
+	if err := e.AddBlocking([]int{-1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddBlocking([]int{-2}); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = e.Solve()
+	if err != nil || ok {
+		t.Fatalf("expected unsat, ok=%v err=%v", ok, err)
+	}
+}
+
+func TestExternalSolverAgreesWithInProcess(t *testing.T) {
+	// The external emulation must produce identical verdicts through the
+	// engine in restart mode.
+	build := func() *Problem {
+		p := NewProblem()
+		p.AddClause(1, 2)
+		p.AddClause(-1, 3)
+		a1, _ := expr.ParseAtom("x >= 5", expr.Real)
+		a2, _ := expr.ParseAtom("x <= 4", expr.Real)
+		a3, _ := expr.ParseAtom("x <= 100", expr.Real)
+		p.Bind(0, a1)
+		p.Bind(1, a2)
+		p.Bind(2, a3)
+		return p
+	}
+	inproc, err := NewEngine(build(), Config{RestartBoolean: true}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := NewExternalCDCLSolver()
+	external, err := NewEngine(build(), Config{RestartBoolean: true, Bool: ext}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inproc.Status != external.Status {
+		t.Fatalf("in-process %v vs external %v", inproc.Status, external.Status)
+	}
+	if ext.Resets == 0 {
+		t.Fatal("external solver never reset")
+	}
+}
+
+func TestParsePlainDIMACSErrors(t *testing.T) {
+	if _, _, err := parsePlainDIMACS("p cnf x 1\n"); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, _, err := parsePlainDIMACS("p cnf 1 1\n1 z 0\n"); err == nil {
+		t.Fatal("bad literal accepted")
+	}
+	cl, nv, err := parsePlainDIMACS("p cnf 2 1\n1 -2 0\n")
+	if err != nil || nv != 2 || len(cl) != 1 || len(cl[0]) != 2 {
+		t.Fatalf("cl=%v nv=%d err=%v", cl, nv, err)
+	}
+}

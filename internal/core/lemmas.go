@@ -1,0 +1,174 @@
+package core
+
+import (
+	"absolver/internal/expr"
+)
+
+// GroundPairLemmas derives propositional consequences between bindings
+// whose atoms range over the same single variable: exclusions (x ≥ 5 and
+// x ≤ 4 cannot both hold) and implications (x > 5 entails x ≥ 5). The
+// returned clauses are theory-valid, so adding them to the skeleton prunes
+// Boolean models that every theory check would reject anyway. Variable
+// bounds participate: an atom unsatisfiable within the variable's bounds
+// yields a unit clause.
+func GroundPairLemmas(p *Problem) [][]int {
+	type uni struct {
+		v     int // 0-based Boolean variable
+		op    expr.CmpOp
+		bound float64
+	}
+	byVar := map[string][]uni{}
+	var lemmas [][]int
+	for v, a := range p.Bindings {
+		la, ok := expr.LinearizeAtom(a)
+		if !ok || len(la.Form.Coeffs) != 1 {
+			continue
+		}
+		for name, c := range la.Form.Coeffs {
+			if c == 0 {
+				continue
+			}
+			op := la.Op
+			if c < 0 {
+				op = flipCmp(op)
+			}
+			bound := la.Bound / c
+			byVar[name] = append(byVar[name], uni{v: v, op: op, bound: bound})
+			// Bounds-based unit lemmas.
+			if iv, okB := p.Bounds[name]; okB {
+				a1 := expr.NewAtom(expr.V(name), op, expr.C(bound), a.Domain)
+				switch a1.IntervalHolds(expr.Box{name: iv}) {
+				case expr.True:
+					lemmas = append(lemmas, []int{v + 1})
+				case expr.False:
+					lemmas = append(lemmas, []int{-(v + 1)})
+				}
+			}
+		}
+	}
+	for _, atoms := range byVar {
+		for i := 0; i < len(atoms); i++ {
+			for j := i + 1; j < len(atoms); j++ {
+				a, b := atoms[i], atoms[j]
+				switch PairRelation(a.op, a.bound, b.op, b.bound) {
+				case RelExclusive:
+					lemmas = append(lemmas, []int{-(a.v + 1), -(b.v + 1)})
+				case RelAImpliesB:
+					lemmas = append(lemmas, []int{-(a.v + 1), b.v + 1})
+				case RelBImpliesA:
+					lemmas = append(lemmas, []int{-(b.v + 1), a.v + 1})
+				}
+			}
+		}
+	}
+	return lemmas
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.CmpLT:
+		return expr.CmpGT
+	case expr.CmpGT:
+		return expr.CmpLT
+	case expr.CmpLE:
+		return expr.CmpGE
+	case expr.CmpGE:
+		return expr.CmpLE
+	}
+	return op
+}
+
+// PairRel classifies the strongest sound lemma between two unit atoms.
+type PairRel int
+
+// Lemma shapes between the point sets {x : x opA a} and {x : x opB b}.
+const (
+	RelNone PairRel = iota
+	RelExclusive
+	RelAImpliesB
+	RelBImpliesA
+)
+
+// holdsPoint reports x op b.
+func holdsPoint(x float64, op expr.CmpOp, b float64) bool {
+	switch op {
+	case expr.CmpLT:
+		return x < b
+	case expr.CmpGT:
+		return x > b
+	case expr.CmpLE:
+		return x <= b
+	case expr.CmpGE:
+		return x >= b
+	case expr.CmpEQ:
+		return x == b
+	case expr.CmpNE:
+		return x != b
+	}
+	return false
+}
+
+func isUp(op expr.CmpOp) bool   { return op == expr.CmpGE || op == expr.CmpGT }
+func isDown(op expr.CmpOp) bool { return op == expr.CmpLE || op == expr.CmpLT }
+
+// SubsetAtom reports {x : x opA a} ⊆ {x : x opB b}.
+func SubsetAtom(opA expr.CmpOp, a float64, opB expr.CmpOp, b float64) bool {
+	switch {
+	case opA == expr.CmpEQ:
+		return holdsPoint(a, opB, b)
+	case opB == expr.CmpEQ:
+		return false
+	case opA == expr.CmpNE:
+		return opB == expr.CmpNE && a == b
+	case opB == expr.CmpNE:
+		return !holdsPoint(b, opA, a)
+	case isUp(opA) && isUp(opB):
+		if a > b {
+			return true
+		}
+		return a == b && !(opB == expr.CmpGT && opA == expr.CmpGE)
+	case isDown(opA) && isDown(opB):
+		if a < b {
+			return true
+		}
+		return a == b && !(opB == expr.CmpLT && opA == expr.CmpLE)
+	}
+	return false
+}
+
+// DisjointAtom reports {x : x opA a} ∩ {x : x opB b} = ∅.
+func DisjointAtom(opA expr.CmpOp, a float64, opB expr.CmpOp, b float64) bool {
+	switch {
+	case opA == expr.CmpEQ:
+		return !holdsPoint(a, opB, b)
+	case opB == expr.CmpEQ:
+		return !holdsPoint(b, opA, a)
+	case opA == expr.CmpNE || opB == expr.CmpNE:
+		return false
+	case isUp(opA) && isDown(opB):
+		if a > b {
+			return true
+		}
+		return a == b && (opA == expr.CmpGT || opB == expr.CmpLT)
+	case isDown(opA) && isUp(opB):
+		if b > a {
+			return true
+		}
+		return a == b && (opB == expr.CmpGT || opA == expr.CmpLT)
+	}
+	return false
+}
+
+// PairRelation derives the strongest sound lemma between two unit atoms
+// x opA a and x opB b.
+func PairRelation(opA expr.CmpOp, a float64, opB expr.CmpOp, b float64) PairRel {
+	switch {
+	case DisjointAtom(opA, a, opB, b):
+		return RelExclusive
+	case SubsetAtom(opA, a, opB, b):
+		return RelAImpliesB
+	case SubsetAtom(opB, b, opA, a):
+		return RelBImpliesA
+	}
+	return RelNone
+}

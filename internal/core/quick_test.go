@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"absolver/internal/expr"
+)
+
+// refAtom is the reference representation of a single-variable atom for
+// the brute-force theory oracle.
+type refAtom struct {
+	v     string
+	op    expr.CmpOp
+	bound float64
+	isInt bool
+}
+
+// refConsistent decides satisfiability of a conjunction of single-variable
+// atoms exactly: per variable, intersect the rays/points and collect the
+// excluded points, then test emptiness (over ℤ for integer variables).
+func refConsistent(atoms []refAtom) bool {
+	type dom struct {
+		lo, hi          float64
+		loStrict, hiStr bool
+		excluded        map[float64]bool
+		isInt           bool
+	}
+	doms := map[string]*dom{}
+	get := func(v string) *dom {
+		if d, ok := doms[v]; ok {
+			return d
+		}
+		d := &dom{lo: math.Inf(-1), hi: math.Inf(1), excluded: map[float64]bool{}}
+		doms[v] = d
+		return d
+	}
+	for _, a := range atoms {
+		d := get(a.v)
+		if a.isInt {
+			d.isInt = true
+		}
+		switch a.op {
+		case expr.CmpLT:
+			if a.bound < d.hi || (a.bound == d.hi && !d.hiStr) {
+				d.hi, d.hiStr = a.bound, true
+			}
+		case expr.CmpLE:
+			if a.bound < d.hi {
+				d.hi, d.hiStr = a.bound, false
+			}
+		case expr.CmpGT:
+			if a.bound > d.lo || (a.bound == d.lo && !d.loStrict) {
+				d.lo, d.loStrict = a.bound, true
+			}
+		case expr.CmpGE:
+			if a.bound > d.lo {
+				d.lo, d.loStrict = a.bound, false
+			}
+		case expr.CmpEQ:
+			// Intersect with the point.
+			if a.bound > d.lo || (a.bound == d.lo && !d.loStrict) {
+				d.lo, d.loStrict = a.bound, false
+			}
+			if a.bound < d.hi || (a.bound == d.hi && !d.hiStr) {
+				d.hi, d.hiStr = a.bound, false
+			}
+		case expr.CmpNE:
+			d.excluded[a.bound] = true
+		}
+	}
+	for _, d := range doms {
+		if d.lo > d.hi {
+			return false
+		}
+		if d.isInt {
+			lo := math.Ceil(d.lo)
+			if d.loStrict && lo == d.lo {
+				lo++
+			}
+			hi := math.Floor(d.hi)
+			if d.hiStr && hi == d.hi {
+				hi--
+			}
+			found := false
+			for x := lo; x <= hi && x <= lo+64; x++ {
+				if !d.excluded[x] {
+					found = true
+					break
+				}
+			}
+			if !found && hi-lo > 64 {
+				found = true // more candidates than exclusions
+			}
+			if !found {
+				return false
+			}
+			continue
+		}
+		if d.lo == d.hi {
+			if d.loStrict || d.hiStr || d.excluded[d.lo] {
+				return false
+			}
+			continue
+		}
+		// A non-degenerate real interval minus finitely many points is
+		// never empty.
+	}
+	return true
+}
+
+// TestQuickEngineAgainstBruteForce cross-checks the full engine against
+// Boolean enumeration plus the exact single-variable theory oracle.
+func TestQuickEngineAgainstBruteForce(t *testing.T) {
+	ops := []expr.CmpOp{expr.CmpLT, expr.CmpGT, expr.CmpLE, expr.CmpGE, expr.CmpEQ, expr.CmpNE}
+	arithVars := []string{"u", "v", "w"}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nBool := 2 + rng.Intn(5)
+		p := NewProblem()
+		p.NumVars = nBool
+		refs := make([]refAtom, nBool)
+		for b := 0; b < nBool; b++ {
+			ra := refAtom{
+				v:     arithVars[rng.Intn(len(arithVars))],
+				op:    ops[rng.Intn(len(ops))],
+				bound: float64(rng.Intn(9) - 4),
+				isInt: rng.Intn(3) == 0,
+			}
+			refs[b] = ra
+			dom := expr.Real
+			if ra.isInt {
+				dom = expr.Int
+			}
+			a, err := expr.ParseAtom(fmt.Sprintf("%s %s %g", ra.v, ra.op, ra.bound), dom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Bind(b, a)
+		}
+		// Int-ness is per arithmetic variable in the engine (any Int atom
+		// marks the variable); mirror that in the reference.
+		intVar := map[string]bool{}
+		for _, ra := range refs {
+			if ra.isInt {
+				intVar[ra.v] = true
+			}
+		}
+		for i := range refs {
+			refs[i].isInt = intVar[refs[i].v]
+		}
+		nClauses := 1 + rng.Intn(6)
+		clauses := make([][]int, nClauses)
+		for i := range clauses {
+			w := 1 + rng.Intn(3)
+			cl := make([]int, w)
+			for j := range cl {
+				v := 1 + rng.Intn(nBool)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			clauses[i] = cl
+		}
+		for _, cl := range clauses {
+			p.AddClause(cl...)
+		}
+
+		// Reference: enumerate Boolean assignments.
+		want := false
+		for m := 0; m < 1<<uint(nBool); m++ {
+			ok := true
+			for _, cl := range clauses {
+				cSat := false
+				for _, n := range cl {
+					v := n
+					if v < 0 {
+						v = -v
+					}
+					if (m>>uint(v-1)&1 == 1) == (n > 0) {
+						cSat = true
+						break
+					}
+				}
+				if !cSat {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			var asserted []refAtom
+			for b := 0; b < nBool; b++ {
+				ra := refs[b]
+				if m>>uint(b)&1 == 0 {
+					ra.op = ra.op.Negate()
+				}
+				asserted = append(asserted, ra)
+			}
+			if refConsistent(asserted) {
+				want = true
+				break
+			}
+		}
+
+		res, err := NewEngine(p, Config{}).Solve()
+		if err != nil {
+			t.Logf("seed %d: engine error %v", seed, err)
+			return false
+		}
+		got := res.Status
+		if want && got != StatusSat {
+			t.Logf("seed %d: want sat, got %v", seed, got)
+			return false
+		}
+		if !want && got == StatusSat {
+			t.Logf("seed %d: want unsat, got sat with %v", seed, res.Model.Real)
+			return false
+		}
+		// Unknown instead of unsat is permitted only when lossy blocks
+		// occurred; for this linear fragment there should be none.
+		if !want && got == StatusUnknown {
+			t.Logf("seed %d: unknown on linear fragment", seed)
+			return false
+		}
+		if got == StatusSat {
+			if err := p.Check(*res.Model); err != nil {
+				t.Logf("seed %d: model check: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"absolver/internal/expr"
+	"absolver/internal/lp"
+	"absolver/internal/nlp"
+	"absolver/internal/sat"
+)
+
+// BoolSolver is the plug-in interface for propositional solvers — the role
+// zChaff and LSAT play in the paper. Reset loads a fresh instance; Solve
+// produces one model; AddBlocking refines the instance between Solve calls.
+// An implementation may be used either incrementally (one Reset, many
+// AddBlocking+Solve) or in restart mode (Reset before every Solve), which
+// is the engine's knob for reproducing the paper's "expense of ...
+// restarting the entire solving process externally".
+type BoolSolver interface {
+	Name() string
+	Reset(numVars int, clauses [][]int) error
+	Solve() (model []bool, satisfiable bool, err error)
+	AddBlocking(clause []int) error
+}
+
+// LinearSolver is the plug-in interface for linear solvers — COIN's role.
+// Check decides the conjunction of rows under bounds; on infeasibility it
+// reports the indices of an irreducible conflicting subset.
+type LinearSolver interface {
+	Name() string
+	Check(rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict
+}
+
+// LinearVerdict is a linear solver's answer.
+type LinearVerdict struct {
+	Status lp.Status
+	X      map[string]float64
+	// IIS indexes rows forming a smallest conflicting subset (only when
+	// Status == Infeasible; may be nil when the solver cannot minimise).
+	IIS []int
+}
+
+// NonlinearSolver is the plug-in interface for nonlinear solvers — IPOPT's
+// role, extended with refutation ability.
+type NonlinearSolver interface {
+	Name() string
+	Check(atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict
+}
+
+// NonlinearVerdict is a nonlinear solver's answer; Unknown is the paper's
+// "?" and triggers escalation in the engine.
+type NonlinearVerdict struct {
+	Status nlp.Status
+	X      expr.Env
+}
+
+// ---------------------------------------------------------------------------
+// Default Boolean solver: CDCL (zChaff stand-in).
+
+// CDCLSolver adapts the internal CDCL solver to the BoolSolver interface.
+type CDCLSolver struct {
+	s       *sat.Solver
+	clauses [][]int
+	nv      int
+	// Stats of the underlying solver accumulated across Resets.
+	Accum sat.Stats
+}
+
+// NewCDCLSolver returns the default Boolean solver (the zChaff stand-in).
+func NewCDCLSolver() *CDCLSolver { return &CDCLSolver{} }
+
+// Name implements BoolSolver.
+func (c *CDCLSolver) Name() string { return "cdcl" }
+
+// Reset implements BoolSolver.
+func (c *CDCLSolver) Reset(numVars int, clauses [][]int) error {
+	if c.s != nil {
+		c.accumulate()
+	}
+	c.s = sat.New()
+	c.s.EnsureVars(numVars)
+	c.nv = numVars
+	c.clauses = c.clauses[:0]
+	for _, cl := range clauses {
+		if err := c.AddBlocking(cl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *CDCLSolver) accumulate() {
+	st := c.s.Stats
+	c.Accum.Decisions += st.Decisions
+	c.Accum.Propagations += st.Propagations
+	c.Accum.Conflicts += st.Conflicts
+	c.Accum.Restarts += st.Restarts
+	c.Accum.Learnt += st.Learnt
+	c.Accum.SolveCalls += st.SolveCalls
+}
+
+// Solve implements BoolSolver.
+func (c *CDCLSolver) Solve() ([]bool, bool, error) {
+	if c.s == nil {
+		return nil, false, fmt.Errorf("core: Solve before Reset")
+	}
+	model, res, err := c.s.SolveModel()
+	if err != nil {
+		return nil, false, err
+	}
+	if res != sat.LTrue {
+		return nil, false, nil
+	}
+	if len(model) < c.nv {
+		grown := make([]bool, c.nv)
+		copy(grown, model)
+		model = grown
+	}
+	return model, true, nil
+}
+
+// AddBlocking implements BoolSolver.
+func (c *CDCLSolver) AddBlocking(clause []int) error {
+	lits := make([]sat.Lit, len(clause))
+	for i, n := range clause {
+		if n == 0 {
+			return fmt.Errorf("core: zero literal in clause")
+		}
+		lits[i] = sat.FromDIMACS(n)
+	}
+	c.s.AddClause(lits...)
+	c.clauses = append(c.clauses, clause)
+	return nil
+}
+
+// SetPolarity sets the preferred decision polarity of a 0-based variable
+// (neg = assign false first). The engine uses this to bias equality-bound
+// atoms towards assertion, avoiding avalanches of don't-care disequalities
+// in the theory checks.
+func (c *CDCLSolver) SetPolarity(v int, neg bool) {
+	if c.s != nil {
+		c.s.SetPolarity(v, neg)
+	}
+}
+
+// Stats returns accumulated SAT statistics including the live instance.
+func (c *CDCLSolver) Stats() sat.Stats {
+	st := c.Accum
+	if c.s != nil {
+		live := c.s.Stats
+		st.Decisions += live.Decisions
+		st.Propagations += live.Propagations
+		st.Conflicts += live.Conflicts
+		st.Restarts += live.Restarts
+		st.Learnt += live.Learnt
+		st.SolveCalls += live.SolveCalls
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Default linear solver: simplex + branch-and-bound (COIN stand-in).
+
+// SimplexSolver adapts package lp to the LinearSolver interface.
+type SimplexSolver struct {
+	// MaxNodes bounds branch-and-bound when integer variables are present.
+	MaxNodes int
+	// Pivots accumulates simplex pivots across calls (work measure).
+	Pivots int
+	Calls  int
+}
+
+// NewSimplexSolver returns the default linear solver (the COIN stand-in).
+func NewSimplexSolver() *SimplexSolver { return &SimplexSolver{} }
+
+// Name implements LinearSolver.
+func (s *SimplexSolver) Name() string { return "simplex" }
+
+// Check implements LinearSolver.
+func (s *SimplexSolver) Check(rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict {
+	s.Calls++
+	p := lp.NewProblem()
+	p.Constraints = rows
+	for v, lo := range lower {
+		p.Lower[v] = lo
+	}
+	for v, hi := range upper {
+		p.Upper[v] = hi
+	}
+	for v, b := range ints {
+		if b {
+			p.MarkInteger(v)
+		}
+	}
+	// Cheap refutation first: bound propagation proves most conjunction
+	// conflicts (equality chains) without a simplex run, and the
+	// propagation-only deletion filter minimises them without one either.
+	if iis := p.IISByPropagation(); iis != nil {
+		return LinearVerdict{Status: lp.Infeasible, IIS: iis}
+	}
+	var res lp.Result
+	if len(p.Integer) > 0 {
+		mr := p.SolveMIP(s.MaxNodes)
+		res = mr.Result
+	} else {
+		res = p.Solve()
+	}
+	s.Pivots += res.Pivots
+	v := LinearVerdict{Status: res.Status, X: res.X}
+	if res.Status == lp.Infeasible {
+		v.IIS = p.IIS()
+		if len(p.Integer) > 0 && v.IIS == nil {
+			// Integrality-driven infeasibility: the relaxation is feasible,
+			// so the deletion filter over the relaxation finds nothing.
+			// Fall back to the full row set as the conflict.
+			v.IIS = allIndices(len(rows))
+		}
+	}
+	return v
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Default nonlinear solver (IPOPT stand-in).
+
+// PenaltySolver adapts package nlp to the NonlinearSolver interface.
+type PenaltySolver struct {
+	Options nlp.Options
+	Calls   int
+	Evals   int
+}
+
+// NewPenaltySolver returns the default nonlinear solver (the IPOPT
+// stand-in).
+func NewPenaltySolver() *PenaltySolver { return &PenaltySolver{} }
+
+// Name implements NonlinearSolver.
+func (n *PenaltySolver) Name() string { return "penalty+hc4" }
+
+// Check implements NonlinearSolver.
+func (n *PenaltySolver) Check(atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict {
+	n.Calls++
+	p := &nlp.Problem{Atoms: atoms, Box: box}
+	opt := n.Options
+	res := nlp.Solve(p, opt)
+	n.Evals += res.Evals
+	if res.Status == nlp.Unknown && hint != nil {
+		// Second chance: descend from the linear solver's point.
+		res2 := nlp.Solve(p, withHintSeed(opt))
+		n.Evals += res2.Evals
+		if res2.Status != nlp.Unknown {
+			res = res2
+		}
+	}
+	return NonlinearVerdict{Status: res.Status, X: res.X}
+}
+
+func withHintSeed(o nlp.Options) nlp.Options {
+	o.Seed = 12345
+	if o.Starts == 0 {
+		o.Starts = 48
+	} else {
+		o.Starts *= 2
+	}
+	return o
+}
+
+// boundsMaps converts a Box into the lower/upper maps the linear interface
+// takes.
+func boundsMaps(box expr.Box) (lower, upper map[string]float64) {
+	lower = map[string]float64{}
+	upper = map[string]float64{}
+	for v, iv := range box {
+		if !math.IsInf(iv.Lo, -1) {
+			lower[v] = iv.Lo
+		}
+		if !math.IsInf(iv.Hi, 1) {
+			upper[v] = iv.Hi
+		}
+	}
+	return
+}

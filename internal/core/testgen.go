@@ -1,0 +1,52 @@
+package core
+
+// Test-case generation (Sec. 6 of the paper): "Since ABSOLVER, internally,
+// determines the solutions by computing all possible assignments, common
+// coverage metrics like path coverage can be obtained for free in this
+// setting." Each satisfying Boolean assignment of an AB problem fixes the
+// truth value of every arithmetic atom — i.e. selects one path through the
+// model's condition structure — and the theory witness provides concrete
+// input values driving that path.
+
+// TestVector is one generated test case: the atom-level decision profile
+// (the "path") and a concrete input valuation exercising it.
+type TestVector struct {
+	// Decisions maps each bound Boolean variable (0-based) to the truth
+	// value its atom takes on this path.
+	Decisions map[int]bool
+	// Inputs is the arithmetic witness driving the path.
+	Inputs map[string]float64
+}
+
+// GenerateTestVectors enumerates theory-consistent paths of the problem:
+// satisfying models projected onto the atom-bound variables, each paired
+// with its arithmetic witness. max bounds the number of vectors (0 =
+// unbounded). The returned coverage count equals the number of distinct
+// atom-decision profiles found — full condition coverage of the bound
+// atoms when the enumeration is exhausted.
+func GenerateTestVectors(p *Problem, cfg Config, max int) ([]TestVector, Status, error) {
+	// Projection: the atom-bound variables only, so two models differing
+	// merely in free Boolean structure count as one path.
+	proj := make([]int, 0, len(p.Bindings))
+	for v := range p.Bindings {
+		proj = append(proj, v+1)
+	}
+	if len(proj) == 0 {
+		// Pure Boolean problem: project on everything.
+		proj = nil
+	}
+	var out []TestVector
+	e := NewEngine(p, cfg)
+	_, status, err := e.AllModels(proj, max, func(m Model) error {
+		tv := TestVector{Decisions: map[int]bool{}, Inputs: map[string]float64{}}
+		for v := range p.Bindings {
+			tv.Decisions[v] = m.Bool[v]
+		}
+		for k, x := range m.Real {
+			tv.Inputs[k] = x
+		}
+		out = append(out, tv)
+		return nil
+	})
+	return out, status, err
+}

@@ -1,0 +1,62 @@
+package dimacs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds random byte soup and random-ish structured
+// text to the parser: errors are fine, panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	alphabet := "pc def intrealbound 0123456789-+*/<>=(). \n"
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(200)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = ParseString(sb.String())
+		}()
+	}
+}
+
+// TestParserNeverPanicsStructured mutates a valid file.
+func TestParserNeverPanicsStructured(t *testing.T) {
+	base := "p cnf 4 3\n1 0\n-2 3 0\n4 0\nc def int 1 i >= 0\nc def real 4 a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1\nc bound a -10 10\n"
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 2000; iter++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			case 1: // delete a byte
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 2: // duplicate a chunk
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i)
+				b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+			}
+			if len(b) == 0 {
+				b = []byte("p")
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input %q: %v", string(b), r)
+				}
+			}()
+			_, _ = ParseString(string(b))
+		}()
+	}
+}

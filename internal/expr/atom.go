@@ -1,0 +1,343 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"absolver/internal/interval"
+)
+
+// CmpOp is a comparison operator of an arithmetic atom.
+type CmpOp int
+
+// Comparison operators (the paper's ? ∈ {<, >, ≤, ≥, =}; ≠ additionally
+// appears internally as the negation of =).
+const (
+	CmpLT CmpOp = iota
+	CmpGT
+	CmpLE
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+// String returns the operator's source form.
+func (o CmpOp) String() string {
+	switch o {
+	case CmpLT:
+		return "<"
+	case CmpGT:
+		return ">"
+	case CmpLE:
+		return "<="
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "!="
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(o))
+}
+
+// Negate returns the operator of the complementary comparison.
+func (o CmpOp) Negate() CmpOp {
+	switch o {
+	case CmpLT:
+		return CmpGE
+	case CmpGT:
+		return CmpLE
+	case CmpLE:
+		return CmpGT
+	case CmpGE:
+		return CmpLT
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	}
+	panic("expr: bad CmpOp")
+}
+
+// Domain classifies the variables of an atom, following the extended DIMACS
+// "c def int|real" syntax.
+type Domain int
+
+// Variable domains.
+const (
+	Real Domain = iota
+	Int
+)
+
+// String returns the domain keyword used in the extended DIMACS format.
+func (d Domain) String() string {
+	if d == Int {
+		return "int"
+	}
+	return "real"
+}
+
+// Atom is an arithmetic comparison LHS ? RHS over a domain. Atoms are the
+// theory literals of AB-problems: each is bound to a Boolean variable of the
+// propositional skeleton.
+type Atom struct {
+	LHS    Expr
+	Op     CmpOp
+	RHS    Expr
+	Domain Domain
+}
+
+// NewAtom builds an atom over the given domain.
+func NewAtom(lhs Expr, op CmpOp, rhs Expr, dom Domain) Atom {
+	return Atom{LHS: lhs, Op: op, RHS: rhs, Domain: dom}
+}
+
+// Negate returns the complementary atom (¬(l < r) = l ≥ r, and so on).
+func (a Atom) Negate() Atom {
+	return Atom{LHS: a.LHS, Op: a.Op.Negate(), RHS: a.RHS, Domain: a.Domain}
+}
+
+// Holds evaluates the atom under env.
+func (a Atom) Holds(env Env) (bool, error) {
+	l, err := a.LHS.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	r, err := a.RHS.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	return compare(l, a.Op, r), nil
+}
+
+// HoldsTol evaluates the atom under env with absolute tolerance tol applied
+// in the atom's favour; used to accept solutions computed by floating-point
+// solvers.
+func (a Atom) HoldsTol(env Env, tol float64) (bool, error) {
+	l, err := a.LHS.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	r, err := a.RHS.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	switch a.Op {
+	case CmpLT:
+		return l < r+tol, nil
+	case CmpGT:
+		return l > r-tol, nil
+	case CmpLE:
+		return l <= r+tol, nil
+	case CmpGE:
+		return l >= r-tol, nil
+	case CmpEQ:
+		return l >= r-tol && l <= r+tol, nil
+	case CmpNE:
+		return l < r-tol || l > r+tol, nil
+	}
+	return false, fmt.Errorf("expr: bad CmpOp %v", a.Op)
+}
+
+func compare(l float64, op CmpOp, r float64) bool {
+	switch op {
+	case CmpLT:
+		return l < r
+	case CmpGT:
+		return l > r
+	case CmpLE:
+		return l <= r
+	case CmpGE:
+		return l >= r
+	case CmpEQ:
+		return l == r
+	case CmpNE:
+		return l != r
+	}
+	return false
+}
+
+// IntervalHolds checks the atom over a box. It returns interval truth:
+// definitely true, definitely false, or unknown — the 3-valued semantics
+// (tt, ff, ?) of the paper's circuit representation.
+func (a Atom) IntervalHolds(box Box) Truth {
+	l := a.LHS.Interval(box)
+	r := a.RHS.Interval(box)
+	if l.IsEmpty() || r.IsEmpty() {
+		// No consistent valuation exists at all within the box.
+		return False
+	}
+	d := l.Sub(r) // atom becomes d ? 0
+	switch a.Op {
+	case CmpLT:
+		if d.Hi < 0 {
+			return True
+		}
+		if d.Lo >= 0 {
+			return False
+		}
+	case CmpGT:
+		if d.Lo > 0 {
+			return True
+		}
+		if d.Hi <= 0 {
+			return False
+		}
+	case CmpLE:
+		if d.Hi <= 0 {
+			return True
+		}
+		if d.Lo > 0 {
+			return False
+		}
+	case CmpGE:
+		if d.Lo >= 0 {
+			return True
+		}
+		if d.Hi < 0 {
+			return False
+		}
+	case CmpEQ:
+		if d.IsPoint() && d.Lo == 0 {
+			return True
+		}
+		if !d.Contains(0) {
+			return False
+		}
+	case CmpNE:
+		if !d.Contains(0) {
+			return True
+		}
+		if d.IsPoint() && d.Lo == 0 {
+			return False
+		}
+	}
+	return Unknown
+}
+
+// Vars returns the sorted variables of both sides.
+func (a Atom) Vars() []string {
+	set := make(map[string]struct{})
+	a.LHS.addVars(set)
+	a.RHS.addVars(set)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+// String renders the atom in parseable infix form.
+func (a Atom) String() string {
+	var sb strings.Builder
+	a.LHS.format(&sb, 0)
+	sb.WriteByte(' ')
+	sb.WriteString(a.Op.String())
+	sb.WriteByte(' ')
+	a.RHS.format(&sb, 0)
+	return sb.String()
+}
+
+// Diff returns LHS - RHS as an expression, the normalised "left-hand side
+// minus right-hand side" form ( atom ⇔ Diff() ? 0 ).
+func (a Atom) Diff() Expr {
+	if c, ok := a.RHS.(Const); ok && c.V == 0 {
+		return a.LHS
+	}
+	return Sub(a.LHS, a.RHS)
+}
+
+// Truth is the 3-valued logic value used throughout ABsolver (tt, ff, ?).
+type Truth int
+
+// Truth values. Unknown is the paper's "?": further treatment is necessary.
+const (
+	Unknown Truth = iota
+	True
+	False
+)
+
+// String renders the truth value as in the paper (tt, ff, ?).
+func (t Truth) String() string {
+	switch t {
+	case True:
+		return "tt"
+	case False:
+		return "ff"
+	}
+	return "?"
+}
+
+// Not returns Kleene negation.
+func (t Truth) Not() Truth {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// And returns Kleene conjunction.
+func (t Truth) And(u Truth) Truth {
+	if t == False || u == False {
+		return False
+	}
+	if t == True && u == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or returns Kleene disjunction.
+func (t Truth) Or(u Truth) Truth {
+	if t == True || u == True {
+		return True
+	}
+	if t == False && u == False {
+		return False
+	}
+	return Unknown
+}
+
+// FromBool lifts a Boolean into Truth.
+func FromBool(b bool) Truth {
+	if b {
+		return True
+	}
+	return False
+}
+
+// sortStrings is a local insertion sort to avoid importing sort in two
+// files; len is always small (variables of one atom).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// An aside for Box: BoxFromBounds builds a box from per-variable bounds.
+func BoxFromBounds(lo, hi map[string]float64, vars []string) Box {
+	b := make(Box, len(vars))
+	for _, v := range vars {
+		l, okL := lo[v]
+		h, okH := hi[v]
+		switch {
+		case okL && okH:
+			b[v] = interval.New(l, h)
+		case okL:
+			b[v] = interval.New(l, inf)
+		case okH:
+			b[v] = interval.New(-inf, h)
+		default:
+			b[v] = interval.Whole()
+		}
+	}
+	return b
+}
+
+var inf = interval.Whole().Hi

@@ -1,0 +1,472 @@
+package expr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"absolver/internal/interval"
+)
+
+func mustParse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e
+}
+
+func evalAt(t *testing.T, e Expr, env Env) float64 {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	return v
+}
+
+func TestEvalBasic(t *testing.T) {
+	e := Add(Mul(C(2), V("x")), C(1)) // 2x + 1
+	if got := evalAt(t, e, Env{"x": 3}); got != 7 {
+		t.Fatalf("got %g", got)
+	}
+}
+
+func TestEvalPaperExpression(t *testing.T) {
+	// The Fig. 2 real constraint: a*x + 3.5/(4-y) + 2*y.
+	e := mustParse(t, "a * x + 3.5 / ( 4 - y ) + 2 * y")
+	got := evalAt(t, e, Env{"a": 2, "x": 1, "y": 3})
+	want := 2.0 + 3.5/1.0 + 6.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	e := Div(C(1), V("x"))
+	if _, err := e.Eval(Env{"x": 0}); !errors.Is(err, ErrDomain) {
+		t.Fatalf("want ErrDomain, got %v", err)
+	}
+	if _, err := e.Eval(Env{}); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("want ErrUnbound, got %v", err)
+	}
+	if _, err := Log(C(-1)).Eval(Env{}); !errors.Is(err, ErrDomain) {
+		t.Fatalf("log(-1): %v", err)
+	}
+	if _, err := Sqrt(C(-1)).Eval(Env{}); !errors.Is(err, ErrDomain) {
+		t.Fatalf("sqrt(-1): %v", err)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  Env
+		want float64
+	}{
+		{"1 + 2 * 3", nil, 7},
+		{"(1 + 2) * 3", nil, 9},
+		{"2 - 3 - 4", nil, -5},
+		{"12 / 3 / 2", nil, 2},
+		{"-2 * 3", nil, -6},
+		{"-(2 + 3)", nil, -5},
+		{"2 * -3", nil, -6},
+		{"1 - -1", nil, 2},
+		{"+5", nil, 5},
+		{"1e2 + 1.5e-1", nil, 100.15},
+		{"x + y * z", Env{"x": 1, "y": 2, "z": 3}, 7},
+		{"sin(0)", nil, 0},
+		{"cos(0)", nil, 1},
+		{"exp(0)", nil, 1},
+		{"sqrt(9)", nil, 3},
+		{"abs(-4)", nil, 4},
+		{"log(1)", nil, 0},
+		{"2*sin(0) + cos(0)", nil, 1},
+	}
+	for _, c := range cases {
+		e := mustParse(t, c.src)
+		if got := evalAt(t, e, c.env); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%q = %g, want %g", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "* 2", "(1", "1)", "1 2", "sin(", "sin(1", "$x", "1..2 + 1..",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseAtomForms(t *testing.T) {
+	cases := []struct {
+		src string
+		op  CmpOp
+	}{
+		{"x < 5", CmpLT}, {"x > 5", CmpGT}, {"x <= 5", CmpLE},
+		{"x >= 5", CmpGE}, {"x = 5", CmpEQ}, {"x == 5", CmpEQ},
+		{"x != 5", CmpNE}, {"x <> 5", CmpNE},
+	}
+	for _, c := range cases {
+		a, err := ParseAtom(c.src, Real)
+		if err != nil {
+			t.Fatalf("ParseAtom(%q): %v", c.src, err)
+		}
+		if a.Op != c.op {
+			t.Fatalf("ParseAtom(%q).Op = %v, want %v", c.src, a.Op, c.op)
+		}
+	}
+	if _, err := ParseAtom("x + 1", Real); err == nil {
+		t.Fatal("atom without comparison should fail")
+	}
+	if _, err := ParseAtom("x < 1 < 2", Real); err == nil {
+		t.Fatal("chained comparison should fail")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"a * x + 3.5 / ( 4 - y ) + 2 * y",
+		"2*i + j",
+		"-x - -y",
+		"(a + b) * (c - d)",
+		"1 / (2 / (3 / x))",
+		"sin(x) * cos(y) + exp(z)",
+		"-(a + b)",
+		"a - (b - c)",
+		"a / (b * c)",
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, src := range srcs {
+		e1 := mustParse(t, src)
+		s := String(e1)
+		e2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", s, src, err)
+		}
+		// Semantic round-trip: equal values on random environments.
+		for i := 0; i < 20; i++ {
+			env := Env{}
+			for _, v := range Vars(e1) {
+				env[v] = rng.Float64()*10 - 5
+			}
+			v1, err1 := e1.Eval(env)
+			v2, err2 := e2.Eval(env)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%q: error mismatch %v vs %v", src, err1, err2)
+			}
+			if err1 == nil && math.Abs(v1-v2) > 1e-9*(1+math.Abs(v1)) {
+				t.Fatalf("%q: %g vs %g (printed %q)", src, v1, v2, s)
+			}
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := mustParse(t, "a*x + 3.5/(4-y) + 2*y")
+	got := Vars(e)
+	want := []string{"a", "x", "y"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+// numericDiff cross-checks symbolic derivatives against central differences.
+func TestDiffNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	srcs := []string{
+		"x * x", "x * y", "x / y", "x + y - 2*x", "sin(x)", "cos(x * y)",
+		"exp(x / 2)", "sqrt(x * x + 1)", "log(x * x + 1)",
+		"a * x + 3.5 / (4 - y) + 2 * y", "x / (y / z)",
+	}
+	for _, src := range srcs {
+		e := mustParse(t, src)
+		for _, v := range Vars(e) {
+			d := e.Diff(v)
+			ds := Simplify(d)
+			for i := 0; i < 30; i++ {
+				env := Env{}
+				for _, u := range Vars(e) {
+					env[u] = rng.Float64()*4 + 0.5 // keep away from singularities
+				}
+				h := 1e-6
+				envP := Env{}
+				envM := Env{}
+				for k, x := range env {
+					envP[k], envM[k] = x, x
+				}
+				envP[v] += h
+				envM[v] -= h
+				fp, err1 := e.Eval(envP)
+				fm, err2 := e.Eval(envM)
+				sym, err3 := ds.Eval(env)
+				if err1 != nil || err2 != nil || err3 != nil {
+					continue
+				}
+				num := (fp - fm) / (2 * h)
+				if math.Abs(num-sym) > 1e-4*(1+math.Abs(num)) {
+					t.Fatalf("%q d/d%s at %v: numeric %g, symbolic %g", src, v, env, num, sym)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want Expr
+	}{
+		{Add(C(1), C(2)), C(3)},
+		{Add(V("x"), C(0)), V("x")},
+		{Add(C(0), V("x")), V("x")},
+		{Mul(V("x"), C(0)), C(0)},
+		{Mul(C(1), V("x")), V("x")},
+		{Mul(C(-1), V("x")), Neg{V("x")}},
+		{Sub(V("x"), V("x")), C(0)},
+		{Div(V("x"), C(1)), V("x")},
+		{Neg{Neg{V("x")}}, V("x")},
+		{Neg{C(3)}, C(-3)},
+		{Sub(V("x"), C(0)), V("x")},
+		{Call{FuncSqrt, C(4)}, C(2)},
+		{Div(C(6), C(3)), C(2)},
+	}
+	for i, c := range cases {
+		got := Simplify(c.in)
+		if !Equal(got, c.want) {
+			t.Fatalf("case %d: Simplify(%s) = %s, want %s", i, String(c.in), String(got), String(c.want))
+		}
+	}
+}
+
+// Property: Simplify preserves value wherever both are defined.
+func TestSimplifyPreservesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	srcs := []string{
+		"x*1 + 0*y", "x - x + y", "(x + 0) * (1 * y)", "-(x - y)",
+		"x / 1 - y / -1", "2*3*x", "sin(0)*x + cos(0)",
+		"x*(y-y) + z", "sqrt(4)*x",
+	}
+	for _, src := range srcs {
+		e := mustParse(t, src)
+		s := Simplify(e)
+		for i := 0; i < 50; i++ {
+			env := Env{}
+			for _, v := range Vars(e) {
+				env[v] = rng.Float64()*20 - 10
+			}
+			v1, err1 := e.Eval(env)
+			v2, err2 := s.Eval(env)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if math.Abs(v1-v2) > 1e-9*(1+math.Abs(v1)) {
+				t.Fatalf("%q: %g vs simplified %g", src, v1, v2)
+			}
+		}
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	f, ok := Linearize(mustParse(t, "2*x + 3*y - x + 4"))
+	if !ok {
+		t.Fatal("should be linear")
+	}
+	if f.Coeffs["x"] != 1 || f.Coeffs["y"] != 3 || f.Const != 4 {
+		t.Fatalf("form = %+v", f)
+	}
+	// Division by constant.
+	f, ok = Linearize(mustParse(t, "(x + y) / 2"))
+	if !ok || f.Coeffs["x"] != 0.5 || f.Coeffs["y"] != 0.5 {
+		t.Fatalf("form = %+v ok=%v", f, ok)
+	}
+	// Constant * parenthesised.
+	f, ok = Linearize(mustParse(t, "3 * (x - 2)"))
+	if !ok || f.Coeffs["x"] != 3 || f.Const != -6 {
+		t.Fatalf("form = %+v", f)
+	}
+	// Nonlinear cases.
+	for _, src := range []string{"x * y", "x / y", "sin(x)", "x * x", "1/(4-y)"} {
+		if _, ok := Linearize(mustParse(t, src)); ok {
+			t.Fatalf("%q should be nonlinear", src)
+		}
+	}
+	// Function of constant folds.
+	f, ok = Linearize(mustParse(t, "sqrt(16) + x"))
+	if !ok || f.Const != 4 || f.Coeffs["x"] != 1 {
+		t.Fatalf("form = %+v", f)
+	}
+}
+
+func TestLinearizeAtom(t *testing.T) {
+	a, err := ParseAtom("2*i + j < 10", Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, ok := LinearizeAtom(a)
+	if !ok {
+		t.Fatal("should be linear")
+	}
+	if la.Op != CmpLT || la.Bound != 10 || la.Form.Coeffs["i"] != 2 || la.Form.Coeffs["j"] != 1 {
+		t.Fatalf("la = %+v", la)
+	}
+	// Variables on both sides.
+	a, _ = ParseAtom("x + 1 <= y - 2", Real)
+	la, ok = LinearizeAtom(a)
+	if !ok || la.Form.Coeffs["x"] != 1 || la.Form.Coeffs["y"] != -1 || la.Bound != -3 {
+		t.Fatalf("la = %+v", la)
+	}
+	// The Fig. 2 nonlinear constraint must be rejected.
+	a, _ = ParseAtom("a * x + 3.5 / ( 4 - y ) + 2 * y >= 7.1", Real)
+	if _, ok := LinearizeAtom(a); ok {
+		t.Fatal("nonlinear atom linearised")
+	}
+}
+
+func TestAtomNegate(t *testing.T) {
+	pairs := []struct{ op, want CmpOp }{
+		{CmpLT, CmpGE}, {CmpGT, CmpLE}, {CmpLE, CmpGT},
+		{CmpGE, CmpLT}, {CmpEQ, CmpNE}, {CmpNE, CmpEQ},
+	}
+	for _, p := range pairs {
+		a := NewAtom(V("x"), p.op, C(1), Real)
+		if a.Negate().Op != p.want {
+			t.Fatalf("negate %v = %v, want %v", p.op, a.Negate().Op, p.want)
+		}
+		if a.Negate().Negate().Op != p.op {
+			t.Fatal("double negation")
+		}
+	}
+	// Semantics: at any point exactly one of a, ¬a holds.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		op := []CmpOp{CmpLT, CmpGT, CmpLE, CmpGE, CmpEQ, CmpNE}[rng.Intn(6)]
+		a := NewAtom(V("x"), op, C(float64(rng.Intn(5))), Real)
+		env := Env{"x": float64(rng.Intn(5))}
+		h1, _ := a.Holds(env)
+		h2, _ := a.Negate().Holds(env)
+		if h1 == h2 {
+			t.Fatalf("atom %v and negation agree at %v", a, env)
+		}
+	}
+}
+
+func TestAtomHoldsTol(t *testing.T) {
+	a := NewAtom(V("x"), CmpEQ, C(1), Real)
+	ok, _ := a.HoldsTol(Env{"x": 1 + 1e-9}, 1e-8)
+	if !ok {
+		t.Fatal("equality within tolerance rejected")
+	}
+	ok, _ = a.HoldsTol(Env{"x": 1.1}, 1e-8)
+	if ok {
+		t.Fatal("equality out of tolerance accepted")
+	}
+}
+
+func TestIntervalEval(t *testing.T) {
+	e := mustParse(t, "x * x + y")
+	box := Box{"x": interval.New(-2, 2), "y": interval.New(0, 1)}
+	iv := e.Interval(box)
+	if iv.Lo > 0 || iv.Hi < 5-1e-9 {
+		t.Fatalf("interval = %v, want ⊇ [0,5]", iv)
+	}
+	// Unbound variable → whole line.
+	iv = V("z").Interval(box)
+	if !iv.IsWhole() {
+		t.Fatalf("unbound var interval = %v", iv)
+	}
+}
+
+func TestAtomIntervalHolds(t *testing.T) {
+	box := Box{"x": interval.New(2, 3)}
+	cases := []struct {
+		src  string
+		want Truth
+	}{
+		{"x > 1", True},
+		{"x < 1", False},
+		{"x > 2.5", Unknown},
+		{"x >= 2", True},
+		{"x <= 1.9", False},
+		{"x != 10", True},
+		{"x = 10", False},
+		{"x = 2.5", Unknown},
+	}
+	for _, c := range cases {
+		a, err := ParseAtom(c.src, Real)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.IntervalHolds(box); got != c.want {
+			t.Fatalf("%q over x∈[2,3]: %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTruthKleene(t *testing.T) {
+	if True.And(Unknown) != Unknown || False.And(Unknown) != False {
+		t.Fatal("Kleene and")
+	}
+	if True.Or(Unknown) != True || False.Or(Unknown) != Unknown {
+		t.Fatal("Kleene or")
+	}
+	if Unknown.Not() != Unknown || True.Not() != False {
+		t.Fatal("Kleene not")
+	}
+	if True.String() != "tt" || False.String() != "ff" || Unknown.String() != "?" {
+		t.Fatal("truth strings")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mustParse(t, "x + y * 2")
+	b := mustParse(t, "x + y * 2")
+	c := mustParse(t, "x + 2 * y")
+	if !Equal(a, b) {
+		t.Fatal("identical parses unequal")
+	}
+	if Equal(a, c) {
+		t.Fatal("structurally different considered equal")
+	}
+}
+
+func TestLinearFormString(t *testing.T) {
+	f := NewLinearForm()
+	f.Coeffs["x"] = 2
+	f.Coeffs["y"] = -1
+	f.Const = 3
+	if got := f.String(); got != "2*x - y + 3" {
+		t.Fatalf("got %q", got)
+	}
+	zero := NewLinearForm()
+	if zero.String() != "0" {
+		t.Fatalf("zero form = %q", zero.String())
+	}
+}
+
+func TestBoxFromBounds(t *testing.T) {
+	b := BoxFromBounds(
+		map[string]float64{"x": -7},
+		map[string]float64{"x": 7, "y": 3},
+		[]string{"x", "y", "z"},
+	)
+	if b["x"] != interval.New(-7, 7) {
+		t.Fatalf("x box = %v", b["x"])
+	}
+	if !math.IsInf(b["y"].Lo, -1) || b["y"].Hi != 3 {
+		t.Fatalf("y box = %v", b["y"])
+	}
+	if !b["z"].IsWhole() {
+		t.Fatalf("z box = %v", b["z"])
+	}
+}

@@ -1,0 +1,36 @@
+package expr
+
+import "testing"
+
+// FuzzParseExpr exercises the infix parser; parsed expressions must print
+// to a form that re-parses.
+func FuzzParseExpr(f *testing.F) {
+	f.Add("a * x + 3.5 / ( 4 - y ) + 2 * y")
+	f.Add("-x - -y")
+	f.Add("sin(x)*cos(y)+exp(z)")
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s := String(e)
+		if _, err := Parse(s); err != nil {
+			t.Fatalf("printed form %q does not re-parse: %v (from %q)", s, err, src)
+		}
+	})
+}
+
+// FuzzParseAtom exercises the comparison parser.
+func FuzzParseAtom(f *testing.F) {
+	f.Add("2*i + j < 10")
+	f.Add("x != 0")
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := ParseAtom(src, Real)
+		if err != nil {
+			return
+		}
+		if _, err := ParseAtom(a.String(), Real); err != nil {
+			t.Fatalf("printed atom %q does not re-parse: %v", a.String(), err)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LinearForm is a normalised linear combination Σ Coeffs[v]·v + Const.
+type LinearForm struct {
+	Coeffs map[string]float64
+	Const  float64
+}
+
+// NewLinearForm returns an empty (zero) linear form.
+func NewLinearForm() LinearForm {
+	return LinearForm{Coeffs: make(map[string]float64)}
+}
+
+// Clone returns a deep copy.
+func (f LinearForm) Clone() LinearForm {
+	g := LinearForm{Coeffs: make(map[string]float64, len(f.Coeffs)), Const: f.Const}
+	for k, v := range f.Coeffs {
+		g.Coeffs[k] = v
+	}
+	return g
+}
+
+// add accumulates scale·g into f.
+func (f *LinearForm) add(g LinearForm, scale float64) {
+	for k, v := range g.Coeffs {
+		f.Coeffs[k] += scale * v
+		if f.Coeffs[k] == 0 {
+			delete(f.Coeffs, k)
+		}
+	}
+	f.Const += scale * g.Const
+}
+
+// scale multiplies f by s in place.
+func (f *LinearForm) scale(s float64) {
+	for k := range f.Coeffs {
+		f.Coeffs[k] *= s
+		if f.Coeffs[k] == 0 {
+			delete(f.Coeffs, k)
+		}
+	}
+	f.Const *= s
+}
+
+// IsConstant reports whether the form has no variable terms.
+func (f LinearForm) IsConstant() bool { return len(f.Coeffs) == 0 }
+
+// Vars returns the sorted variables with nonzero coefficient.
+func (f LinearForm) Vars() []string {
+	names := make([]string, 0, len(f.Coeffs))
+	for n := range f.Coeffs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Eval evaluates the form under env.
+func (f LinearForm) Eval(env Env) (float64, error) {
+	s := f.Const
+	for v, c := range f.Coeffs {
+		x, ok := env[v]
+		if !ok {
+			return 0, fmt.Errorf("%w: %s", ErrUnbound, v)
+		}
+		s += c * x
+	}
+	return s, nil
+}
+
+// String renders the form as "a·x + b·y + c".
+func (f LinearForm) String() string {
+	var sb strings.Builder
+	first := true
+	for _, v := range f.Vars() {
+		c := f.Coeffs[v]
+		if first {
+			if c == 1 {
+				sb.WriteString(v)
+			} else if c == -1 {
+				sb.WriteString("-" + v)
+			} else {
+				fmt.Fprintf(&sb, "%g*%s", c, v)
+			}
+			first = false
+			continue
+		}
+		if c >= 0 {
+			sb.WriteString(" + ")
+		} else {
+			sb.WriteString(" - ")
+			c = -c
+		}
+		if c == 1 {
+			sb.WriteString(v)
+		} else {
+			fmt.Fprintf(&sb, "%g*%s", c, v)
+		}
+	}
+	if first {
+		fmt.Fprintf(&sb, "%g", f.Const)
+	} else if f.Const > 0 {
+		fmt.Fprintf(&sb, " + %g", f.Const)
+	} else if f.Const < 0 {
+		fmt.Fprintf(&sb, " - %g", -f.Const)
+	}
+	return sb.String()
+}
+
+// Linearize attempts to express e as a linear form. It reports ok=false
+// when e is genuinely nonlinear (products or quotients of variable terms,
+// or function applications with variable arguments).
+func Linearize(e Expr) (LinearForm, bool) {
+	switch x := e.(type) {
+	case Const:
+		f := NewLinearForm()
+		f.Const = x.V
+		return f, true
+	case Var:
+		f := NewLinearForm()
+		f.Coeffs[x.Name] = 1
+		return f, true
+	case Neg:
+		f, ok := Linearize(x.X)
+		if !ok {
+			return LinearForm{}, false
+		}
+		f.scale(-1)
+		return f, true
+	case Bin:
+		l, okL := Linearize(x.L)
+		r, okR := Linearize(x.R)
+		if !okL || !okR {
+			return LinearForm{}, false
+		}
+		switch x.Op {
+		case OpAdd:
+			l.add(r, 1)
+			return l, true
+		case OpSub:
+			l.add(r, -1)
+			return l, true
+		case OpMul:
+			if r.IsConstant() {
+				l.scale(r.Const)
+				return l, true
+			}
+			if l.IsConstant() {
+				r.scale(l.Const)
+				return r, true
+			}
+			return LinearForm{}, false
+		case OpDiv:
+			if r.IsConstant() && r.Const != 0 {
+				l.scale(1 / r.Const)
+				return l, true
+			}
+			return LinearForm{}, false
+		}
+		return LinearForm{}, false
+	case Call:
+		// A function of a constant argument folds to a constant.
+		f, ok := Linearize(x.Arg)
+		if ok && f.IsConstant() {
+			v, err := x.Eval(Env{})
+			if err == nil {
+				g := NewLinearForm()
+				g.Const = v
+				return g, true
+			}
+		}
+		return LinearForm{}, false
+	}
+	return LinearForm{}, false
+}
+
+// LinearAtom is the normalised linear constraint Σ Coeffs[v]·v ? Bound.
+type LinearAtom struct {
+	Form  LinearForm // Const is always folded into Bound (Form.Const == 0)
+	Op    CmpOp
+	Bound float64
+}
+
+// LinearizeAtom attempts to normalise an atom into a LinearAtom with the
+// constant moved to the right-hand side. ok=false means the atom is
+// nonlinear and must be dispatched to the nonlinear solver.
+func LinearizeAtom(a Atom) (LinearAtom, bool) {
+	l, okL := Linearize(a.LHS)
+	if !okL {
+		return LinearAtom{}, false
+	}
+	r, okR := Linearize(a.RHS)
+	if !okR {
+		return LinearAtom{}, false
+	}
+	l.add(r, -1)
+	bound := -l.Const
+	l.Const = 0
+	return LinearAtom{Form: l, Op: a.Op, Bound: bound}, true
+}
+
+// IsLinear reports whether the atom can be handled by the linear solver.
+func IsLinear(a Atom) bool {
+	_, ok := LinearizeAtom(a)
+	return ok
+}
+
+// String renders the linear atom.
+func (la LinearAtom) String() string {
+	return fmt.Sprintf("%s %s %g", la.Form.String(), la.Op, la.Bound)
+}

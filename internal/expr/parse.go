@@ -1,0 +1,289 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an infix arithmetic expression such as
+//
+//	a * x + 3.5 / ( 4 - y ) + 2 * y
+//
+// Operators: + - * / with the usual precedence and left associativity,
+// unary minus, parentheses, and calls of the unary extensions
+// sin cos exp log sqrt abs. Identifiers are [A-Za-z_][A-Za-z0-9_.]*;
+// numbers are decimal with optional fraction and exponent.
+func Parse(src string) (Expr, error) {
+	p := newParser(src)
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return e, nil
+}
+
+// ParseAtom parses a comparison such as "a*x + 3.5/(4-y) + 2*y >= 7.1"
+// over the given domain.
+func ParseAtom(src string, dom Domain) (Atom, error) {
+	p := newParser(src)
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return Atom{}, err
+	}
+	t := p.next()
+	var op CmpOp
+	switch t.kind {
+	case tokCmp:
+		switch t.text {
+		case "<":
+			op = CmpLT
+		case ">":
+			op = CmpGT
+		case "<=":
+			op = CmpLE
+		case ">=":
+			op = CmpGE
+		case "=", "==":
+			op = CmpEQ
+		case "!=", "<>":
+			op = CmpNE
+		}
+	default:
+		return Atom{}, fmt.Errorf("expr: expected comparison operator, got %q at offset %d", t.text, t.pos)
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return Atom{}, err
+	}
+	if p.peek().kind != tokEOF {
+		return Atom{}, fmt.Errorf("expr: unexpected %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return Atom{LHS: lhs, Op: op, RHS: rhs, Domain: dom}, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokOp  // + - * /
+	tokCmp // < > <= >= = == != <>
+	tokLPar
+	tokRPar
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+	err  error
+}
+
+func newParser(src string) *parser {
+	p := &parser{src: src}
+	p.lex()
+	return p
+}
+
+func (p *parser) lex() {
+	s := p.src
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			// Optional exponent.
+			if j < len(s) && (s[j] == 'e' || s[j] == 'E') {
+				k := j + 1
+				if k < len(s) && (s[k] == '+' || s[k] == '-') {
+					k++
+				}
+				if k < len(s) && s[k] >= '0' && s[k] <= '9' {
+					for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			p.toks = append(p.toks, token{tokNum, s[i:j], i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isIdentCont(s[j]) {
+				j++
+			}
+			p.toks = append(p.toks, token{tokIdent, s[i:j], i})
+			i = j
+		case c == '+' || c == '-' || c == '*' || c == '/':
+			p.toks = append(p.toks, token{tokOp, string(c), i})
+			i++
+		case c == '(':
+			p.toks = append(p.toks, token{tokLPar, "(", i})
+			i++
+		case c == ')':
+			p.toks = append(p.toks, token{tokRPar, ")", i})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || (c == '<' && s[j] == '>')) {
+				j++
+			}
+			p.toks = append(p.toks, token{tokCmp, s[i:j], i})
+			i = j
+		default:
+			if p.err == nil {
+				p.err = fmt.Errorf("expr: illegal character %q at offset %d", c, i)
+			}
+			return
+		}
+	}
+	p.toks = append(p.toks, token{tokEOF, "", len(s)})
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+func (p *parser) peek() token {
+	if p.i >= len(p.toks) {
+		return token{tokEOF, "", len(p.src)}
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
+
+// parseExpr: sum of products.
+func (p *parser) parseExpr() (Expr, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	e, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return e, nil
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "+" {
+			e = Add(e, r)
+		} else {
+			e = Sub(e, r)
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/") {
+			return e, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "*" {
+			e = Mul(e, r)
+		} else {
+			e = Div(e, r)
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokOp && t.text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold a negated literal immediately so "-3.5" parses as Const.
+		if c, ok := e.(Const); ok {
+			return Const{-c.V}, nil
+		}
+		return Neg{e}, nil
+	}
+	if t.kind == tokOp && t.text == "+" {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNum:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q at offset %d", t.text, t.pos)
+		}
+		return Const{v}, nil
+	case tokIdent:
+		if fn, ok := funcByName[strings.ToLower(t.text)]; ok && p.peek().kind == tokLPar {
+			p.next() // consume '('
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if tt := p.next(); tt.kind != tokRPar {
+				return nil, fmt.Errorf("expr: expected ')' at offset %d, got %q", tt.pos, tt.text)
+			}
+			return Call{fn, arg}, nil
+		}
+		return Var{t.text}, nil
+	case tokLPar:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if tt := p.next(); tt.kind != tokRPar {
+			return nil, fmt.Errorf("expr: expected ')' at offset %d, got %q", tt.pos, tt.text)
+		}
+		return e, nil
+	case tokEOF:
+		return nil, fmt.Errorf("expr: unexpected end of input")
+	}
+	return nil, fmt.Errorf("expr: unexpected %q at offset %d", t.text, t.pos)
+}

@@ -1,0 +1,204 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"absolver/internal/interval"
+)
+
+// genExpr builds a random expression over the variables xs with the given
+// depth budget.
+func genExpr(rng *rand.Rand, depth int, xs []string) Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return C(float64(rng.Intn(21)-10) / 2)
+		}
+		return V(xs[rng.Intn(len(xs))])
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return Add(genExpr(rng, depth-1, xs), genExpr(rng, depth-1, xs))
+	case 1:
+		return Sub(genExpr(rng, depth-1, xs), genExpr(rng, depth-1, xs))
+	case 2:
+		return Mul(genExpr(rng, depth-1, xs), genExpr(rng, depth-1, xs))
+	case 3:
+		return Div(genExpr(rng, depth-1, xs), genExpr(rng, depth-1, xs))
+	case 4:
+		return Neg{genExpr(rng, depth-1, xs)}
+	case 5:
+		return Sin(genExpr(rng, depth-1, xs))
+	default:
+		return Call{FuncAbs, genExpr(rng, depth-1, xs)}
+	}
+}
+
+// TestQuickPrintParseRoundTrip: printing then parsing preserves semantics.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	xs := []string{"x", "y", "z"}
+	f := func(seed int64, ptSeed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4, xs)
+		s := String(e)
+		e2, err := Parse(s)
+		if err != nil {
+			t.Logf("unparseable print %q of %#v", s, e)
+			return false
+		}
+		prng := rand.New(rand.NewSource(ptSeed))
+		for i := 0; i < 10; i++ {
+			env := Env{}
+			for _, v := range xs {
+				env[v] = prng.Float64()*10 - 5
+			}
+			v1, err1 := e.Eval(env)
+			v2, err2 := e2.Eval(env)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 == nil {
+				if math.IsNaN(v1) != math.IsNaN(v2) {
+					return false
+				}
+				if !math.IsNaN(v1) && math.Abs(v1-v2) > 1e-9*(1+math.Abs(v1)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSimplifyPreservesSemantics: Simplify never changes the value on
+// the common domain of definition.
+func TestQuickSimplifyPreservesSemantics(t *testing.T) {
+	xs := []string{"x", "y"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4, xs)
+		s := Simplify(e)
+		for i := 0; i < 15; i++ {
+			env := Env{}
+			for _, v := range xs {
+				env[v] = rng.Float64()*8 - 4
+			}
+			v1, err1 := e.Eval(env)
+			v2, err2 := s.Eval(env)
+			if err1 != nil || err2 != nil {
+				// Simplification may remove singularities (0·(1/x)) but
+				// must never introduce them where evaluation succeeded.
+				if err1 == nil && err2 != nil {
+					return false
+				}
+				continue
+			}
+			if math.IsNaN(v1) || math.IsNaN(v2) {
+				continue
+			}
+			if math.Abs(v1-v2) > 1e-6*(1+math.Abs(v1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIntervalSoundness: point evaluation always lies within the
+// interval evaluation over a box containing the point.
+func TestQuickIntervalSoundness(t *testing.T) {
+	xs := []string{"x", "y"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 3, xs)
+		env := Env{}
+		box := Box{}
+		for _, v := range xs {
+			c := rng.Float64()*8 - 4
+			w := rng.Float64() * 2
+			env[v] = c
+			box[v] = intervalNew(c-w, c+w)
+		}
+		val, err := e.Eval(env)
+		if err != nil || math.IsNaN(val) || math.IsInf(val, 0) {
+			return true // undefined points are outside the property
+		}
+		iv := e.Interval(box)
+		if iv.IsEmpty() {
+			return false // the box contains a defined point
+		}
+		const slack = 1e-6
+		return val >= iv.Lo-slack-1e-9*math.Abs(iv.Lo) && val <= iv.Hi+slack+1e-9*math.Abs(iv.Hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLinearizeAgreesWithEval: when Linearize succeeds, the linear
+// form evaluates identically to the expression.
+func TestQuickLinearizeAgreesWithEval(t *testing.T) {
+	xs := []string{"x", "y", "z"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4, xs)
+		lf, ok := Linearize(e)
+		if !ok {
+			return true
+		}
+		for i := 0; i < 10; i++ {
+			env := Env{}
+			for _, v := range xs {
+				env[v] = rng.Float64()*10 - 5
+			}
+			v1, err1 := e.Eval(env)
+			v2, err2 := lf.Eval(env)
+			if err1 != nil {
+				continue
+			}
+			if err2 != nil {
+				return false
+			}
+			if math.Abs(v1-v2) > 1e-6*(1+math.Abs(v1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNegateExcludedMiddle: every atom and its negation partition the
+// space (excluding evaluation errors).
+func TestQuickNegateExcludedMiddle(t *testing.T) {
+	ops := []CmpOp{CmpLT, CmpGT, CmpLE, CmpGE, CmpEQ, CmpNE}
+	f := func(seed int64, opIdx uint8, x, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(b) || math.IsInf(x, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		op := ops[int(opIdx)%len(ops)]
+		a := NewAtom(V("x"), op, C(b), Real)
+		env := Env{"x": x}
+		h, err1 := a.Holds(env)
+		nh, err2 := a.Negate().Holds(env)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return h != nh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func intervalNew(lo, hi float64) interval.Interval { return interval.New(lo, hi) }

@@ -1,0 +1,31 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics: arbitrary character soup must never panic the
+// expression or atom parsers.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	alphabet := "xyzab0123456789.+-*/()<>=! esincoqrtlg_"
+	for iter := 0; iter < 4000; iter++ {
+		n := rng.Intn(80)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+			_, _ = ParseAtom(src, Real)
+		}()
+	}
+}

@@ -1,0 +1,107 @@
+package expr
+
+// Simplify performs local algebraic simplification: constant folding,
+// identity and absorbing elements, double negation, and collapse of
+// subtraction of identical terms. It never changes the value of the
+// expression on its domain of definition. Division by a constant zero is
+// left intact (it must keep failing at evaluation time).
+func Simplify(e Expr) Expr {
+	switch x := e.(type) {
+	case Const, Var:
+		return e
+	case Neg:
+		inner := Simplify(x.X)
+		switch y := inner.(type) {
+		case Const:
+			return Const{-y.V}
+		case Neg:
+			return y.X
+		}
+		return Neg{inner}
+	case Bin:
+		l := Simplify(x.L)
+		r := Simplify(x.R)
+		lc, lIsC := l.(Const)
+		rc, rIsC := r.(Const)
+		switch x.Op {
+		case OpAdd:
+			if lIsC && rIsC {
+				return Const{lc.V + rc.V}
+			}
+			if lIsC && lc.V == 0 {
+				return r
+			}
+			if rIsC && rc.V == 0 {
+				return l
+			}
+			if n, ok := r.(Neg); ok {
+				return Simplify(Sub(l, n.X))
+			}
+		case OpSub:
+			if lIsC && rIsC {
+				return Const{lc.V - rc.V}
+			}
+			if rIsC && rc.V == 0 {
+				return l
+			}
+			if lIsC && lc.V == 0 {
+				return Simplify(Neg{r})
+			}
+			if Equal(l, r) {
+				return Const{0}
+			}
+		case OpMul:
+			if lIsC && rIsC {
+				return Const{lc.V * rc.V}
+			}
+			if lIsC {
+				switch lc.V {
+				case 0:
+					return Const{0}
+				case 1:
+					return r
+				case -1:
+					return Simplify(Neg{r})
+				}
+			}
+			if rIsC {
+				switch rc.V {
+				case 0:
+					return Const{0}
+				case 1:
+					return l
+				case -1:
+					return Simplify(Neg{l})
+				}
+			}
+		case OpDiv:
+			if rIsC && rc.V != 0 {
+				if lIsC {
+					return Const{lc.V / rc.V}
+				}
+				if rc.V == 1 {
+					return l
+				}
+				if rc.V == -1 {
+					return Simplify(Neg{l})
+				}
+			}
+			if lIsC && lc.V == 0 && !(rIsC && rc.V == 0) {
+				// 0/r: keep only if r may be 0; a constant nonzero r folds.
+				if rIsC {
+					return Const{0}
+				}
+			}
+		}
+		return Bin{x.Op, l, r}
+	case Call:
+		arg := Simplify(x.Arg)
+		if c, ok := arg.(Const); ok {
+			if v, err := (Call{x.Fn, c}).Eval(Env{}); err == nil {
+				return Const{v}
+			}
+		}
+		return Call{x.Fn, arg}
+	}
+	return e
+}

@@ -1,0 +1,149 @@
+package fischer
+
+import (
+	"testing"
+
+	"absolver/internal/core"
+	"absolver/internal/smtlib"
+)
+
+func TestGenerateShape(t *testing.T) {
+	in := Generate(Params{N: 2})
+	p := in.Problem
+	if in.Name != "FISCHER2-1-fair" {
+		t.Fatalf("name = %q", in.Name)
+	}
+	if p.NumVars == 0 || len(p.Clauses) == 0 || len(p.Bindings) == 0 {
+		t.Fatal("degenerate instance")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Instance size must grow with N.
+	in3 := Generate(Params{N: 3})
+	if in3.Problem.NumVars <= p.NumVars || len(in3.Problem.Clauses) <= len(p.Clauses) {
+		t.Fatal("size does not grow with N")
+	}
+}
+
+func solveN(t *testing.T, n int) (*core.Problem, core.Result) {
+	t.Helper()
+	in := Generate(Params{N: n})
+	res, err := core.NewEngine(in.Problem, core.Config{}).Solve()
+	if err != nil {
+		t.Fatalf("N=%d: %v", n, err)
+	}
+	return in.Problem, res
+}
+
+func TestFischer1Sat(t *testing.T) {
+	p, res := solveN(t, 1)
+	if res.Status != core.StatusSat {
+		t.Fatalf("FISCHER1 should be sat, got %v", res.Status)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFischer2Sat(t *testing.T) {
+	p, res := solveN(t, 2)
+	if res.Status != core.StatusSat {
+		t.Fatalf("FISCHER2 should be sat, got %v", res.Status)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFischer3Sat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p, res := solveN(t, 3)
+	if res.Status != core.StatusSat {
+		t.Fatalf("FISCHER3 should be sat, got %v", res.Status)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooShortUnrollingUnsat(t *testing.T) {
+	// 3 steps cannot reach cs (needs ≥ 4: req, wait, delay, cs).
+	in := Generate(Params{N: 1, Steps: 3})
+	res, err := core.NewEngine(in.Problem, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusUnsat {
+		t.Fatalf("3-step unrolling should be unsat, got %v", res.Status)
+	}
+}
+
+func TestMutualExclusionInvariant(t *testing.T) {
+	// The protocol guarantees mutual exclusion (B > A): force TWO distinct
+	// processes into cs at the final step; must be unsat at minimal depth.
+	in := Generate(Params{N: 2})
+	p := in.Problem
+	v1, ok1 := in.Var("loc/1/" + itoa(in.Params.Steps) + "/cs")
+	v2, ok2 := in.Var("loc/2/" + itoa(in.Params.Steps) + "/cs")
+	if !ok1 || !ok2 {
+		t.Fatal("cs variables not found")
+	}
+	p.AddClause(v1)
+	p.AddClause(v2)
+	res, err := core.NewEngine(p, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == core.StatusSat {
+		t.Fatal("two processes in cs simultaneously: mutual exclusion violated")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestSMTLIBRoundTrip(t *testing.T) {
+	// Generate → render SMT-LIB → parse → solve: the Table 2 conversion
+	// pipeline. The parsed problem must be satisfiable like the native one.
+	in := Generate(Params{N: 1})
+	text := in.SMTLIB()
+	b, err := smtlib.Parse(text)
+	if err != nil {
+		t.Fatalf("parse generated SMT-LIB: %v\n%.600s", err, text)
+	}
+	p := b.ToProblem()
+	res, err := core.NewEngine(p, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusSat {
+		t.Fatalf("round-tripped FISCHER1 should be sat, got %v", res.Status)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarLookup(t *testing.T) {
+	in := Generate(Params{N: 1})
+	if _, ok := in.Var("loc/1/0/idle"); !ok {
+		t.Fatal("loc lookup failed")
+	}
+	if _, ok := in.Var("nonexistent"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}

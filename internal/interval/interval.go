@@ -1,0 +1,387 @@
+// Package interval implements real interval arithmetic.
+//
+// Intervals are closed sets [Lo, Hi] of float64 values, possibly unbounded
+// (±Inf endpoints) or empty. The package provides the forward operations
+// needed to evaluate arithmetic expression trees over boxes, and the inverse
+// operations needed by HC4-style constraint propagation in package nlp.
+//
+// The implementation does not perform directed (outward) rounding; instead
+// every derived endpoint is widened by a few ULPs where exactness matters.
+// For the feasibility analyses ABsolver performs this is sufficient: boxes
+// are only ever used to *refute* constraint systems, and widening endpoints
+// keeps refutation sound (a widened box over-approximates the true set, so
+// an empty result remains a proof of infeasibility).
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Lo, Hi]. The zero value is the point
+// interval [0, 0]. An interval with Lo > Hi is empty; use Empty to construct
+// one canonically.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return Interval{v, v} }
+
+// New returns the interval [lo, hi]. It panics if either bound is NaN; use
+// math.Inf for unbounded ends.
+func New(lo, hi float64) Interval {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		panic("interval: NaN bound")
+	}
+	return Interval{lo, hi}
+}
+
+// Empty returns the canonical empty interval.
+func Empty() Interval { return Interval{math.Inf(1), math.Inf(-1)} }
+
+// Whole returns the interval covering every real number.
+func Whole() Interval { return Interval{math.Inf(-1), math.Inf(1)} }
+
+// IsEmpty reports whether v contains no points.
+func (v Interval) IsEmpty() bool { return v.Lo > v.Hi }
+
+// IsPoint reports whether v is a single point.
+func (v Interval) IsPoint() bool { return v.Lo == v.Hi }
+
+// IsWhole reports whether v is unbounded on both sides.
+func (v Interval) IsWhole() bool { return math.IsInf(v.Lo, -1) && math.IsInf(v.Hi, 1) }
+
+// Contains reports whether x lies in v.
+func (v Interval) Contains(x float64) bool { return v.Lo <= x && x <= v.Hi }
+
+// ContainsZero reports whether 0 lies in v.
+func (v Interval) ContainsZero() bool { return v.Contains(0) }
+
+// Width returns Hi - Lo, +Inf for unbounded intervals, and a negative value
+// only for empty intervals.
+func (v Interval) Width() float64 {
+	if v.IsEmpty() {
+		return math.Inf(-1)
+	}
+	return v.Hi - v.Lo
+}
+
+// Mid returns a finite point inside v, preferring the midpoint. It panics on
+// the empty interval.
+func (v Interval) Mid() float64 {
+	if v.IsEmpty() {
+		panic("interval: Mid of empty interval")
+	}
+	switch {
+	case v.IsWhole():
+		return 0
+	case math.IsInf(v.Lo, -1):
+		if v.Hi > 0 {
+			return 0
+		}
+		return v.Hi - 1
+	case math.IsInf(v.Hi, 1):
+		if v.Lo < 0 {
+			return 0
+		}
+		return v.Lo + 1
+	}
+	return v.Lo + (v.Hi-v.Lo)/2
+}
+
+// Clamp returns the point of v closest to x. It panics on the empty interval.
+func (v Interval) Clamp(x float64) float64 {
+	if v.IsEmpty() {
+		panic("interval: Clamp on empty interval")
+	}
+	if x < v.Lo {
+		return v.Lo
+	}
+	if x > v.Hi {
+		return v.Hi
+	}
+	return x
+}
+
+// Intersect returns the intersection of v and w (possibly empty).
+func (v Interval) Intersect(w Interval) Interval {
+	r := Interval{math.Max(v.Lo, w.Lo), math.Min(v.Hi, w.Hi)}
+	if r.IsEmpty() {
+		return Empty()
+	}
+	return r
+}
+
+// Hull returns the smallest interval containing both v and w.
+func (v Interval) Hull(w Interval) Interval {
+	if v.IsEmpty() {
+		return w
+	}
+	if w.IsEmpty() {
+		return v
+	}
+	return Interval{math.Min(v.Lo, w.Lo), math.Max(v.Hi, w.Hi)}
+}
+
+// String formats the interval in conventional bracket notation.
+func (v Interval) String() string {
+	if v.IsEmpty() {
+		return "∅"
+	}
+	return fmt.Sprintf("[%g, %g]", v.Lo, v.Hi)
+}
+
+// ulps widens both endpoints of r outward by a small relative amount. It is
+// applied after every nonlinear operation so that floating-point rounding
+// cannot make an over-approximation accidentally too tight.
+func widen(r Interval) Interval {
+	if r.IsEmpty() {
+		return r
+	}
+	const rel = 1e-12
+	const abs = 1e-300
+	lo, hi := r.Lo, r.Hi
+	if !math.IsInf(lo, 0) {
+		lo -= rel*math.Abs(lo) + abs
+	}
+	if !math.IsInf(hi, 0) {
+		hi += rel*math.Abs(hi) + abs
+	}
+	return Interval{lo, hi}
+}
+
+// Neg returns -v.
+func (v Interval) Neg() Interval {
+	if v.IsEmpty() {
+		return v
+	}
+	return Interval{-v.Hi, -v.Lo}
+}
+
+// Add returns v + w. Endpoints are computed in plain float64 arithmetic
+// (within 1 ulp); additive results are not widened so that exact integer
+// endpoint arithmetic — ubiquitous in constraint bounds — stays exact.
+func (v Interval) Add(w Interval) Interval {
+	if v.IsEmpty() || w.IsEmpty() {
+		return Empty()
+	}
+	return Interval{addDown(v.Lo, w.Lo), addUp(v.Hi, w.Hi)}
+}
+
+// Sub returns v - w. See Add for the rounding policy.
+func (v Interval) Sub(w Interval) Interval {
+	if v.IsEmpty() || w.IsEmpty() {
+		return Empty()
+	}
+	return Interval{addDown(v.Lo, -w.Hi), addUp(v.Hi, -w.Lo)}
+}
+
+// addDown and addUp compute a+b, mapping the indeterminate form Inf + -Inf
+// (which arises only from unbounded-endpoint combinations that cannot
+// constrain the result) to the conservative choice for the given bound.
+func addDown(a, b float64) float64 {
+	s := a + b
+	if math.IsNaN(s) {
+		return math.Inf(-1)
+	}
+	return s
+}
+
+func addUp(a, b float64) float64 {
+	s := a + b
+	if math.IsNaN(s) {
+		return math.Inf(1)
+	}
+	return s
+}
+
+// mulBound computes a*b for endpoint arithmetic, using the convention
+// 0 * ±Inf = 0 (correct for interval endpoint products, where the zero
+// factor means the term cannot move the bound).
+func mulBound(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a * b
+}
+
+// Mul returns v * w.
+func (v Interval) Mul(w Interval) Interval {
+	if v.IsEmpty() || w.IsEmpty() {
+		return Empty()
+	}
+	p1 := mulBound(v.Lo, w.Lo)
+	p2 := mulBound(v.Lo, w.Hi)
+	p3 := mulBound(v.Hi, w.Lo)
+	p4 := mulBound(v.Hi, w.Hi)
+	lo := math.Min(math.Min(p1, p2), math.Min(p3, p4))
+	hi := math.Max(math.Max(p1, p2), math.Max(p3, p4))
+	return widen(Interval{lo, hi})
+}
+
+// Div returns the hull of v / w. When w contains zero in its interior the
+// true quotient set may be a union of two rays; the hull (the whole line,
+// or a single ray when an endpoint of w is zero) is returned instead, which
+// is sound for refutation purposes.
+func (v Interval) Div(w Interval) Interval {
+	if v.IsEmpty() || w.IsEmpty() {
+		return Empty()
+	}
+	if w.Lo == 0 && w.Hi == 0 {
+		// Division by the point zero: no real quotient exists.
+		return Empty()
+	}
+	if w.Lo < 0 && w.Hi > 0 {
+		return Whole()
+	}
+	// w is now a sign-definite interval, possibly with one zero endpoint.
+	if w.Lo == 0 {
+		w.Lo = math.SmallestNonzeroFloat64
+		r := v.Mul(Interval{1 / w.Hi, math.Inf(1)}.Intersect(Whole()))
+		return rayFix(v, w, r)
+	}
+	if w.Hi == 0 {
+		w.Hi = -math.SmallestNonzeroFloat64
+		r := v.Mul(Interval{math.Inf(-1), 1 / w.Lo})
+		return rayFix(v, w, r)
+	}
+	inv := Interval{1 / w.Hi, 1 / w.Lo}
+	return v.Mul(inv)
+}
+
+// rayFix widens ray-shaped division results that involve zero endpoints so
+// the over-approximation stays sound.
+func rayFix(v, w, r Interval) Interval {
+	_ = v
+	_ = w
+	if r.IsEmpty() {
+		return Whole()
+	}
+	return r
+}
+
+// Sqr returns v² (tighter than v.Mul(v) when v straddles zero).
+func (v Interval) Sqr() Interval {
+	if v.IsEmpty() {
+		return v
+	}
+	a, b := math.Abs(v.Lo), math.Abs(v.Hi)
+	hi := math.Max(a, b)
+	lo := 0.0
+	if !v.ContainsZero() {
+		lo = math.Min(a, b)
+	}
+	r := widen(Interval{lo * lo, hi * hi})
+	if r.Lo < 0 {
+		r.Lo = 0 // squares are nonnegative; widening must not cross zero
+	}
+	return r
+}
+
+// Sqrt returns the square root of the non-negative part of v. Empty if v is
+// entirely negative.
+func (v Interval) Sqrt() Interval {
+	if v.IsEmpty() || v.Hi < 0 {
+		return Empty()
+	}
+	lo := 0.0
+	if v.Lo > 0 {
+		lo = math.Sqrt(v.Lo)
+	}
+	return widen(Interval{lo, math.Sqrt(v.Hi)})
+}
+
+// Exp returns e^v.
+func (v Interval) Exp() Interval {
+	if v.IsEmpty() {
+		return v
+	}
+	r := widen(Interval{math.Exp(v.Lo), math.Exp(v.Hi)})
+	if r.Lo < 0 {
+		r.Lo = 0 // exponentials are nonnegative
+	}
+	return r
+}
+
+// Log returns the natural logarithm of the positive part of v. Empty if v
+// contains no positive points.
+func (v Interval) Log() Interval {
+	if v.IsEmpty() || v.Hi <= 0 {
+		return Empty()
+	}
+	lo := math.Inf(-1)
+	if v.Lo > 0 {
+		lo = math.Log(v.Lo)
+	}
+	return widen(Interval{lo, math.Log(v.Hi)})
+}
+
+// Abs returns |v|.
+func (v Interval) Abs() Interval {
+	if v.IsEmpty() {
+		return v
+	}
+	a, b := math.Abs(v.Lo), math.Abs(v.Hi)
+	hi := math.Max(a, b)
+	lo := 0.0
+	if !v.ContainsZero() {
+		lo = math.Min(a, b)
+	}
+	return Interval{lo, hi}
+}
+
+// Sin returns the sine of v.
+func (v Interval) Sin() Interval {
+	if v.IsEmpty() {
+		return v
+	}
+	if v.Width() >= 2*math.Pi || math.IsInf(v.Lo, 0) || math.IsInf(v.Hi, 0) {
+		return Interval{-1, 1}
+	}
+	lo := math.Min(math.Sin(v.Lo), math.Sin(v.Hi))
+	hi := math.Max(math.Sin(v.Lo), math.Sin(v.Hi))
+	// A maximum occurs at x = π/2 + 2kπ, a minimum at x = -π/2 + 2kπ.
+	if containsCritical(v, math.Pi/2) {
+		hi = 1
+	}
+	if containsCritical(v, -math.Pi/2) {
+		lo = -1
+	}
+	r := widen(Interval{lo, hi})
+	return r.Intersect(Interval{-1, 1})
+}
+
+// Cos returns the cosine of v.
+func (v Interval) Cos() Interval {
+	if v.IsEmpty() {
+		return v
+	}
+	return v.Add(Point(math.Pi / 2)).Sin()
+}
+
+// containsCritical reports whether v contains a point c + 2kπ for integer k.
+func containsCritical(v Interval, c float64) bool {
+	// Smallest k with c + 2kπ >= v.Lo.
+	k := math.Ceil((v.Lo - c) / (2 * math.Pi))
+	x := c + 2*k*math.Pi
+	return x <= v.Hi
+}
+
+// Pow returns v raised to the integer power n.
+func (v Interval) Pow(n int) Interval {
+	if v.IsEmpty() {
+		return v
+	}
+	switch {
+	case n == 0:
+		return Point(1)
+	case n < 0:
+		return Point(1).Div(v.Pow(-n))
+	case n%2 == 0:
+		half := v.Pow(n / 2)
+		return half.Sqr()
+	default:
+		return v.Pow(n - 1).Mul(v)
+	}
+}

@@ -1,0 +1,267 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxIn(x float64, v Interval) bool {
+	const slack = 1e-9
+	return x >= v.Lo-slack-1e-9*math.Abs(v.Lo) && x <= v.Hi+slack+1e-9*math.Abs(v.Hi)
+}
+
+func TestBasics(t *testing.T) {
+	v := New(1, 3)
+	if v.IsEmpty() || !v.Contains(2) || v.Contains(4) {
+		t.Fatal("basic containment broken")
+	}
+	if Empty().Contains(0) {
+		t.Fatal("empty contains 0")
+	}
+	if !Whole().Contains(1e300) {
+		t.Fatal("whole missing 1e300")
+	}
+	if Point(5).Width() != 0 {
+		t.Fatal("point width")
+	}
+	if New(1, 3).Width() != 2 {
+		t.Fatal("width")
+	}
+}
+
+func TestMid(t *testing.T) {
+	cases := []struct {
+		v Interval
+	}{
+		{New(0, 10)}, {New(-5, 5)}, {Whole()},
+		{New(math.Inf(-1), 3)}, {New(3, math.Inf(1))},
+		{New(math.Inf(-1), -10)}, {New(10, math.Inf(1))},
+	}
+	for _, c := range cases {
+		m := c.v.Mid()
+		if math.IsInf(m, 0) || math.IsNaN(m) {
+			t.Fatalf("Mid(%v) = %v not finite", c.v, m)
+		}
+		if !c.v.Contains(m) {
+			t.Fatalf("Mid(%v) = %v outside", c.v, m)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := New(2, 5)
+	if v.Clamp(1) != 2 || v.Clamp(7) != 5 || v.Clamp(3) != 3 {
+		t.Fatal("clamp")
+	}
+}
+
+func TestIntersectHull(t *testing.T) {
+	a, b := New(0, 5), New(3, 8)
+	if got := a.Intersect(b); got.Lo != 3 || got.Hi != 5 {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Hull(b); got.Lo != 0 || got.Hi != 8 {
+		t.Fatalf("hull = %v", got)
+	}
+	if !New(0, 1).Intersect(New(2, 3)).IsEmpty() {
+		t.Fatal("disjoint intersect not empty")
+	}
+	if got := Empty().Hull(a); got != a {
+		t.Fatalf("hull with empty = %v", got)
+	}
+	if !Empty().Intersect(a).IsEmpty() {
+		t.Fatal("intersect with empty")
+	}
+}
+
+// TestArithmeticInclusion is the fundamental soundness property: for points
+// x ∈ X, y ∈ Y the result of the real operation lies in the interval result.
+func TestArithmeticInclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	randIv := func() Interval {
+		a := rng.Float64()*20 - 10
+		b := a + rng.Float64()*10
+		return New(a, b)
+	}
+	sample := func(v Interval) float64 {
+		return v.Lo + rng.Float64()*(v.Hi-v.Lo)
+	}
+	for iter := 0; iter < 2000; iter++ {
+		X, Y := randIv(), randIv()
+		x, y := sample(X), sample(Y)
+		if !approxIn(x+y, X.Add(Y)) {
+			t.Fatalf("add: %g+%g ∉ %v", x, y, X.Add(Y))
+		}
+		if !approxIn(x-y, X.Sub(Y)) {
+			t.Fatalf("sub: %g-%g ∉ %v", x, y, X.Sub(Y))
+		}
+		if !approxIn(x*y, X.Mul(Y)) {
+			t.Fatalf("mul: %g*%g ∉ %v", x, y, X.Mul(Y))
+		}
+		if y != 0 && !Y.ContainsZero() {
+			if !approxIn(x/y, X.Div(Y)) {
+				t.Fatalf("div: %g/%g ∉ %v (X=%v Y=%v)", x, y, X.Div(Y), X, Y)
+			}
+		}
+		if !approxIn(x*x, X.Sqr()) {
+			t.Fatalf("sqr: %g² ∉ %v", x, X.Sqr())
+		}
+		if !approxIn(-x, X.Neg()) {
+			t.Fatalf("neg")
+		}
+		if !approxIn(math.Abs(x), X.Abs()) {
+			t.Fatalf("abs")
+		}
+		if !approxIn(math.Sin(x), X.Sin()) {
+			t.Fatalf("sin(%g) = %g ∉ %v (X=%v)", x, math.Sin(x), X.Sin(), X)
+		}
+		if !approxIn(math.Cos(x), X.Cos()) {
+			t.Fatalf("cos(%g) ∉ %v (X=%v)", x, X.Cos(), X)
+		}
+		if x > 0 {
+			P := X.Intersect(New(1e-12, math.Inf(1)))
+			if P.Contains(x) {
+				if !approxIn(math.Log(x), P.Log()) {
+					t.Fatalf("log")
+				}
+				if !approxIn(math.Sqrt(x), P.Sqrt()) {
+					t.Fatalf("sqrt")
+				}
+			}
+		}
+		Z := X.Intersect(New(-5, 5))
+		if !Z.IsEmpty() {
+			z := Z.Clamp(x)
+			if !approxIn(math.Exp(z), Z.Exp()) {
+				t.Fatalf("exp")
+			}
+		}
+	}
+}
+
+func TestMulSigns(t *testing.T) {
+	cases := []struct {
+		a, b, want Interval
+	}{
+		{New(1, 2), New(3, 4), New(3, 8)},
+		{New(-2, -1), New(3, 4), New(-8, -3)},
+		{New(-2, 3), New(-1, 4), New(-8, 12)},
+		{New(0, 0), Whole(), New(0, 0)},
+	}
+	for _, c := range cases {
+		got := c.a.Mul(c.b)
+		if math.Abs(got.Lo-c.want.Lo) > 1e-9 || math.Abs(got.Hi-c.want.Hi) > 1e-9 {
+			t.Fatalf("%v * %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivByZeroSpan(t *testing.T) {
+	if got := New(1, 2).Div(New(-1, 1)); !got.IsWhole() {
+		t.Fatalf("1..2 / -1..1 = %v, want whole", got)
+	}
+	if got := New(1, 2).Div(Point(0)); !got.IsEmpty() {
+		t.Fatalf("x/0 = %v, want empty", got)
+	}
+}
+
+func TestSqrTighterThanMul(t *testing.T) {
+	v := New(-2, 3)
+	sq := v.Sqr()
+	if sq.Lo < -1e-9 {
+		t.Fatalf("square has negative lower bound: %v", sq)
+	}
+	if sq.Hi < 9-1e-6 {
+		t.Fatalf("square upper bound too small: %v", sq)
+	}
+}
+
+func TestSinRange(t *testing.T) {
+	// Full period → [-1,1].
+	if got := New(0, 10).Sin(); got.Lo > -1+1e-9 || got.Hi < 1-1e-9 {
+		t.Fatalf("sin over full period = %v", got)
+	}
+	// Small interval around 0: sin monotone.
+	got := New(-0.1, 0.1).Sin()
+	if !approxIn(math.Sin(-0.1), got) || !approxIn(math.Sin(0.1), got) || got.Hi > 0.2 {
+		t.Fatalf("sin(-0.1..0.1) = %v", got)
+	}
+	// Interval containing π/2 must reach 1.
+	got = New(1, 2).Sin()
+	if got.Hi < 1-1e-9 {
+		t.Fatalf("sin(1..2) = %v should reach 1", got)
+	}
+}
+
+func TestPow(t *testing.T) {
+	v := New(2, 3)
+	if got := v.Pow(0); got != Point(1) {
+		t.Fatalf("x^0 = %v", got)
+	}
+	got := v.Pow(3)
+	if !approxIn(8, got) || !approxIn(27, got) {
+		t.Fatalf("2..3 ^3 = %v", got)
+	}
+	got = New(-2, 2).Pow(2)
+	if got.Lo < -1e-9 || !approxIn(4, got) {
+		t.Fatalf("(-2..2)^2 = %v", got)
+	}
+	got = New(2, 4).Pow(-1)
+	if !approxIn(0.25, got) || !approxIn(0.5, got) {
+		t.Fatalf("(2..4)^-1 = %v", got)
+	}
+}
+
+func TestEmptyPropagation(t *testing.T) {
+	e := Empty()
+	for _, got := range []Interval{
+		e.Add(New(1, 2)), e.Sub(New(1, 2)), e.Mul(New(1, 2)),
+		e.Div(New(1, 2)), e.Neg(), e.Sqr(), e.Exp(),
+	} {
+		if !got.IsEmpty() {
+			t.Fatalf("operation on empty produced %v", got)
+		}
+	}
+}
+
+// Property: Hull is commutative and contains both arguments.
+func TestQuickHull(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(d) {
+			return true
+		}
+		v := New(math.Min(a, b), math.Max(a, b))
+		w := New(math.Min(c, d), math.Max(c, d))
+		h1, h2 := v.Hull(w), w.Hull(v)
+		return h1 == h2 && h1.Lo <= v.Lo && h1.Hi >= v.Hi && h1.Lo <= w.Lo && h1.Hi >= w.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative.
+func TestQuickAddComm(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(d) {
+			return true
+		}
+		v := New(math.Min(a, b), math.Max(a, b))
+		w := New(math.Min(c, d), math.Max(c, d))
+		return v.Add(w) == w.Add(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if Empty().String() != "∅" {
+		t.Fatal("empty string form")
+	}
+	if New(1, 2).String() != "[1, 2]" {
+		t.Fatalf("got %q", New(1, 2).String())
+	}
+}

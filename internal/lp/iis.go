@@ -1,0 +1,92 @@
+package lp
+
+// IIS computes an irreducible infeasible subset of the problem's
+// constraints by the deletion filter: every constraint is tentatively
+// removed, and kept out when the remainder is still infeasible. The result
+// is the paper's "smallest conflicting subset ... computed and returned as
+// a hint for further queries to the SAT-solver" — irreducible (no proper
+// subset of the returned rows is infeasible together with the variable
+// bounds), though not necessarily of globally minimum cardinality.
+//
+// The problem must be infeasible; if it is not, IIS returns nil. Variable
+// bounds are treated as background theory and are never removed.
+func (p *Problem) IIS() []int {
+	if !p.RefutedByPropagation() && p.Solve().Status != Infeasible {
+		return nil
+	}
+	active := make([]bool, len(p.Constraints))
+	for i := range active {
+		active[i] = true
+	}
+	// Each deletion test uses bound propagation as a cheap sound oracle
+	// first; only propagation-inconclusive subsets pay for a simplex run.
+	stillInfeasible := func() bool {
+		rows := p.activeRows(active)
+		if !propagateBounds(rows, p.Lower, p.Upper, 50) {
+			return true
+		}
+		return p.solveRows(rows).Status == Infeasible
+	}
+	for i := range p.Constraints {
+		active[i] = false
+		if !stillInfeasible() {
+			active[i] = true // i is needed for infeasibility
+		}
+	}
+	var out []int
+	for i, a := range active {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IISByPropagation computes an infeasible subset using only the bound
+// propagation oracle: constraints are removed while propagation still
+// refutes the remainder. The result is sound (a genuinely conflicting
+// subset) and cheap to obtain, though possibly reducible — deletions that
+// leave propagation inconclusive are kept even if a simplex run could
+// discard them. Returns nil when propagation cannot refute the full set.
+func (p *Problem) IISByPropagation() []int {
+	if !p.RefutedByPropagation() {
+		return nil
+	}
+	active := make([]bool, len(p.Constraints))
+	for i := range active {
+		active[i] = true
+	}
+	for i := range p.Constraints {
+		active[i] = false
+		if propagateBounds(p.activeRows(active), p.Lower, p.Upper, 50) {
+			active[i] = true
+		}
+	}
+	var out []int
+	for i, a := range active {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (p *Problem) activeRows(active []bool) []Constraint {
+	rows := make([]Constraint, 0, len(p.Constraints))
+	for i, c := range p.Constraints {
+		if active[i] {
+			rows = append(rows, c)
+		}
+	}
+	return rows
+}
+
+// solveRows solves the problem with a replacement row set.
+func (p *Problem) solveRows(rows []Constraint) Result {
+	q := NewProblem()
+	q.Constraints = rows
+	q.Lower = p.Lower
+	q.Upper = p.Upper
+	q.MaxIter = p.MaxIter
+	return q.Solve()
+}

@@ -1,0 +1,199 @@
+package lp
+
+import (
+	"math"
+)
+
+// MIPResult extends Result with branch-and-bound statistics.
+type MIPResult struct {
+	Result
+	Nodes int
+}
+
+// intTol is the integrality tolerance of branch-and-bound.
+const intTol = 1e-6
+
+// SolveMIP solves the problem honouring Integer variable marks by LP-based
+// branch-and-bound (depth-first, most-fractional branching). Without an
+// objective the first integral point is returned; with one, the optimum.
+// maxNodes bounds the search (0 = a generous default); exhausting it yields
+// Status IterLimit.
+func (p *Problem) SolveMIP(maxNodes int) MIPResult {
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+	if len(p.Integer) == 0 {
+		return MIPResult{Result: p.Solve()}
+	}
+
+	type node struct {
+		lower map[string]float64
+		upper map[string]float64
+	}
+	copyBounds := func(m map[string]float64) map[string]float64 {
+		c := make(map[string]float64, len(m)+1)
+		for k, v := range m {
+			c[k] = v
+		}
+		return c
+	}
+
+	stack := []node{{lower: copyBounds(p.Lower), upper: copyBounds(p.Upper)}}
+	nodes := 0
+	var best *Result
+	hitLimit := false
+
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			hitLimit = true
+			break
+		}
+		nodes++
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		sub := &Problem{
+			Constraints: p.Constraints,
+			Objective:   p.Objective,
+			Lower:       nd.lower,
+			Upper:       nd.upper,
+			Integer:     p.Integer,
+			MaxIter:     p.MaxIter,
+		}
+		r := sub.Solve()
+		switch r.Status {
+		case Infeasible:
+			continue
+		case Unbounded:
+			// An unbounded relaxation of a feasibility problem still needs
+			// an integral witness; round the relaxation's point and branch.
+		case IterLimit:
+			hitLimit = true
+			continue
+		}
+		if best != nil && p.Objective != nil && r.Objective >= best.Objective-1e-9 {
+			continue // bound: relaxation cannot beat incumbent
+		}
+
+		// Find the most fractional integer variable.
+		branchVar := ""
+		worst := intTol
+		for v := range p.Integer {
+			f := r.X[v]
+			frac := math.Abs(f - math.Round(f))
+			if frac > worst {
+				worst = frac
+				branchVar = v
+			}
+		}
+		if branchVar == "" {
+			// Integral solution (within intTol). Snap values exactly and
+			// verify.
+			snapped := make(map[string]float64, len(r.X))
+			for k, v := range r.X {
+				snapped[k] = v
+			}
+			for v := range p.Integer {
+				snapped[v] = math.Round(snapped[v])
+			}
+			accepted := false
+			if err := p.Verify(snapped, true); err == nil {
+				r.X = snapped
+				accepted = true
+			} else {
+				// Snapping perturbed a tight constraint. Re-examine
+				// fractionality at a much tighter tolerance first: an
+				// ε-strict row can leave an integer variable at k+1e-6 —
+				// within intTol yet genuinely fractional, so branching on
+				// it makes real progress (k and k+1 are different boxes).
+				for v := range p.Integer {
+					frac := math.Abs(r.X[v] - math.Round(r.X[v]))
+					if frac > 1e-9 && (branchVar == "" || frac > worst) {
+						worst = frac
+						branchVar = v
+					}
+				}
+				if branchVar == "" {
+					// Exactly integral yet infeasible after snapping:
+					// re-solve the continuous variables with the integers
+					// fixed to their rounded values; if even that fails
+					// the node is abandoned (a numerical fluke).
+					fixed := &Problem{
+						Constraints: p.Constraints,
+						Objective:   p.Objective,
+						Lower:       copyBounds(nd.lower),
+						Upper:       copyBounds(nd.upper),
+						Integer:     p.Integer,
+						MaxIter:     p.MaxIter,
+					}
+					for v := range p.Integer {
+						fixed.Lower[v] = snapped[v]
+						fixed.Upper[v] = snapped[v]
+					}
+					fr := fixed.Solve()
+					if fr.Status != Feasible {
+						continue
+					}
+					r.X = fr.X
+					for v := range p.Integer {
+						r.X[v] = math.Round(r.X[v])
+					}
+					if err := p.Verify(r.X, true); err != nil {
+						continue
+					}
+					accepted = true
+				}
+			}
+			if accepted {
+				if p.Objective != nil {
+					obj := 0.0
+					for v, c := range p.Objective {
+						obj += c * r.X[v]
+					}
+					r.Objective = obj
+					if best == nil || r.Objective < best.Objective {
+						cp := r
+						best = &cp
+					}
+					continue
+				}
+				return MIPResult{Result: r, Nodes: nodes}
+			}
+			// Not accepted: branchVar now names a tight-tolerance
+			// fractional variable to branch on.
+		}
+
+		f := r.X[branchVar]
+		lo := copyBounds(nd.lower)
+		hi := copyBounds(nd.upper)
+		// Down branch: x ≤ floor(f)
+		down := node{lower: lo, upper: copyBounds(nd.upper)}
+		if cur, ok := down.upper[branchVar]; !ok || math.Floor(f) < cur {
+			down.upper[branchVar] = math.Floor(f)
+		}
+		// Up branch: x ≥ ceil(f)
+		up := node{lower: copyBounds(nd.lower), upper: hi}
+		if cur, ok := up.lower[branchVar]; !ok || math.Ceil(f) > cur {
+			up.lower[branchVar] = math.Ceil(f)
+		}
+		// Prune empty boxes.
+		pushIfBoxNonempty := func(n node) {
+			if l, okL := n.lower[branchVar]; okL {
+				if u, okU := n.upper[branchVar]; okU && l > u {
+					return
+				}
+			}
+			stack = append(stack, n)
+		}
+		pushIfBoxNonempty(up)
+		pushIfBoxNonempty(down) // explored first (LIFO)
+	}
+
+	if best != nil {
+		return MIPResult{Result: *best, Nodes: nodes}
+	}
+	if hitLimit {
+		return MIPResult{Result: Result{Status: IterLimit}, Nodes: nodes}
+	}
+	return MIPResult{Result: Result{Status: Infeasible}, Nodes: nodes}
+}

@@ -1,0 +1,95 @@
+package lp
+
+import "math"
+
+// presolved is the outcome of the unit-row presolve.
+type presolved struct {
+	status Status // Feasible (meaning: not yet decided) or Infeasible
+	rows   []Constraint
+	lower  map[string]float64
+	upper  map[string]float64
+}
+
+// presolve absorbs single-variable rows into variable bounds. On the
+// conjunction-heavy systems the SMT engine produces, most rows are unit
+// (x ≤ A, x = 0, lock = i, …); folding them into bounds shrinks the
+// simplex tableau by an order of magnitude. Bound crossings are detected
+// immediately as infeasibility. Constant rows (no variables) are decided
+// in place.
+func presolve(p *Problem) presolved {
+	lower := make(map[string]float64, len(p.Lower))
+	upper := make(map[string]float64, len(p.Upper))
+	for v, b := range p.Lower {
+		lower[v] = b
+	}
+	for v, b := range p.Upper {
+		upper[v] = b
+	}
+	tightenLo := func(v string, b float64) {
+		if cur, ok := lower[v]; !ok || b > cur {
+			lower[v] = b
+		}
+	}
+	tightenHi := func(v string, b float64) {
+		if cur, ok := upper[v]; !ok || b < cur {
+			upper[v] = b
+		}
+	}
+	var rows []Constraint
+	for _, c := range p.Constraints {
+		// Count nonzero coefficients.
+		var name string
+		var coeff float64
+		n := 0
+		for v, a := range c.Coeffs {
+			if a != 0 {
+				n++
+				name, coeff = v, a
+			}
+		}
+		switch n {
+		case 0:
+			ok := true
+			switch c.Rel {
+			case LE:
+				ok = 0 <= c.RHS+FeasTol
+			case GE:
+				ok = 0 >= c.RHS-FeasTol
+			case EQ:
+				ok = math.Abs(c.RHS) <= FeasTol
+			}
+			if !ok {
+				return presolved{status: Infeasible}
+			}
+		case 1:
+			b := c.RHS / coeff
+			rel := c.Rel
+			if coeff < 0 {
+				switch rel {
+				case LE:
+					rel = GE
+				case GE:
+					rel = LE
+				}
+			}
+			switch rel {
+			case LE:
+				tightenHi(name, b)
+			case GE:
+				tightenLo(name, b)
+			case EQ:
+				tightenLo(name, b)
+				tightenHi(name, b)
+			}
+		default:
+			rows = append(rows, c)
+		}
+	}
+	for v, lo := range lower {
+		if hi, ok := upper[v]; ok && lo > hi+FeasTol {
+			_ = v
+			return presolved{status: Infeasible}
+		}
+	}
+	return presolved{status: Feasible, rows: rows, lower: lower, upper: upper}
+}

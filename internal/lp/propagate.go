@@ -1,0 +1,115 @@
+package lp
+
+import "math"
+
+// propagateBounds performs iterated bound propagation over the rows: for
+// every row Σ aᵢxᵢ ? b and every variable xⱼ in it, the bounds of the
+// remaining variables imply a bound on xⱼ, which tightens its domain.
+// Returns false when some domain becomes empty — a *proof* of
+// infeasibility. Returning true is inconclusive (propagation is not a
+// decision procedure); callers fall back to simplex.
+//
+// This is the cheap oracle that makes the deletion-filter IIS extraction
+// affordable on conjunction-heavy instances (equality chains, as in the
+// Fischer benchmarks): most subset tests are refuted by propagation alone,
+// and only the residual cases pay for a full simplex run.
+func propagateBounds(rows []Constraint, lower, upper map[string]float64, rounds int) bool {
+	lo := map[string]float64{}
+	hi := map[string]float64{}
+	for v, b := range lower {
+		lo[v] = b
+	}
+	for v, b := range upper {
+		hi[v] = b
+	}
+	get := func(m map[string]float64, v string, def float64) float64 {
+		if x, ok := m[v]; ok {
+			return x
+		}
+		return def
+	}
+	const tol = 1e-9
+	for round := 0; round < rounds; round++ {
+		changed := false
+		for _, r := range rows {
+			// Row as Σ aᵢxᵢ ≤ bU and/or Σ aᵢxᵢ ≥ bL.
+			var bU, bL float64
+			var hasU, hasL bool
+			switch r.Rel {
+			case LE:
+				bU, hasU = r.RHS, true
+			case GE:
+				bL, hasL = r.RHS, true
+			case EQ:
+				bU, bL, hasU, hasL = r.RHS, r.RHS, true, true
+			}
+			for v, a := range r.Coeffs {
+				if a == 0 {
+					continue
+				}
+				// Bounds on Σ_{w≠v} a_w x_w.
+				restLo, restHi := 0.0, 0.0
+				for w, aw := range r.Coeffs {
+					if w == v || aw == 0 {
+						continue
+					}
+					wl := get(lo, w, math.Inf(-1))
+					wh := get(hi, w, math.Inf(1))
+					if aw > 0 {
+						restLo += aw * wl
+						restHi += aw * wh
+					} else {
+						restLo += aw * wh
+						restHi += aw * wl
+					}
+				}
+				// a·x ≤ bU − restLo  and  a·x ≥ bL − restHi.
+				if hasU && !math.IsInf(restLo, 0) {
+					bound := bU - restLo
+					if a > 0 {
+						nb := bound / a
+						if nb < get(hi, v, math.Inf(1))-tol {
+							hi[v] = nb
+							changed = true
+						}
+					} else {
+						nb := bound / a
+						if nb > get(lo, v, math.Inf(-1))+tol {
+							lo[v] = nb
+							changed = true
+						}
+					}
+				}
+				if hasL && !math.IsInf(restHi, 0) {
+					bound := bL - restHi
+					if a > 0 {
+						nb := bound / a
+						if nb > get(lo, v, math.Inf(-1))+tol {
+							lo[v] = nb
+							changed = true
+						}
+					} else {
+						nb := bound / a
+						if nb < get(hi, v, math.Inf(1))-tol {
+							hi[v] = nb
+							changed = true
+						}
+					}
+				}
+				if get(lo, v, math.Inf(-1)) > get(hi, v, math.Inf(1))+FeasTol {
+					return false
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return true
+}
+
+// RefutedByPropagation reports whether bound propagation alone proves the
+// problem's rows infeasible under its variable bounds.
+func (p *Problem) RefutedByPropagation() bool {
+	return !propagateBounds(p.Constraints, p.Lower, p.Upper, 50)
+}

@@ -1,0 +1,545 @@
+package lustre
+
+import (
+	"fmt"
+	"sort"
+
+	"absolver/internal/circuit"
+	"absolver/internal/core"
+	"absolver/internal/expr"
+	"absolver/internal/simulink"
+)
+
+// FromSimulink translates a block diagram into a single-node Lustre program
+// — the first arrow of the Fig. 3 work-flow. Every non-port block becomes a
+// local flow with one equation; inports become node inputs and outports
+// node outputs.
+func FromSimulink(m *simulink.Model) (*Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{Name: m.Name}
+
+	names := make([]string, 0, len(m.Blocks))
+	for name := range m.Blocks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	feeds := map[string]map[int]string{}
+	for _, l := range m.Lines {
+		if feeds[l.To] == nil {
+			feeds[l.To] = map[int]string{}
+		}
+		feeds[l.To][l.ToPort] = l.From
+	}
+	in := func(blk string, port int) Expr { return Ref{feeds[blk][port]} }
+
+	boolBlocks := map[string]bool{}
+	// Two passes: declare, then equations (type of a block's flow depends
+	// only on the block kind).
+	for _, name := range names {
+		b := m.Blocks[name]
+		switch b.Type {
+		case simulink.Inport:
+			ty := TReal
+			if b.IntSignal {
+				ty = TInt
+			}
+			n.Inputs = append(n.Inputs, VarDecl{Name: name, Type: ty})
+		case simulink.Outport:
+			src := m.Blocks[feeds[name][1]]
+			ty := TReal
+			if src.Type == simulink.RelOp || src.Type == simulink.Logic {
+				ty = TBool
+			}
+			n.Outputs = append(n.Outputs, VarDecl{Name: name, Type: ty})
+		case simulink.RelOp, simulink.Logic:
+			boolBlocks[name] = true
+			n.Locals = append(n.Locals, VarDecl{Name: name, Type: TBool})
+		default:
+			n.Locals = append(n.Locals, VarDecl{Name: name, Type: TReal})
+		}
+	}
+	_ = boolBlocks
+
+	for _, name := range names {
+		b := m.Blocks[name]
+		var rhs Expr
+		switch b.Type {
+		case simulink.Inport:
+			continue
+		case simulink.Outport:
+			rhs = in(name, 1)
+		case simulink.Constant:
+			rhs = Num{b.Value}
+		case simulink.Gain:
+			rhs = Binary{Op: "*", L: Num{b.Value}, R: in(name, 1)}
+		case simulink.Sum:
+			nports := len(feeds[name])
+			signs := b.Signs
+			for len(signs) < nports {
+				signs += "+"
+			}
+			var acc Expr
+			for p := 1; p <= nports; p++ {
+				term := in(name, p)
+				if signs[p-1] == '-' {
+					if acc == nil {
+						term = Unary{Op: "-", X: term}
+					}
+					if acc != nil {
+						acc = Binary{Op: "-", L: acc, R: term}
+						continue
+					}
+					acc = term
+					continue
+				}
+				if acc == nil {
+					acc = term
+				} else {
+					acc = Binary{Op: "+", L: acc, R: term}
+				}
+			}
+			rhs = acc
+		case simulink.Product:
+			var acc Expr
+			for p := 1; p <= len(feeds[name]); p++ {
+				if acc == nil {
+					acc = in(name, p)
+				} else {
+					acc = Binary{Op: "*", L: acc, R: in(name, p)}
+				}
+			}
+			rhs = acc
+		case simulink.Divide:
+			rhs = Binary{Op: "/", L: in(name, 1), R: in(name, 2)}
+		case simulink.RelOp:
+			op := map[expr.CmpOp]string{
+				expr.CmpLT: "<", expr.CmpGT: ">", expr.CmpLE: "<=",
+				expr.CmpGE: ">=", expr.CmpEQ: "=", expr.CmpNE: "<>",
+			}[b.Op]
+			rhs = Binary{Op: op, L: in(name, 1), R: in(name, 2)}
+		case simulink.Logic:
+			switch b.Logic {
+			case simulink.LogicNot:
+				rhs = Unary{Op: "not", X: in(name, 1)}
+			default:
+				op := map[simulink.LogicOp]string{
+					simulink.LogicAnd: "and", simulink.LogicOr: "or", simulink.LogicXor: "xor",
+				}[b.Logic]
+				var acc Expr
+				for p := 1; p <= len(feeds[name]); p++ {
+					if acc == nil {
+						acc = in(name, p)
+					} else {
+						acc = Binary{Op: op, L: acc, R: in(name, p)}
+					}
+				}
+				rhs = acc
+			}
+		case simulink.Saturation:
+			x := in(name, 1)
+			rhs = Ite{
+				Cond: Binary{Op: ">=", L: x, R: Num{b.Hi}},
+				Then: Num{b.Hi},
+				Else: Ite{
+					Cond: Binary{Op: "<=", L: x, R: Num{b.Lo}},
+					Then: Num{b.Lo},
+					Else: x,
+				},
+			}
+		case simulink.Switch:
+			rhs = Ite{
+				Cond: Binary{Op: ">=", L: in(name, 2), R: Num{b.Value}},
+				Then: in(name, 1),
+				Else: in(name, 3),
+			}
+		case simulink.Fcn:
+			rhs = Call{Fn: b.Fn.String(), Arg: in(name, 1)}
+		case simulink.MinMax:
+			op := "<="
+			if b.Max {
+				op = ">="
+			}
+			acc := in(name, 1)
+			for p := 2; p <= len(feeds[name]); p++ {
+				next := in(name, p)
+				acc = Ite{
+					Cond: Binary{Op: op, L: acc, R: next},
+					Then: acc,
+					Else: next,
+				}
+			}
+			rhs = acc
+		case simulink.DeadZone:
+			x := in(name, 1)
+			rhs = Ite{
+				Cond: Binary{Op: ">=", L: x, R: Num{b.Hi}},
+				Then: Binary{Op: "-", L: x, R: Num{b.Hi}},
+				Else: Ite{
+					Cond: Binary{Op: "<=", L: x, R: Num{b.Lo}},
+					Then: Binary{Op: "-", L: x, R: Num{b.Lo}},
+					Else: Num{0},
+				},
+			}
+		}
+		n.Equations = append(n.Equations, Equation{Target: name, Rhs: rhs})
+	}
+	return &Program{Nodes: []*Node{n}}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Lustre → AB extraction (the second arrow of Fig. 3).
+
+// extractor converts the main node's Boolean outputs into a circuit.
+type extractor struct {
+	node   *Node
+	types  map[string]Type
+	eqs    map[string]Expr
+	inputs map[string]bool
+
+	numCache  map[string]expr.Expr
+	boolCache map[string]*circuit.Gate
+	atomCache map[string]*circuit.Gate
+	busy      map[string]bool
+
+	aux    []*circuit.Gate
+	auxSeq int
+}
+
+// Extract converts the program's main node into a verification circuit:
+// the conjunction of all Boolean outputs (plus auxiliary definitions from
+// numeric if-then-else). Numeric outputs are returned separately.
+func Extract(p *Program) (*circuit.Circuit, map[string]expr.Expr, error) {
+	n := p.Main()
+	if n == nil {
+		return nil, nil, fmt.Errorf("lustre: empty program")
+	}
+	ex := &extractor{
+		node:      n,
+		types:     map[string]Type{},
+		eqs:       map[string]Expr{},
+		inputs:    map[string]bool{},
+		numCache:  map[string]expr.Expr{},
+		boolCache: map[string]*circuit.Gate{},
+		atomCache: map[string]*circuit.Gate{},
+		busy:      map[string]bool{},
+	}
+	for _, d := range n.Inputs {
+		ex.types[d.Name] = d.Type
+		ex.inputs[d.Name] = true
+	}
+	for _, d := range n.Outputs {
+		ex.types[d.Name] = d.Type
+	}
+	for _, d := range n.Locals {
+		ex.types[d.Name] = d.Type
+	}
+	for _, eq := range n.Equations {
+		if _, dup := ex.eqs[eq.Target]; dup {
+			return nil, nil, fmt.Errorf("lustre: multiple equations for %s", eq.Target)
+		}
+		ex.eqs[eq.Target] = eq.Rhs
+	}
+
+	var gates []*circuit.Gate
+	nums := map[string]expr.Expr{}
+	for _, d := range n.Outputs {
+		if d.Type == TBool {
+			g, err := ex.boolFlow(d.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			gates = append(gates, g)
+		} else {
+			e, err := ex.numFlow(d.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			nums[d.Name] = e
+		}
+	}
+	gates = append(gates, ex.aux...)
+	if len(gates) == 0 {
+		return nil, nums, fmt.Errorf("lustre: node %s has no Boolean outputs", n.Name)
+	}
+	var out *circuit.Gate
+	if len(gates) == 1 {
+		out = gates[0]
+	} else {
+		out = circuit.And(gates...)
+	}
+	return circuit.New(out), nums, nil
+}
+
+// ExtractProblem lowers the program straight to an AB problem.
+func ExtractProblem(p *Program) (*core.Problem, error) {
+	c, _, err := Extract(p)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromCircuit(c), nil
+}
+
+func (ex *extractor) boolFlow(name string) (*circuit.Gate, error) {
+	if g, ok := ex.boolCache[name]; ok {
+		return g, nil
+	}
+	if ex.inputs[name] {
+		g := circuit.Input(name)
+		ex.boolCache[name] = g
+		return g, nil
+	}
+	rhs, ok := ex.eqs[name]
+	if !ok {
+		return nil, fmt.Errorf("lustre: no equation for Boolean flow %s", name)
+	}
+	if ex.busy[name] {
+		return nil, fmt.Errorf("lustre: cyclic definition of %s", name)
+	}
+	ex.busy[name] = true
+	defer delete(ex.busy, name)
+	g, err := ex.boolExpr(rhs)
+	if err != nil {
+		return nil, err
+	}
+	ex.boolCache[name] = g
+	return g, nil
+}
+
+func (ex *extractor) numFlow(name string) (expr.Expr, error) {
+	if e, ok := ex.numCache[name]; ok {
+		return e, nil
+	}
+	if ex.inputs[name] {
+		e := expr.V(name)
+		ex.numCache[name] = e
+		return e, nil
+	}
+	rhs, ok := ex.eqs[name]
+	if !ok {
+		return nil, fmt.Errorf("lustre: no equation for numeric flow %s", name)
+	}
+	if ex.busy[name] {
+		return nil, fmt.Errorf("lustre: cyclic definition of %s", name)
+	}
+	ex.busy[name] = true
+	defer delete(ex.busy, name)
+	e, err := ex.numExpr(rhs)
+	if err != nil {
+		return nil, err
+	}
+	ex.numCache[name] = e
+	return e, nil
+}
+
+func (ex *extractor) boolExpr(e Expr) (*circuit.Gate, error) {
+	switch x := e.(type) {
+	case BoolLit:
+		return circuit.Const(x.V), nil
+	case Ref:
+		if t, ok := ex.types[x.Name]; ok && t != TBool {
+			return nil, fmt.Errorf("lustre: %s used as bool but declared %s", x.Name, t)
+		}
+		return ex.boolFlow(x.Name)
+	case Unary:
+		if x.Op != "not" {
+			return nil, fmt.Errorf("lustre: unary %q is not Boolean", x.Op)
+		}
+		g, err := ex.boolExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Not(g), nil
+	case Binary:
+		switch x.Op {
+		case "and", "or", "xor", "=>":
+			l, err := ex.boolExpr(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ex.boolExpr(x.R)
+			if err != nil {
+				return nil, err
+			}
+			switch x.Op {
+			case "and":
+				return circuit.And(l, r), nil
+			case "or":
+				return circuit.Or(l, r), nil
+			case "xor":
+				return circuit.Xor(l, r), nil
+			default:
+				return circuit.Implies(l, r), nil
+			}
+		case "<", "<=", ">", ">=", "=", "<>":
+			// Boolean '=' / '<>' over Boolean operands is iff / xor.
+			if (x.Op == "=" || x.Op == "<>") && ex.isBoolOperand(x.L) && ex.isBoolOperand(x.R) {
+				l, err := ex.boolExpr(x.L)
+				if err != nil {
+					return nil, err
+				}
+				r, err := ex.boolExpr(x.R)
+				if err != nil {
+					return nil, err
+				}
+				if x.Op == "=" {
+					return circuit.Not(circuit.Xor(l, r)), nil
+				}
+				return circuit.Xor(l, r), nil
+			}
+			l, err := ex.numExpr(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ex.numExpr(x.R)
+			if err != nil {
+				return nil, err
+			}
+			op := map[string]expr.CmpOp{
+				"<": expr.CmpLT, "<=": expr.CmpLE, ">": expr.CmpGT,
+				">=": expr.CmpGE, "=": expr.CmpEQ, "<>": expr.CmpNE,
+			}[x.Op]
+			return ex.atomGate(expr.NewAtom(l, op, r, ex.domainOf(l, r))), nil
+		}
+		return nil, fmt.Errorf("lustre: operator %q is not Boolean", x.Op)
+	case Ite:
+		c, err := ex.boolExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		t, err := ex.boolExpr(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		el, err := ex.boolExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Ite(c, t, el), nil
+	}
+	return nil, fmt.Errorf("lustre: expression %T is not Boolean", e)
+}
+
+func (ex *extractor) isBoolOperand(e Expr) bool {
+	switch x := e.(type) {
+	case BoolLit:
+		return true
+	case Ref:
+		return ex.types[x.Name] == TBool
+	case Unary:
+		return x.Op == "not"
+	case Binary:
+		switch x.Op {
+		case "and", "or", "xor", "=>", "<", "<=", ">", ">=":
+			return true
+		}
+	}
+	return false
+}
+
+func (ex *extractor) numExpr(e Expr) (expr.Expr, error) {
+	switch x := e.(type) {
+	case Num:
+		return expr.C(x.V), nil
+	case Ref:
+		if t, ok := ex.types[x.Name]; ok && t == TBool {
+			return nil, fmt.Errorf("lustre: %s used numerically but declared bool", x.Name)
+		}
+		return ex.numFlow(x.Name)
+	case Unary:
+		if x.Op != "-" {
+			return nil, fmt.Errorf("lustre: unary %q is not numeric", x.Op)
+		}
+		inner, err := ex.numExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Neg{X: inner}, nil
+	case Binary:
+		var op expr.Op
+		switch x.Op {
+		case "+":
+			op = expr.OpAdd
+		case "-":
+			op = expr.OpSub
+		case "*":
+			op = expr.OpMul
+		case "/":
+			op = expr.OpDiv
+		default:
+			return nil, fmt.Errorf("lustre: operator %q is not numeric", x.Op)
+		}
+		l, err := ex.numExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.numExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Bin{Op: op, L: l, R: r}, nil
+	case Ite:
+		// Numeric if-then-else: introduce an auxiliary variable v with the
+		// guarded definition (cond → v = then) ∧ (¬cond → v = else).
+		c, err := ex.boolExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		th, err := ex.numExpr(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		el, err := ex.numExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		ex.auxSeq++
+		v := expr.V(fmt.Sprintf("%s.ite%d", ex.node.Name, ex.auxSeq))
+		dom := ex.domainOf(th, el)
+		ex.aux = append(ex.aux,
+			circuit.Implies(c, ex.atomGate(expr.NewAtom(v, expr.CmpEQ, th, dom))),
+			circuit.Implies(circuit.Not(c), ex.atomGate(expr.NewAtom(v, expr.CmpEQ, el, dom))),
+		)
+		return v, nil
+	case Call:
+		arg, err := ex.numExpr(x.Arg)
+		if err != nil {
+			return nil, err
+		}
+		fn, ok := map[string]expr.Func{
+			"sin": expr.FuncSin, "cos": expr.FuncCos, "exp": expr.FuncExp,
+			"log": expr.FuncLog, "sqrt": expr.FuncSqrt, "abs": expr.FuncAbs,
+		}[x.Fn]
+		if !ok {
+			return nil, fmt.Errorf("lustre: unknown function %q", x.Fn)
+		}
+		return expr.Call{Fn: fn, Arg: arg}, nil
+	}
+	return nil, fmt.Errorf("lustre: expression %T is not numeric", e)
+}
+
+// domainOf returns Int when every variable of the expressions is declared
+// int, Real otherwise.
+func (ex *extractor) domainOf(es ...expr.Expr) expr.Domain {
+	for _, e := range es {
+		for _, v := range expr.Vars(e) {
+			if ex.types[v] != TInt {
+				return expr.Real
+			}
+		}
+	}
+	return expr.Int
+}
+
+// atomGate shares gates between identical atoms.
+func (ex *extractor) atomGate(a expr.Atom) *circuit.Gate {
+	key := a.String() + "#" + a.Domain.String()
+	if g, ok := ex.atomCache[key]; ok {
+		return g
+	}
+	g := circuit.AtomGate(a)
+	ex.atomCache[key] = g
+	return g
+}

@@ -1,0 +1,145 @@
+package lustre
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"absolver/internal/circuit"
+	"absolver/internal/expr"
+	"absolver/internal/simulink"
+)
+
+// genModel builds a random well-formed block diagram: a layer of numeric
+// inputs/constants, arithmetic blocks, relational operators, logic, and a
+// single Boolean outport.
+func genModel(rng *rand.Rand) *simulink.Model {
+	m := simulink.NewModel(fmt.Sprintf("rnd%d", rng.Int63()))
+	var numeric []string // names of numeric signal producers
+	var boolean []string
+
+	nIn := 2 + rng.Intn(3)
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("in%d", i)
+		m.Add(&simulink.Block{Name: name, Type: simulink.Inport})
+		numeric = append(numeric, name)
+	}
+	nConst := 1 + rng.Intn(2)
+	for i := 0; i < nConst; i++ {
+		name := fmt.Sprintf("k%d", i)
+		m.Add(&simulink.Block{Name: name, Type: simulink.Constant, Value: float64(rng.Intn(9) - 4)})
+		numeric = append(numeric, name)
+	}
+
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+
+	nArith := 2 + rng.Intn(5)
+	for i := 0; i < nArith; i++ {
+		name := fmt.Sprintf("a%d", i)
+		switch rng.Intn(5) {
+		case 0:
+			m.Add(&simulink.Block{Name: name, Type: simulink.Gain, Value: float64(rng.Intn(7) - 3)})
+			m.Connect(pick(numeric), name, 1)
+		case 1:
+			signs := []string{"++", "+-", "-+", "++-"}[rng.Intn(4)]
+			m.Add(&simulink.Block{Name: name, Type: simulink.Sum, Signs: signs})
+			for p := 1; p <= len(signs); p++ {
+				m.Connect(pick(numeric), name, p)
+			}
+		case 2:
+			m.Add(&simulink.Block{Name: name, Type: simulink.Product})
+			m.Connect(pick(numeric), name, 1)
+			m.Connect(pick(numeric), name, 2)
+		case 3:
+			m.Add(&simulink.Block{Name: name, Type: simulink.Divide})
+			m.Connect(pick(numeric), name, 1)
+			m.Connect(pick(numeric), name, 2)
+		default:
+			fns := []expr.Func{expr.FuncSin, expr.FuncCos, expr.FuncAbs, expr.FuncExp}
+			m.Add(&simulink.Block{Name: name, Type: simulink.Fcn, Fn: fns[rng.Intn(len(fns))]})
+			m.Connect(pick(numeric), name, 1)
+		}
+		numeric = append(numeric, name)
+	}
+
+	nRel := 2 + rng.Intn(3)
+	relops := []expr.CmpOp{expr.CmpLT, expr.CmpGT, expr.CmpLE, expr.CmpGE, expr.CmpEQ, expr.CmpNE}
+	for i := 0; i < nRel; i++ {
+		name := fmt.Sprintf("r%d", i)
+		m.Add(&simulink.Block{Name: name, Type: simulink.RelOp, Op: relops[rng.Intn(len(relops))]})
+		m.Connect(pick(numeric), name, 1)
+		m.Connect(pick(numeric), name, 2)
+		boolean = append(boolean, name)
+	}
+
+	nLogic := 1 + rng.Intn(4)
+	for i := 0; i < nLogic; i++ {
+		name := fmt.Sprintf("l%d", i)
+		switch rng.Intn(4) {
+		case 0:
+			m.Add(&simulink.Block{Name: name, Type: simulink.Logic, Logic: simulink.LogicNot})
+			m.Connect(pick(boolean), name, 1)
+		case 1:
+			m.Add(&simulink.Block{Name: name, Type: simulink.Logic, Logic: simulink.LogicXor})
+			m.Connect(pick(boolean), name, 1)
+			m.Connect(pick(boolean), name, 2)
+		default:
+			ops := []simulink.LogicOp{simulink.LogicAnd, simulink.LogicOr}
+			m.Add(&simulink.Block{Name: name, Type: simulink.Logic, Logic: ops[rng.Intn(2)]})
+			m.Connect(pick(boolean), name, 1)
+			m.Connect(pick(boolean), name, 2)
+		}
+		boolean = append(boolean, name)
+	}
+
+	m.Add(&simulink.Block{Name: "out", Type: simulink.Outport})
+	m.Connect(pick(boolean), "out", 1)
+	return m
+}
+
+// TestCrossValidateDirectVsLustre compares the two compilation paths of the
+// Fig. 3 tool-chain on random models: direct circuit compilation versus
+// Simulink → Lustre → text → parse → extraction. Both circuits must
+// evaluate identically on random input points (3-valued semantics).
+func TestCrossValidateDirectVsLustre(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 150; iter++ {
+		m := genModel(rng)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("iter %d: generated model invalid: %v", iter, err)
+		}
+
+		direct, err := m.Compile()
+		if err != nil {
+			t.Fatalf("iter %d: direct compile: %v", iter, err)
+		}
+		directCirc := direct.Circuit()
+
+		prog, err := FromSimulink(m)
+		if err != nil {
+			t.Fatalf("iter %d: to Lustre: %v", iter, err)
+		}
+		text := Format(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("iter %d: re-parse: %v\n%s", iter, err, text)
+		}
+		viaLustre, _, err := Extract(prog2)
+		if err != nil {
+			t.Fatalf("iter %d: extract: %v\n%s", iter, err, text)
+		}
+
+		for pt := 0; pt < 20; pt++ {
+			env := expr.Env{}
+			for _, in := range direct.Inports {
+				env[in] = float64(rng.Intn(13)-6) / 2
+			}
+			v1 := directCirc.Eval(circuit.Env{Real: env})
+			v2 := viaLustre.Eval(circuit.Env{Real: env})
+			if v1 != v2 {
+				t.Fatalf("iter %d pt %d: direct %v vs lustre %v at %v\nlustre:\n%s",
+					iter, pt, v1, v2, env, text)
+			}
+		}
+	}
+}

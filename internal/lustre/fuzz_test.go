@@ -1,0 +1,24 @@
+package lustre
+
+import "testing"
+
+// FuzzParse exercises the mini-Lustre parser; parsed programs must format
+// to text that re-parses to the same rendering.
+func FuzzParse(f *testing.F) {
+	f.Add("node n(x: real) returns (o: bool); let o = x > 0.0; tel;")
+	f.Add("node n(x: real; p: bool) returns (o: bool); var t: real; let t = if p then x else -x; o = t >= 1.0; tel;")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(p)
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted program does not re-parse: %v\n%s", err, text)
+		}
+		if Format(p2) != text {
+			t.Fatalf("format not idempotent:\n%s\nvs\n%s", text, Format(p2))
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package lustre
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics: random token soup must never panic the parser.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	alphabet := "node returns var let tel if then else and or not xor => bool int real x y ( ) : ; , + - * / < <= > >= = <> 0 1 2 .\n"
+	words := strings.Fields(alphabet)
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(60)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = Parse(sb.String())
+		}()
+	}
+}
+
+// TestExtractNeverPanics: parse-then-extract on mutated valid programs.
+func TestExtractNeverPanics(t *testing.T) {
+	base := `node m(x, y: real; i: int) returns (o: bool);
+var t: real;
+let
+  t = if x > 0.0 then x else -x;
+  o = (t >= y) and (i < 3) or not (x = y);
+tel;`
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 2000; iter++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			switch rng.Intn(3) {
+			case 0:
+				b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+			case 1:
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 2:
+				i := rng.Intn(len(b))
+				b = append(b[:i], append([]byte(";"), b[i:]...)...)
+			}
+			if len(b) == 0 {
+				b = []byte("node")
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input %q: %v", string(b), r)
+				}
+			}()
+			p, err := Parse(string(b))
+			if err == nil {
+				_, _, _ = Extract(p)
+			}
+		}()
+	}
+}

@@ -1,0 +1,246 @@
+package nlp
+
+import (
+	"math"
+
+	"absolver/internal/expr"
+	"absolver/internal/interval"
+)
+
+// contract runs HC4 sweeps over all atoms until fixpoint (no interval
+// shrinks by more than a relative threshold) or the round budget is
+// exhausted. It returns true when the box has been proved empty, i.e. the
+// conjunction is infeasible over the box.
+func contract(atoms []expr.Atom, box expr.Box, rounds int) (emptied bool) {
+	for round := 0; round < rounds; round++ {
+		changed := false
+		for _, a := range atoms {
+			switch reviseAtom(a, box) {
+			case reviseEmpty:
+				return true
+			case reviseChanged:
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return false
+}
+
+type reviseOutcome int
+
+const (
+	reviseUnchanged reviseOutcome = iota
+	reviseChanged
+	reviseEmpty
+)
+
+// reviseAtom projects one atom onto the box. The atom l ? r is normalised
+// to d = l − r with target interval T(?), and the backward pass pushes T
+// down the tree of d.
+func reviseAtom(a expr.Atom, box expr.Box) reviseOutcome {
+	var target interval.Interval
+	switch a.Op {
+	case expr.CmpLT, expr.CmpLE:
+		// Strict < is over-approximated by ≤ for contraction; but when the
+		// forward range already excludes all negative values, d < 0 is
+		// refuted even though d ≤ 0 would admit the boundary point.
+		if a.Op == expr.CmpLT {
+			if d := a.Diff().Interval(box); d.Lo >= 0 {
+				return reviseEmpty
+			}
+		}
+		target = interval.New(math.Inf(-1), 0)
+	case expr.CmpGT, expr.CmpGE:
+		if a.Op == expr.CmpGT {
+			if d := a.Diff().Interval(box); d.Hi <= 0 {
+				return reviseEmpty
+			}
+		}
+		target = interval.New(0, math.Inf(1))
+	case expr.CmpEQ:
+		target = interval.Point(0)
+	case expr.CmpNE:
+		// ≠ excludes a single point: no box contraction possible, but the
+		// atom refutes the box when d is identically zero over it.
+		d := a.Diff().Interval(box)
+		if d.IsPoint() && d.Lo == 0 {
+			return reviseEmpty
+		}
+		return reviseUnchanged
+	}
+	return revise(a.Diff(), target, box)
+}
+
+// revise performs one forward-backward (HC4-revise) pass of e against the
+// target interval, narrowing the box in place.
+func revise(e expr.Expr, target interval.Interval, box expr.Box) reviseOutcome {
+	fwd := e.Interval(box)
+	narrowed := fwd.Intersect(target)
+	if narrowed.IsEmpty() {
+		return reviseEmpty
+	}
+	return backward(e, narrowed, box)
+}
+
+// backward pushes the node's required interval down to the leaves,
+// intersecting variable domains.
+func backward(e expr.Expr, req interval.Interval, box expr.Box) reviseOutcome {
+	switch n := e.(type) {
+	case expr.Const:
+		if req.Intersect(interval.Point(n.V)).IsEmpty() {
+			return reviseEmpty
+		}
+		return reviseUnchanged
+
+	case expr.Var:
+		cur, ok := box[n.Name]
+		if !ok {
+			cur = interval.Whole()
+		}
+		next := cur.Intersect(req)
+		if next.IsEmpty() {
+			return reviseEmpty
+		}
+		if next != cur {
+			box[n.Name] = next
+			if shrunk(cur, next) {
+				return reviseChanged
+			}
+		}
+		return reviseUnchanged
+
+	case expr.Neg:
+		return backward(n.X, req.Neg(), box)
+
+	case expr.Bin:
+		l := n.L.Interval(box)
+		r := n.R.Interval(box)
+		var reqL, reqR interval.Interval
+		switch n.Op {
+		case expr.OpAdd: // l + r ∈ req ⇒ l ∈ req − r, r ∈ req − l
+			reqL = req.Sub(r)
+			reqR = req.Sub(l)
+		case expr.OpSub: // l − r ∈ req ⇒ l ∈ req + r, r ∈ l − req
+			reqL = req.Add(r)
+			reqR = l.Sub(req)
+		case expr.OpMul: // l·r ∈ req ⇒ l ∈ req / r, r ∈ req / l
+			if expr.Equal(n.L, n.R) {
+				// Square: child² ∈ req ⇒ child ∈ [−√hi, √hi]; a positive
+				// lower bound on req splits the preimage into two rays
+				// whose hull is taken (closed-interval representation).
+				sq := req.Intersect(interval.New(0, math.Inf(1)))
+				if sq.IsEmpty() {
+					return reviseEmpty
+				}
+				root := sq.Sqrt()
+				reqChild := interval.New(-root.Hi, root.Hi)
+				return backward(n.L, l.Intersect(reqChild), box)
+			}
+			reqL = safeInverseMul(req, r)
+			reqR = safeInverseMul(req, l)
+		case expr.OpDiv: // l/r ∈ req ⇒ l ∈ req · r, r ∈ l / req
+			reqL = req.Mul(r)
+			reqR = safeInverseDiv(l, req)
+		default:
+			return reviseUnchanged
+		}
+		out := reviseUnchanged
+		if o := backward(n.L, l.Intersect(reqL), box); o == reviseEmpty {
+			return reviseEmpty
+		} else if o == reviseChanged {
+			out = reviseChanged
+		}
+		// Recompute r's forward value: the left contraction may narrow it.
+		if o := backward(n.R, n.R.Interval(box).Intersect(reqR), box); o == reviseEmpty {
+			return reviseEmpty
+		} else if o == reviseChanged {
+			out = reviseChanged
+		}
+		return out
+
+	case expr.Call:
+		arg := n.Arg.Interval(box)
+		var reqArg interval.Interval
+		switch n.Fn {
+		case expr.FuncExp: // exp(a) ∈ req ⇒ a ∈ log(req ∩ (0,∞))
+			reqArg = req.Intersect(interval.New(0, math.Inf(1))).Log()
+		case expr.FuncLog: // log(a) ∈ req ⇒ a ∈ exp(req)
+			reqArg = req.Exp()
+		case expr.FuncSqrt: // sqrt(a) ∈ req ⇒ a ∈ (req ∩ [0,∞))²
+			nn := req.Intersect(interval.New(0, math.Inf(1)))
+			if nn.IsEmpty() {
+				return reviseEmpty
+			}
+			reqArg = nn.Sqr()
+		case expr.FuncAbs: // |a| ∈ req ⇒ a ∈ (req ∪ −req) ∩ arg
+			nn := req.Intersect(interval.New(0, math.Inf(1)))
+			if nn.IsEmpty() {
+				return reviseEmpty
+			}
+			reqArg = nn.Hull(nn.Neg())
+		case expr.FuncSin, expr.FuncCos:
+			// Inverting periodic functions over arbitrary domains is not
+			// worthwhile here; the forward check in revise already refutes
+			// impossible targets (e.g. sin(x) = 2).
+			if req.Intersect(interval.New(-1, 1)).IsEmpty() {
+				return reviseEmpty
+			}
+			return reviseUnchanged
+		default:
+			return reviseUnchanged
+		}
+		return backward(n.Arg, arg.Intersect(reqArg), box)
+	}
+	return reviseUnchanged
+}
+
+// safeInverseMul computes req / factor for the backward rule of
+// multiplication, falling back to the whole line when the division cannot
+// constrain (factor spans zero and req contains zero).
+func safeInverseMul(req, factor interval.Interval) interval.Interval {
+	if factor.ContainsZero() && req.ContainsZero() {
+		return interval.Whole()
+	}
+	d := req.Div(factor)
+	if d.IsEmpty() {
+		// req ≠ {0} but factor ≡ 0: the product is identically 0, which
+		// cannot meet req unless req contains 0 — handled above.
+		if factor.IsPoint() && factor.Lo == 0 {
+			return interval.Empty()
+		}
+		return interval.Whole()
+	}
+	return d
+}
+
+// safeInverseDiv computes l / req for the backward rule of division
+// (the denominator's required interval).
+func safeInverseDiv(l, req interval.Interval) interval.Interval {
+	if req.ContainsZero() && l.ContainsZero() {
+		return interval.Whole()
+	}
+	d := l.Div(req)
+	if d.IsEmpty() {
+		return interval.Whole()
+	}
+	return d
+}
+
+// shrunk reports whether next is meaningfully smaller than cur (relative
+// width reduction beyond a threshold, or a bound becoming finite).
+func shrunk(cur, next interval.Interval) bool {
+	if math.IsInf(cur.Lo, -1) != math.IsInf(next.Lo, -1) {
+		return true
+	}
+	if math.IsInf(cur.Hi, 1) != math.IsInf(next.Hi, 1) {
+		return true
+	}
+	cw, nw := cur.Width(), next.Width()
+	if math.IsInf(cw, 1) {
+		return !math.IsInf(nw, 1)
+	}
+	return nw < cw-1e-9-1e-9*math.Abs(cw)
+}

@@ -1,0 +1,242 @@
+// Package nlp implements the nonlinear constraint solving substrate
+// standing in for IPOPT in the paper: deciding feasibility of conjunctions
+// of (possibly) nonlinear arithmetic atoms over box domains.
+//
+// Two complementary engines are combined:
+//
+//   - An HC4-style interval constraint propagator contracts the variable
+//     box through the expression trees (forward evaluation, backward
+//     projection). If the box becomes empty the conjunction is proved
+//     infeasible — a refutation IPOPT itself cannot produce, needed for the
+//     paper's nonlinear_unsat benchmark.
+//   - A multi-start penalty method with symbolic gradients and Armijo line
+//     search searches for a feasible witness, playing IPOPT's role of
+//     finding points satisfying smooth nonlinear systems.
+//
+// Like the IPOPT-based original, the combination is incomplete: when
+// neither a witness nor a refutation is found within budget, the verdict is
+// Unknown (the paper's "?"), and the engine escalates (e.g. blocks the
+// candidate Boolean assignment).
+package nlp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"absolver/internal/expr"
+	"absolver/internal/interval"
+)
+
+// Status is the outcome of a nonlinear feasibility query.
+type Status int
+
+// Outcomes. Unknown corresponds to the paper's "?" value.
+const (
+	Unknown Status = iota
+	Feasible
+	Infeasible
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	}
+	return "unknown"
+}
+
+// Problem is a conjunction of atoms over box-constrained variables.
+type Problem struct {
+	Atoms []expr.Atom
+	// Box gives per-variable domains; variables missing from the box are
+	// unbounded (but sampling clamps them to ±Options.DefaultRange).
+	Box expr.Box
+}
+
+// Vars returns the sorted variable set of the problem.
+func (p *Problem) Vars() []string {
+	set := map[string]struct{}{}
+	for _, a := range p.Atoms {
+		for _, v := range a.Vars() {
+			set[v] = struct{}{}
+		}
+	}
+	for v := range p.Box {
+		set[v] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options tune the solver.
+type Options struct {
+	// Starts is the number of multi-start descent attempts (default 24).
+	Starts int
+	// MaxIters bounds gradient iterations per start (default 300).
+	MaxIters int
+	// PropagationRounds bounds HC4 sweeps (default 60).
+	PropagationRounds int
+	// StrictMargin is the slack required of strict inequalities and
+	// disequalities (default 1e-6, matching lp.Epsilon).
+	StrictMargin float64
+	// InteriorMargin biases the search towards points strictly inside weak
+	// inequalities (default 1e-4): the descent treats x ≤ b as x ≤ b−m, so
+	// witnesses are robust to exact re-evaluation (e.g. by simulation),
+	// while acceptance still uses the true semantics — boundary witnesses
+	// are returned when nothing better exists.
+	InteriorMargin float64
+	// Tol is the witness acceptance tolerance on non-strict constraints
+	// (default 1e-8).
+	Tol float64
+	// DefaultRange clamps unbounded variables for sampling (default 100).
+	DefaultRange float64
+	// Seed makes runs deterministic (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Starts == 0 {
+		o.Starts = 24
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 300
+	}
+	if o.PropagationRounds == 0 {
+		o.PropagationRounds = 60
+	}
+	if o.StrictMargin == 0 {
+		o.StrictMargin = 1e-6
+	}
+	if o.InteriorMargin == 0 {
+		o.InteriorMargin = 1e-4
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.DefaultRange == 0 {
+		o.DefaultRange = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result carries the verdict and, when Feasible, a witness point.
+type Result struct {
+	Status Status
+	X      expr.Env
+	// ContractedBox is the box after propagation (diagnostics; empty box
+	// iff Status == Infeasible by propagation).
+	ContractedBox expr.Box
+	// Evals counts penalty-function evaluations (work measure).
+	Evals int
+}
+
+// Solve decides feasibility of p.
+func Solve(p *Problem, opt Options) Result {
+	opt = opt.withDefaults()
+
+	box := p.Box.Clone()
+	if box == nil {
+		box = expr.Box{}
+	}
+	for _, v := range p.Vars() {
+		if _, ok := box[v]; !ok {
+			box[v] = interval.Whole()
+		}
+	}
+
+	// Phase 1: interval propagation for refutation and search-space
+	// contraction.
+	empty := contract(p.Atoms, box, opt.PropagationRounds)
+	if empty {
+		return Result{Status: Infeasible, ContractedBox: box}
+	}
+
+	// Phase 2: multi-start penalty descent.
+	pen := newPenalty(p.Atoms, opt)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	vars := p.Vars()
+	evals := 0
+
+	for start := 0; start < opt.Starts; start++ {
+		x := samplePoint(vars, box, rng, opt.DefaultRange, start)
+		x, e := descend(pen, x, box, opt)
+		evals += e
+		if x == nil {
+			continue
+		}
+		if verify(p.Atoms, x, opt) {
+			return Result{Status: Feasible, X: x, ContractedBox: box, Evals: evals}
+		}
+		// Gradient descent gets close; Levenberg-Marquardt finishes the job
+		// on tight (near-)equalities.
+		x, e = polish(pen, x, box, opt)
+		evals += e
+		if verify(p.Atoms, x, opt) {
+			return Result{Status: Feasible, X: x, ContractedBox: box, Evals: evals}
+		}
+	}
+	return Result{Status: Unknown, ContractedBox: box, Evals: evals}
+}
+
+// samplePoint draws a start point. The first start uses box midpoints (a
+// good deterministic guess); later starts are uniform in the clamped box.
+func samplePoint(vars []string, box expr.Box, rng *rand.Rand, rangeClamp float64, start int) expr.Env {
+	x := make(expr.Env, len(vars))
+	for _, v := range vars {
+		iv := box[v]
+		lo, hi := iv.Lo, iv.Hi
+		if math.IsInf(lo, -1) {
+			lo = -rangeClamp
+		}
+		if math.IsInf(hi, 1) {
+			hi = rangeClamp
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if start == 0 {
+			x[v] = lo + (hi-lo)/2
+		} else {
+			x[v] = lo + rng.Float64()*(hi-lo)
+		}
+	}
+	return x
+}
+
+// verify checks a candidate witness against every atom: non-strict atoms
+// within Tol, strict atoms and disequalities with a real margin.
+func verify(atoms []expr.Atom, x expr.Env, opt Options) bool {
+	for _, a := range atoms {
+		switch a.Op {
+		case expr.CmpLT, expr.CmpGT:
+			// Negative tolerance demands a real margin below/above the bound.
+			ok, err := a.HoldsTol(x, -opt.StrictMargin/2)
+			if err != nil || !ok {
+				return false
+			}
+		case expr.CmpNE:
+			// Positive tolerance on ≠ demands |l−r| beyond the margin.
+			ok, err := a.HoldsTol(x, opt.StrictMargin/2)
+			if err != nil || !ok {
+				return false
+			}
+		default:
+			ok, err := a.HoldsTol(x, opt.Tol)
+			if err != nil || !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package nlp
+
+import (
+	"math"
+
+	"absolver/internal/expr"
+)
+
+// penalty is the smooth(ish) merit function Σ vᵢ(x)² over the atoms, where
+// vᵢ measures atom i's violation, together with its symbolic gradient.
+type penalty struct {
+	terms []penaltyTerm
+	vars  []string
+}
+
+// penaltyTerm holds one atom's normalised difference g = LHS − RHS, the
+// violation shape, and ∂g/∂v for each variable.
+type penaltyTerm struct {
+	g        expr.Expr
+	op       expr.CmpOp
+	grads    map[string]expr.Expr
+	margin   float64
+	interior float64
+}
+
+func newPenalty(atoms []expr.Atom, opt Options) *penalty {
+	p := &penalty{}
+	seen := map[string]struct{}{}
+	for _, a := range atoms {
+		g := expr.Simplify(a.Diff())
+		t := penaltyTerm{
+			g: g, op: a.Op, grads: map[string]expr.Expr{},
+			margin: opt.StrictMargin, interior: opt.InteriorMargin,
+		}
+		for _, v := range expr.Vars(g) {
+			t.grads[v] = expr.Simplify(g.Diff(v))
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				p.vars = append(p.vars, v)
+			}
+		}
+		p.terms = append(p.terms, t)
+	}
+	return p
+}
+
+// violation returns v(g) ≥ 0 and dv/dg for the term's comparison shape.
+// v is zero exactly when the (margin-adjusted) constraint holds.
+func (t *penaltyTerm) violation(g float64) (v, dvdg float64) {
+	switch t.op {
+	case expr.CmpLE:
+		if s := g + t.interior; s > 0 {
+			return s, 1
+		}
+	case expr.CmpLT:
+		if s := g + t.margin + t.interior; s > 0 {
+			return s, 1
+		}
+	case expr.CmpGE:
+		if s := t.interior - g; s > 0 {
+			return s, -1
+		}
+	case expr.CmpGT:
+		if s := t.margin + t.interior - g; s > 0 {
+			return s, -1
+		}
+	case expr.CmpEQ:
+		return g, 1 // squared afterwards; sign irrelevant
+	case expr.CmpNE:
+		if s := t.margin - math.Abs(g); s > 0 {
+			if g >= 0 {
+				return s, -1
+			}
+			return s, 1
+		}
+	}
+	return 0, 0
+}
+
+// eval computes F(x) = Σ v² ; ok=false at points outside g's domain
+// (division by zero etc.), treated as +∞ by the line search.
+func (p *penalty) eval(x expr.Env) (float64, bool) {
+	f := 0.0
+	for i := range p.terms {
+		g, err := p.terms[i].g.Eval(x)
+		if err != nil {
+			return math.Inf(1), false
+		}
+		v, _ := p.terms[i].violation(g)
+		f += v * v
+	}
+	return f, true
+}
+
+// grad computes ∇F(x). Terms whose gradient evaluation fails contribute
+// nothing (their violation spike is handled by the line search's domain
+// rejection).
+func (p *penalty) grad(x expr.Env) map[string]float64 {
+	out := make(map[string]float64, len(p.vars))
+	for i := range p.terms {
+		t := &p.terms[i]
+		g, err := t.g.Eval(x)
+		if err != nil {
+			continue
+		}
+		v, dvdg := t.violation(g)
+		if v == 0 || dvdg == 0 {
+			if t.op != expr.CmpEQ || v == 0 {
+				continue
+			}
+		}
+		scale := 2 * v * dvdg
+		for name, dg := range t.grads {
+			d, err := dg.Eval(x)
+			if err != nil {
+				continue
+			}
+			out[name] += scale * d
+		}
+	}
+	return out
+}
+
+// descend runs projected gradient descent with Armijo backtracking from x0.
+// The returned point is the best found (possibly not feasible); evals
+// counts merit evaluations.
+func descend(p *penalty, x0 expr.Env, box expr.Box, opt Options) (expr.Env, int) {
+	x := make(expr.Env, len(x0))
+	for k, v := range x0 {
+		x[k] = v
+	}
+	evals := 0
+	f, ok := p.eval(x)
+	evals++
+	if !ok {
+		// Nudge off the singularity.
+		for k := range x {
+			x[k] += 1e-3
+		}
+		f, ok = p.eval(x)
+		evals++
+		if !ok {
+			return nil, evals
+		}
+	}
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		if f <= opt.Tol*opt.Tol {
+			return x, evals
+		}
+		g := p.grad(x)
+		norm2 := 0.0
+		for _, d := range g {
+			norm2 += d * d
+		}
+		if norm2 < 1e-24 {
+			return x, evals // stationary (possibly a local minimum > 0)
+		}
+		// Armijo backtracking.
+		step := 1.0
+		if norm2 > 1 {
+			step = 1 / math.Sqrt(norm2) // normalise huge gradients
+		}
+		improved := false
+		for back := 0; back < 50; back++ {
+			trial := make(expr.Env, len(x))
+			for k, v := range x {
+				t := v - step*g[k]
+				if iv, okb := box[k]; okb && !iv.IsEmpty() {
+					t = iv.Clamp(t)
+				}
+				trial[k] = t
+			}
+			ft, okT := p.eval(trial)
+			evals++
+			if okT && ft <= f-1e-4*step*norm2 {
+				x, f = trial, ft
+				improved = true
+				break
+			}
+			step /= 2
+		}
+		if !improved {
+			return x, evals
+		}
+	}
+	return x, evals
+}

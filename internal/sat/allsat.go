@@ -1,0 +1,71 @@
+package sat
+
+import "errors"
+
+// ErrStopEnumeration can be returned by an AllSAT callback to end the
+// enumeration early without reporting an error to the caller.
+var ErrStopEnumeration = errors.New("sat: enumeration stopped by callback")
+
+// AllSAT enumerates satisfying assignments, standing in for the LSAT solver
+// of the paper. For every model found, report is invoked with the full
+// assignment; the enumeration then continues with a blocking clause over
+// the projection variables. If important is nil, all variables present at
+// the time of the call are projected (every total model is distinct);
+// otherwise models are enumerated modulo the projection: two models that
+// agree on the important variables are reported once.
+//
+// AllSAT mutates the solver by adding blocking clauses; afterwards the
+// solver is unsatisfiable with respect to the projection (all models have
+// been blocked). Callers that need the solver afterwards should enumerate
+// on a copy.
+//
+// The number of models reported is returned. Enumeration can be bounded by
+// maxModels (0 = unbounded) or stopped by the callback returning
+// ErrStopEnumeration (not treated as an error) or any other error
+// (propagated).
+func (s *Solver) AllSAT(important []Var, maxModels int, report func(model []bool) error) (int, error) {
+	proj := important
+	if proj == nil {
+		proj = make([]Var, s.NumVars())
+		for v := range proj {
+			proj[v] = v
+		}
+	}
+	count := 0
+	for {
+		if maxModels > 0 && count >= maxModels {
+			return count, nil
+		}
+		model, res, err := s.SolveModel()
+		if err != nil {
+			return count, err
+		}
+		if res != LTrue {
+			return count, nil
+		}
+		count++
+		if report != nil {
+			if err := report(model); err != nil {
+				if errors.Is(err, ErrStopEnumeration) {
+					return count, nil
+				}
+				return count, err
+			}
+		}
+		// Block this model on the projection variables.
+		block := make([]Lit, 0, len(proj))
+		for _, v := range proj {
+			block = append(block, MkLit(v, model[v]))
+		}
+		if !s.AddClause(block...) {
+			return count, nil // blocked everything: enumeration complete
+		}
+	}
+}
+
+// CountModels returns the number of satisfying assignments over the given
+// projection (nil = all variables), up to max (0 = unbounded). The solver
+// is consumed in the same way as by AllSAT.
+func (s *Solver) CountModels(important []Var, max int) (int, error) {
+	return s.AllSAT(important, max, nil)
+}

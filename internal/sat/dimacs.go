@@ -1,0 +1,124 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a plain DIMACS CNF file and loads its clauses into a
+// fresh solver. Comment lines (starting with 'c') are ignored here; the
+// extended "c def" lines of ABsolver's input language are handled by
+// package dimacs, which layers on top of the same representation.
+// The header "p cnf <vars> <clauses>" is validated loosely: the variable
+// count is honoured as a minimum, the clause count is not enforced.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	sawHeader := false
+	var cur []Lit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if sawHeader {
+				return nil, fmt.Errorf("sat: duplicate problem line at %d", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line at %d: %q", lineNo, line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("sat: bad variable count at %d: %q", lineNo, fields[2])
+			}
+			s.EnsureVars(nv)
+			sawHeader = true
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q at line %d", tok, lineNo)
+			}
+			if n == 0 {
+				s.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			cur = append(cur, FromDIMACS(n))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		s.AddClause(cur...)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	return s, nil
+}
+
+// WriteDIMACS writes the solver's problem clauses in DIMACS CNF format.
+// Learnt clauses are not written.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// Unit facts on the trail at level 0 are emitted as unit clauses so the
+	// output is equivalent to the input problem.
+	units := 0
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			units++
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)+units); err != nil {
+		return err
+	}
+	for _, l := range s.trail {
+		if s.level[l.Var()] != 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d 0\n", l.DIMACS()); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			if _, err := fmt.Fprintf(bw, "%d ", l.DIMACS()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Clauses returns a copy of the problem clauses (level-0 units included) in
+// DIMACS integer form; used by tools that re-encode the problem.
+func (s *Solver) Clauses() [][]int {
+	var out [][]int
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			out = append(out, []int{l.DIMACS()})
+		}
+	}
+	for _, c := range s.clauses {
+		row := make([]int, len(c.lits))
+		for i, l := range c.lits {
+			row[i] = l.DIMACS()
+		}
+		out = append(out, row)
+	}
+	return out
+}

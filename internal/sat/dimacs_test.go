@@ -1,0 +1,106 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Fatalf("vars = %d", s.NumVars())
+	}
+	res, err := s.Solve()
+	if err != nil || res != LTrue {
+		t.Fatalf("%v %v", res, err)
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	src := "p cnf 4 1\n1 2\n3 4 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClauses() != 1 {
+		t.Fatalf("clauses = %d", s.NumClauses())
+	}
+}
+
+func TestParseDIMACSTrailingClause(t *testing.T) {
+	// Final clause without terminating zero is accepted.
+	src := "p cnf 2 1\n1 2\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Solve()
+	if res != LTrue {
+		t.Fatal("expected SAT")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"",                       // no header
+		"p cnf 1 1\np cnf 1 1\n", // duplicate header
+		"p dnf 1 1\n1 0\n",       // wrong format tag
+		"p cnf x 1\n1 0\n",       // bad count
+		"p cnf 1 1\n1 q 0\n",     // bad literal
+	}
+	for _, src := range bad {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Fatalf("accepted %q", src)
+		}
+	}
+}
+
+func TestWriteDIMACSRoundTrip(t *testing.T) {
+	s := New()
+	s.AddClause(mk(1), mk(-2))
+	s.AddClause(mk(2), mk(3))
+	s.AddClause(mk(-3)) // unit fact, lands on the trail at level 0
+	var sb strings.Builder
+	if err := s.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	r1, _ := s.Solve()
+	r2, _ := s2.Solve()
+	if r1 != r2 {
+		t.Fatalf("verdicts differ after round trip: %v vs %v", r1, r2)
+	}
+	// The unit fact must survive the round trip.
+	if !strings.Contains(sb.String(), "-3 0") {
+		t.Fatalf("unit missing from output:\n%s", sb.String())
+	}
+}
+
+func TestClausesSnapshot(t *testing.T) {
+	s := New()
+	s.AddClause(mk(1), mk(2))
+	s.AddClause(mk(-1))
+	cls := s.Clauses()
+	// The unit ¬1 propagates 2 at level 0, so the snapshot holds both
+	// trail facts plus the original binary clause.
+	if len(cls) != 3 {
+		t.Fatalf("clauses = %v", cls)
+	}
+	if len(cls[0]) != 1 || cls[0][0] != -1 {
+		t.Fatalf("first unit = %v", cls[0])
+	}
+	if len(cls[1]) != 1 || cls[1][0] != 2 {
+		t.Fatalf("propagated unit = %v", cls[1])
+	}
+}

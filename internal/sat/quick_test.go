@@ -1,0 +1,213 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSolveAgainstBruteForce is the property-based companion of
+// TestRandomAgainstBruteForce: verdicts agree with exhaustive enumeration
+// on arbitrary generated instances.
+func TestQuickSolveAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(9)
+		nClauses := rng.Intn(30)
+		clauses := randomClauses(rng, nVars, nClauses, 4)
+		want := bruteForce(nVars, clauses)
+		s := New()
+		ok := true
+		for _, cl := range clauses {
+			lits := make([]Lit, len(cl))
+			for i, n := range cl {
+				lits[i] = FromDIMACS(n)
+			}
+			ok = s.AddClause(lits...)
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			return !want // solver refuted during load: must really be unsat
+		}
+		model, res, err := s.SolveModel()
+		if err != nil {
+			return false
+		}
+		if (res == LTrue) != want {
+			return false
+		}
+		if res == LTrue {
+			for _, cl := range clauses {
+				sat := false
+				for _, n := range cl {
+					v := n
+					if v < 0 {
+						v = -v
+					}
+					if v-1 < len(model) && model[v-1] == (n > 0) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAllSATCountsMatchBruteForce: AllSAT model counts equal the
+// brute-force count.
+func TestQuickAllSATCountsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(6) // keep counts small
+		nClauses := rng.Intn(14)
+		clauses := randomClauses(rng, nVars, nClauses, 3)
+
+		// Brute-force count over ALL nVars variables.
+		want := 0
+		for m := 0; m < 1<<uint(nVars); m++ {
+			sat := true
+			for _, cl := range clauses {
+				cSat := false
+				for _, n := range cl {
+					v := n
+					if v < 0 {
+						v = -v
+					}
+					bit := m>>uint(v-1)&1 == 1
+					if bit == (n > 0) {
+						cSat = true
+						break
+					}
+				}
+				if !cSat {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				want++
+			}
+		}
+
+		s := New()
+		s.EnsureVars(nVars)
+		ok := true
+		for _, cl := range clauses {
+			lits := make([]Lit, len(cl))
+			for i, n := range cl {
+				lits[i] = FromDIMACS(n)
+			}
+			ok = s.AddClause(lits...)
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			return want == 0
+		}
+		proj := make([]Var, nVars)
+		for i := range proj {
+			proj[i] = i
+		}
+		got, err := s.AllSAT(proj, 0, nil)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConflictAssumptionsSound: the returned conflict assumption set
+// really is unsatisfiable together with the clause set.
+func TestQuickConflictAssumptionsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(6)
+		clauses := randomClauses(rng, nVars, 4+rng.Intn(12), 3)
+		s := New()
+		s.EnsureVars(nVars)
+		for _, cl := range clauses {
+			lits := make([]Lit, len(cl))
+			for i, n := range cl {
+				lits[i] = FromDIMACS(n)
+			}
+			if !s.AddClause(lits...) {
+				return true // top-level unsat: property vacuous
+			}
+		}
+		// Random assumptions over the first variables.
+		var assumps []Lit
+		for v := 0; v < nVars; v++ {
+			if rng.Intn(2) == 0 {
+				assumps = append(assumps, MkLit(v, rng.Intn(2) == 0))
+			}
+		}
+		res, err := s.Solve(assumps...)
+		if err != nil {
+			return false
+		}
+		if res != LFalse {
+			return true
+		}
+		core := s.ConflictAssumptions()
+		// The conflict core must be a subset of the assumptions…
+		inAssump := map[Lit]bool{}
+		for _, a := range assumps {
+			inAssump[a] = true
+		}
+		for _, l := range core {
+			if !inAssump[l] {
+				return false
+			}
+		}
+		// …and unsatisfiable by brute force together with the clauses.
+		for m := 0; m < 1<<uint(nVars); m++ {
+			ok := true
+			for _, l := range core {
+				bit := m>>uint(l.Var())&1 == 1
+				if bit == l.Neg() {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, cl := range clauses {
+				cSat := false
+				for _, n := range cl {
+					v := n
+					if v < 0 {
+						v = -v
+					}
+					bit := m>>uint(v-1)&1 == 1
+					if bit == (n > 0) {
+						cSat = true
+						break
+					}
+				}
+				if !cSat {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return false // found a model satisfying clauses + core
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,824 @@
+package sat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBudget is returned by Solve when the configured conflict budget is
+// exhausted before a verdict is reached.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// watcher pairs a watched clause with its blocker literal (a literal whose
+// truth makes visiting the clause unnecessary).
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learnt clauses
+
+	watches [][]watcher // indexed by Lit
+
+	assigns  []LBool // indexed by Var
+	level    []int   // decision level of assignment
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	varDecay float64
+	order    varHeap
+	phase    []bool // saved polarity; true = assign negative first
+
+	claInc   float64
+	claDecay float64
+
+	seen   []bool // scratch for analyze
+	okFlag bool   // false once a top-level conflict is found
+
+	// ConflictBudget, when positive, bounds the number of conflicts a
+	// single Solve call may encounter before returning ErrBudget.
+	ConflictBudget int64
+
+	// Stats accumulates counters across Solve calls.
+	Stats Stats
+
+	conflictAssumps []Lit // final conflict clause in terms of assumptions
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		varInc:   1,
+		varDecay: 0.95,
+		claInc:   1,
+		claDecay: 0.999,
+		okFlag:   true,
+	}
+}
+
+// NumVars returns the number of variables allocated so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses currently stored.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() Var {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, LUndef)
+	s.level = append(s.level, -1)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, true) // default polarity: negative
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v, s.activity)
+	return v
+}
+
+// EnsureVars allocates variables until at least n exist.
+func (s *Solver) EnsureVars(n int) {
+	for s.NumVars() < n {
+		s.NewVar()
+	}
+}
+
+// Value returns the current assignment of l.
+func (s *Solver) Value(l Lit) LBool {
+	v := s.assigns[l.Var()]
+	if v == LUndef {
+		return LUndef
+	}
+	if l.Neg() {
+		return v.Not()
+	}
+	return v
+}
+
+// VarValue returns the current assignment of variable v.
+func (s *Solver) VarValue(v Var) LBool { return s.assigns[v] }
+
+// Okay reports whether the clause set is still possibly satisfiable (false
+// after a top-level conflict has been derived).
+func (s *Solver) Okay() bool { return s.okFlag }
+
+// AddClause adds a problem clause. It returns false if the clause set has
+// become trivially unsatisfiable. Adding is only permitted at decision
+// level 0 (i.e. between Solve calls). Literals over unallocated variables
+// allocate them.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	if !s.okFlag {
+		return false
+	}
+	for _, l := range lits {
+		s.EnsureVars(l.Var() + 1)
+	}
+	// Simplify: drop false literals, drop duplicates, detect tautologies
+	// and already-satisfied clauses.
+	out := make([]Lit, 0, len(lits))
+	seen := make(map[Lit]bool, len(lits))
+	for _, l := range lits {
+		switch s.Value(l) {
+		case LTrue:
+			return true // clause already satisfied at level 0
+		case LFalse:
+			continue
+		}
+		if seen[l.Not()] {
+			return true // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.okFlag = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if conf := s.propagate(); conf != nil {
+			s.okFlag = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+// attach registers the first two literals of c as watched.
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+// detach removes c from the watch lists.
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Not(), c)
+	s.removeWatch(c.lits[1].Not(), c)
+}
+
+func (s *Solver) removeWatch(l Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// decisionLevel returns the current decision level.
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// uncheckedEnqueue records an assignment implied by from (nil = decision or
+// top-level fact).
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = LFalse
+	} else {
+		s.assigns[v] = LTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the two-watched-literal scheme,
+// returning a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		n := 0
+	clauseLoop:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			// Blocker fast path.
+			if s.Value(w.blocker) == LTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.c
+			// Normalise so that lits[1] is the false watched literal (¬p).
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.Value(first) == LTrue {
+				ws[n] = watcher{c, first}
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.Value(c.lits[k]) != LFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					continue clauseLoop
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watcher{c, first}
+			n++
+			if s.Value(first) == LFalse {
+				// Conflict: copy back remaining watchers and bail out.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conf *clause) ([]Lit, int) {
+	learnt := []Lit{LitUndef} // slot 0 reserved for the asserting literal
+	counter := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+
+	c := conf
+	for {
+		s.bumpClause(c)
+		start := 0
+		if p != LitUndef {
+			start = 1 // lits[0] of a reason clause is the implied literal
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal on the trail to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimisation: drop literals implied by the rest of the clause
+	// (simple recursive check against reason clauses).
+	marked := make(map[Var]bool, len(learnt))
+	for _, l := range learnt {
+		marked[l.Var()] = true
+	}
+	// Clear every seen flag before the slice is rewritten; dropped literals
+	// must not leave stale marks behind.
+	toClear := make([]Var, 0, len(learnt))
+	for _, l := range learnt {
+		toClear = append(toClear, l.Var())
+	}
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if !s.redundant(l, marked, 0) {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+	for _, v := range toClear {
+		s.seen[v] = false
+	}
+
+	// Compute backtrack level: the second-highest level in the clause.
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = s.level[learnt[1].Var()]
+	}
+	return learnt, bt
+}
+
+// redundant reports whether literal l in a learnt clause is implied by the
+// other marked literals (bounded-depth reason-chain check).
+func (s *Solver) redundant(l Lit, marked map[Var]bool, depth int) bool {
+	if depth > 16 {
+		return false
+	}
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits[1:] {
+		v := q.Var()
+		if s.level[v] == 0 || marked[v] {
+			continue
+		}
+		if !s.redundant(q, marked, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// backtrack undoes all assignments above level.
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.assigns[v] = LUndef
+		s.phase[v] = l.Neg()
+		s.reason[v] = nil
+		s.level[v] = -1
+		s.order.insertIfAbsent(v, s.activity)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// bumpVar increases a variable's VSIDS activity.
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, s.activity)
+}
+
+func (s *Solver) decayVar() { s.varInc /= s.varDecay }
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= s.claDecay }
+
+// pickBranchVar pops the highest-activity unassigned variable.
+func (s *Solver) pickBranchVar() Var {
+	for {
+		v, ok := s.order.pop(s.activity)
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == LUndef {
+			return v
+		}
+	}
+}
+
+// lbd computes the literal block distance of a clause.
+func (s *Solver) lbd(lits []Lit) int {
+	seen := make(map[int]bool, len(lits))
+	for _, l := range lits {
+		seen[s.level[l.Var()]] = true
+	}
+	return len(seen)
+}
+
+// reduceDB removes the less active half of the learnt clauses, keeping
+// binary and low-LBD clauses.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Partial selection: median activity via copy.
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.activity
+	}
+	median := quickSelectMedian(acts)
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || c.lbd <= 3 || c.activity >= median || s.isReason(c) {
+			kept = append(kept, c)
+			continue
+		}
+		s.detach(c)
+		s.Stats.DeletedLearnt++
+	}
+	s.learnts = kept
+}
+
+// isReason reports whether c is currently the reason of some assignment.
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.assigns[v] != LUndef && s.reason[v] == c
+}
+
+func quickSelectMedian(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	k := len(a) / 2
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return a[k]
+}
+
+// luby computes the Luby restart sequence value for 0-based index x
+// (1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...).
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+// Solve determines satisfiability under the given assumption literals.
+// It returns LTrue with a complete model available via SolveModel, LFalse
+// when unsatisfiable (ConflictAssumptions lists the failing assumptions),
+// or an error when the conflict budget runs out.
+func (s *Solver) Solve(assumptions ...Lit) (LBool, error) {
+	return s.solveKeep(func() {}, assumptions...)
+}
+
+// search runs CDCL until a verdict, a restart (conflict limit), or budget
+// exhaustion. It returns the verdict (LUndef = restart) and conflicts used.
+func (s *Solver) search(conflictLimit int64, assumptions []Lit) (LBool, int64) {
+	var conflicts int64
+	for {
+		conf := s.propagate()
+		if conf != nil {
+			conflicts++
+			s.Stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.okFlag = false
+				return LFalse, conflicts
+			}
+			if s.decisionLevel() <= len(assumptions) {
+				// Conflict within the assumption prefix: analyse in terms
+				// of assumptions for the caller.
+				s.conflictAssumps = s.analyzeFinal(conf, assumptions)
+				return LFalse, conflicts
+			}
+			learnt, bt := s.analyze(conf)
+			if bt < len(assumptions) {
+				bt = len(assumptions)
+			}
+			s.backtrack(bt)
+			if len(learnt) == 1 && s.decisionLevel() == 0 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.lbd(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.Stats.Learnt++
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayVar()
+			s.decayClause()
+			continue
+		}
+		if conflicts >= conflictLimit {
+			return LUndef, conflicts
+		}
+		if len(s.learnts) > 4000+s.NumClauses()*2 {
+			s.reduceDB()
+		}
+		// Select the next decision: pending assumptions first.
+		next := LitUndef
+		for s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.Value(a) {
+			case LTrue:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+				continue
+			case LFalse:
+				s.conflictAssumps = s.analyzeFinalLit(a, assumptions)
+				return LFalse, conflicts
+			}
+			next = a
+			break
+		}
+		if next == LitUndef {
+			v := s.pickBranchVar()
+			if v == -1 {
+				return LTrue, conflicts // all variables assigned
+			}
+			s.Stats.Decisions++
+			next = MkLit(v, s.phase[v])
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// analyzeFinal computes the subset of assumptions responsible for conflict
+// clause conf.
+func (s *Solver) analyzeFinal(conf *clause, assumptions []Lit) []Lit {
+	isAssump := make(map[Lit]bool, len(assumptions))
+	for _, a := range assumptions {
+		isAssump[a] = true
+	}
+	out := map[Lit]bool{}
+	var walk func(l Lit)
+	seen := make(map[Var]bool)
+	walk = func(l Lit) {
+		v := l.Var()
+		if seen[v] || s.level[v] == 0 {
+			return
+		}
+		seen[v] = true
+		if r := s.reason[v]; r != nil {
+			for _, q := range r.lits[1:] {
+				walk(q)
+			}
+			return
+		}
+		// Decision: at this point every decision is an assumption.
+		if isAssump[l.Not()] {
+			out[l.Not()] = true
+		} else if isAssump[l] {
+			out[l] = true
+		}
+	}
+	for _, q := range conf.lits {
+		walk(q)
+	}
+	res := make([]Lit, 0, len(out))
+	for l := range out {
+		res = append(res, l)
+	}
+	return res
+}
+
+// analyzeFinalLit is analyzeFinal for the case where assumption a is
+// already false under the current (assumption-only) trail.
+func (s *Solver) analyzeFinalLit(a Lit, assumptions []Lit) []Lit {
+	res := s.analyzeFinal(&clause{lits: []Lit{a}}, assumptions)
+	found := false
+	for _, l := range res {
+		if l == a {
+			found = true
+			break
+		}
+	}
+	if !found {
+		res = append(res, a)
+	}
+	return res
+}
+
+// ConflictAssumptions returns, after Solve returned LFalse under
+// assumptions, a subset of the assumptions sufficient for unsatisfiability.
+// Empty means the clause set is unsatisfiable regardless of assumptions.
+func (s *Solver) ConflictAssumptions() []Lit { return s.conflictAssumps }
+
+// Model returns the satisfying assignment found by the last successful
+// Solve call as a slice indexed by variable. It must be called before any
+// mutation of the solver. The returned slice is a copy.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.NumVars())
+	for v := range m {
+		m[v] = s.assigns[v] == LTrue
+	}
+	return m
+}
+
+// modelSnapshot copies the current assignment while still at the solution's
+// decision level (used by Solve wrappers that backtrack on return).
+func (s *Solver) modelSnapshot() []bool {
+	m := make([]bool, s.NumVars())
+	for v := range m {
+		m[v] = s.assigns[v] == LTrue
+	}
+	return m
+}
+
+// SolveModel runs Solve and, on satisfiability, returns the model (Solve
+// itself backtracks to level 0, discarding the assignment).
+func (s *Solver) SolveModel(assumptions ...Lit) ([]bool, LBool, error) {
+	var model []bool
+	res, err := s.solveKeep(func() { model = s.modelSnapshot() }, assumptions...)
+	return model, res, err
+}
+
+// solveKeep is Solve with a callback invoked while the satisfying
+// assignment is still in place.
+func (s *Solver) solveKeep(onSAT func(), assumptions ...Lit) (LBool, error) {
+	s.Stats.SolveCalls++
+	s.conflictAssumps = nil
+	if !s.okFlag {
+		return LFalse, nil
+	}
+	for _, a := range assumptions {
+		s.EnsureVars(a.Var() + 1)
+	}
+	defer s.backtrack(0)
+
+	var restarts int64
+	budgetUsed := int64(0)
+	for {
+		limit := 100 * luby(restarts)
+		restarts++
+		s.Stats.Restarts++
+		res, used := s.search(limit, assumptions)
+		budgetUsed += used
+		if res == LTrue {
+			onSAT()
+		}
+		if res != LUndef {
+			return res, nil
+		}
+		if s.ConflictBudget > 0 && budgetUsed >= s.ConflictBudget {
+			return LUndef, ErrBudget
+		}
+		s.backtrack(0)
+	}
+}
+
+// varHeap is a binary max-heap over variable activities.
+type varHeap struct {
+	heap []Var
+	pos  []int // position of var in heap, -1 if absent
+}
+
+func (h *varHeap) ensure(v Var) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *varHeap) insert(v Var, act []float64) {
+	h.ensure(v)
+	if h.pos[v] != -1 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(h.pos[v], act)
+}
+
+func (h *varHeap) insertIfAbsent(v Var, act []float64) { h.insert(v, act) }
+
+func (h *varHeap) pop(act []float64) (Var, bool) {
+	if len(h.heap) == 0 {
+		return -1, false
+	}
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v Var, act []float64) {
+	h.ensure(v)
+	if h.pos[v] == -1 {
+		return
+	}
+	h.up(h.pos[v], act)
+}
+
+func (h *varHeap) up(i int, act []float64) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if act[h.heap[p]] >= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int, act []float64) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && act[h.heap[c+1]] > act[h.heap[c]] {
+			c++
+		}
+		if act[h.heap[c]] <= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+// SetPolarity sets the initial decision polarity for variable v
+// (neg = true assigns the variable false first).
+func (s *Solver) SetPolarity(v Var, neg bool) {
+	s.EnsureVars(v + 1)
+	s.phase[v] = neg
+}
+
+// BumpActivity raises v's branching priority; used by the SMT engine to
+// focus on theory-relevant variables.
+func (s *Solver) BumpActivity(v Var, amount float64) {
+	s.EnsureVars(v + 1)
+	s.activity[v] += amount * s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, s.activity)
+}
+
+var _ = math.Inf // keep math imported for future tuning constants

@@ -1,0 +1,95 @@
+package simulink
+
+import "absolver/internal/expr"
+
+// Fig1 builds the paper's Fig. 1 example model: inputs a, x, y (real) and
+// i, j (integer); constants 2, 3.5, 4, 2; the comparisons i ≥ 0, j ≥ 0,
+// 2i + j < 10, i + j < 5 and a·x + 3.5/(4−y) + 2y ≥ 7.1; and the logic
+// AND(i≥0, j≥0) ∧ (¬(2i+j<10) ∨ (i+j<5)) ∧ (nonlinear ≥ 7.1) driving Out1.
+func Fig1() *Model {
+	m := NewModel("fig1")
+
+	// Input pins (Fig. 1 numbers them 1:a, 2:x, 3:y, 4:i, 5:j).
+	m.Add(&Block{Name: "a", Type: Inport})
+	m.Add(&Block{Name: "x", Type: Inport})
+	m.Add(&Block{Name: "y", Type: Inport})
+	m.Add(&Block{Name: "i", Type: Inport, IntSignal: true})
+	m.Add(&Block{Name: "j", Type: Inport, IntSignal: true})
+
+	// Constants.
+	m.Add(&Block{Name: "c2", Type: Constant, Value: 2})
+	m.Add(&Block{Name: "c3_5", Type: Constant, Value: 3.5})
+	m.Add(&Block{Name: "c4", Type: Constant, Value: 4})
+	m.Add(&Block{Name: "c2b", Type: Constant, Value: 2})
+	m.Add(&Block{Name: "c0", Type: Constant, Value: 0})
+	m.Add(&Block{Name: "c0b", Type: Constant, Value: 0})
+	m.Add(&Block{Name: "c5", Type: Constant, Value: 5})
+	m.Add(&Block{Name: "c10", Type: Constant, Value: 10})
+	m.Add(&Block{Name: "c7_1", Type: Constant, Value: 7.1})
+
+	// i ≥ 0, j ≥ 0.
+	m.Add(&Block{Name: "iGe0", Type: RelOp, Op: expr.CmpGE})
+	m.Connect("i", "iGe0", 1)
+	m.Connect("c0", "iGe0", 2)
+	m.Add(&Block{Name: "jGe0", Type: RelOp, Op: expr.CmpGE})
+	m.Connect("j", "jGe0", 1)
+	m.Connect("c0b", "jGe0", 2)
+
+	// 2i + j < 10.
+	m.Add(&Block{Name: "twoI", Type: Gain, Value: 2})
+	m.Connect("i", "twoI", 1)
+	m.Add(&Block{Name: "sum2iJ", Type: Sum, Signs: "++"})
+	m.Connect("twoI", "sum2iJ", 1)
+	m.Connect("j", "sum2iJ", 2)
+	m.Add(&Block{Name: "lt10", Type: RelOp, Op: expr.CmpLT})
+	m.Connect("sum2iJ", "lt10", 1)
+	m.Connect("c10", "lt10", 2)
+
+	// i + j < 5.
+	m.Add(&Block{Name: "sumIJ", Type: Sum, Signs: "++"})
+	m.Connect("i", "sumIJ", 1)
+	m.Connect("j", "sumIJ", 2)
+	m.Add(&Block{Name: "lt5", Type: RelOp, Op: expr.CmpLT})
+	m.Connect("sumIJ", "lt5", 1)
+	m.Connect("c5", "lt5", 2)
+
+	// a·x + 3.5/(4−y) + 2y ≥ 7.1.
+	m.Add(&Block{Name: "ax", Type: Product})
+	m.Connect("a", "ax", 1)
+	m.Connect("x", "ax", 2)
+	m.Add(&Block{Name: "fourMinusY", Type: Sum, Signs: "+-"})
+	m.Connect("c4", "fourMinusY", 1)
+	m.Connect("y", "fourMinusY", 2)
+	m.Add(&Block{Name: "div", Type: Divide})
+	m.Connect("c3_5", "div", 1)
+	m.Connect("fourMinusY", "div", 2)
+	m.Add(&Block{Name: "twoY", Type: Product})
+	m.Connect("c2b", "twoY", 1)
+	m.Connect("y", "twoY", 2)
+	m.Add(&Block{Name: "nlSum", Type: Sum, Signs: "+++"})
+	m.Connect("ax", "nlSum", 1)
+	m.Connect("div", "nlSum", 2)
+	m.Connect("twoY", "nlSum", 3)
+	m.Add(&Block{Name: "ge71", Type: RelOp, Op: expr.CmpGE})
+	m.Connect("nlSum", "ge71", 1)
+	m.Connect("c7_1", "ge71", 2)
+	_ = m.Blocks["c2"] // the Fig. 1 "2" feeding the gain is realised by twoI's Gain value
+
+	// Logic: AND(i≥0, j≥0); NOT(2i+j<10); OR(NOT, i+j<5); final AND.
+	m.Add(&Block{Name: "andIJ", Type: Logic, Logic: LogicAnd})
+	m.Connect("iGe0", "andIJ", 1)
+	m.Connect("jGe0", "andIJ", 2)
+	m.Add(&Block{Name: "not10", Type: Logic, Logic: LogicNot})
+	m.Connect("lt10", "not10", 1)
+	m.Add(&Block{Name: "orBranch", Type: Logic, Logic: LogicOr})
+	m.Connect("not10", "orBranch", 1)
+	m.Connect("lt5", "orBranch", 2)
+	m.Add(&Block{Name: "andAll", Type: Logic, Logic: LogicAnd})
+	m.Connect("andIJ", "andAll", 1)
+	m.Connect("orBranch", "andAll", 2)
+	m.Connect("ge71", "andAll", 3)
+
+	m.Add(&Block{Name: "Out1", Type: Outport})
+	m.Connect("andAll", "Out1", 1)
+	return m
+}

@@ -1,0 +1,299 @@
+package simulink
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"absolver/internal/expr"
+)
+
+// The textual model format is a line-oriented stand-in for Simulink's .mdl
+// files:
+//
+//	model <name>
+//	block <name> inport [int]
+//	block <name> outport
+//	block <name> constant <value>
+//	block <name> gain <factor>
+//	block <name> sum <signs>          e.g. ++-
+//	block <name> product
+//	block <name> divide
+//	block <name> relop <op>           op ∈ < > <= >= = !=
+//	block <name> logic <and|or|not|xor>
+//	block <name> saturation <lo> <hi>
+//	block <name> switch <threshold>
+//	block <name> fcn <sin|cos|exp|log|sqrt|abs>
+//	block <name> minmax <min|max>
+//	block <name> deadzone <lo> <hi>
+//	line <src> -> <dst> <port>
+//
+// '#' starts a comment.
+
+// ParseModel reads the textual format.
+func ParseModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	var m *Model
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "model":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("simulink: line %d: model needs a name", lineNo)
+			}
+			if m != nil {
+				return nil, fmt.Errorf("simulink: line %d: duplicate model line", lineNo)
+			}
+			m = NewModel(fields[1])
+		case "block":
+			if m == nil {
+				return nil, fmt.Errorf("simulink: line %d: block before model", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("simulink: line %d: block needs name and type", lineNo)
+			}
+			b, err := parseBlock(fields[1], fields[2], fields[3:])
+			if err != nil {
+				return nil, fmt.Errorf("simulink: line %d: %v", lineNo, err)
+			}
+			if _, dup := m.Blocks[b.Name]; dup {
+				return nil, fmt.Errorf("simulink: line %d: duplicate block %q", lineNo, b.Name)
+			}
+			m.Blocks[b.Name] = b
+		case "line":
+			if m == nil {
+				return nil, fmt.Errorf("simulink: line %d: line before model", lineNo)
+			}
+			// line <src> -> <dst> <port>
+			if len(fields) != 5 || fields[2] != "->" {
+				return nil, fmt.Errorf("simulink: line %d: malformed line statement", lineNo)
+			}
+			port, err := strconv.Atoi(fields[4])
+			if err != nil || port < 1 {
+				return nil, fmt.Errorf("simulink: line %d: bad port %q", lineNo, fields[4])
+			}
+			m.Connect(fields[1], fields[3], port)
+		default:
+			return nil, fmt.Errorf("simulink: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("simulink: missing model line")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseBlock(name, typ string, args []string) (*Block, error) {
+	b := &Block{Name: name}
+	needF := func(i int) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s block %q: missing argument %d", typ, name, i+1)
+		}
+		return strconv.ParseFloat(args[i], 64)
+	}
+	switch typ {
+	case "inport":
+		b.Type = Inport
+		if len(args) == 1 && args[0] == "int" {
+			b.IntSignal = true
+		} else if len(args) != 0 {
+			return nil, fmt.Errorf("inport %q: unexpected arguments", name)
+		}
+	case "outport":
+		b.Type = Outport
+	case "constant":
+		b.Type = Constant
+		v, err := needF(0)
+		if err != nil {
+			return nil, err
+		}
+		b.Value = v
+	case "gain":
+		b.Type = Gain
+		v, err := needF(0)
+		if err != nil {
+			return nil, err
+		}
+		b.Value = v
+	case "sum":
+		b.Type = Sum
+		if len(args) != 1 || strings.Trim(args[0], "+-") != "" {
+			return nil, fmt.Errorf("sum %q: needs a sign string like ++-", name)
+		}
+		b.Signs = args[0]
+	case "product":
+		b.Type = Product
+	case "divide":
+		b.Type = Divide
+	case "relop":
+		b.Type = RelOp
+		if len(args) != 1 {
+			return nil, fmt.Errorf("relop %q: needs an operator", name)
+		}
+		switch args[0] {
+		case "<":
+			b.Op = expr.CmpLT
+		case ">":
+			b.Op = expr.CmpGT
+		case "<=":
+			b.Op = expr.CmpLE
+		case ">=":
+			b.Op = expr.CmpGE
+		case "=", "==":
+			b.Op = expr.CmpEQ
+		case "!=", "<>":
+			b.Op = expr.CmpNE
+		default:
+			return nil, fmt.Errorf("relop %q: unknown operator %q", name, args[0])
+		}
+	case "logic":
+		b.Type = Logic
+		if len(args) != 1 {
+			return nil, fmt.Errorf("logic %q: needs an operator", name)
+		}
+		switch args[0] {
+		case "and":
+			b.Logic = LogicAnd
+		case "or":
+			b.Logic = LogicOr
+		case "not":
+			b.Logic = LogicNot
+		case "xor":
+			b.Logic = LogicXor
+		default:
+			return nil, fmt.Errorf("logic %q: unknown operator %q", name, args[0])
+		}
+	case "saturation":
+		b.Type = Saturation
+		lo, err := needF(0)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := needF(1)
+		if err != nil {
+			return nil, err
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("saturation %q: lo > hi", name)
+		}
+		b.Lo, b.Hi = lo, hi
+	case "switch":
+		b.Type = Switch
+		v, err := needF(0)
+		if err != nil {
+			return nil, err
+		}
+		b.Value = v
+	case "fcn":
+		b.Type = Fcn
+		if len(args) != 1 {
+			return nil, fmt.Errorf("fcn %q: needs a function name", name)
+		}
+		fn, ok := map[string]expr.Func{
+			"sin": expr.FuncSin, "cos": expr.FuncCos, "exp": expr.FuncExp,
+			"log": expr.FuncLog, "sqrt": expr.FuncSqrt, "abs": expr.FuncAbs,
+		}[args[0]]
+		if !ok {
+			return nil, fmt.Errorf("fcn %q: unknown function %q", name, args[0])
+		}
+		b.Fn = fn
+	case "minmax":
+		b.Type = MinMax
+		if len(args) != 1 || (args[0] != "min" && args[0] != "max") {
+			return nil, fmt.Errorf("minmax %q: needs min or max", name)
+		}
+		b.Max = args[0] == "max"
+	case "deadzone":
+		b.Type = DeadZone
+		lo, err := needF(0)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := needF(1)
+		if err != nil {
+			return nil, err
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("deadzone %q: lo > hi", name)
+		}
+		b.Lo, b.Hi = lo, hi
+	default:
+		return nil, fmt.Errorf("unknown block type %q", typ)
+	}
+	return b, nil
+}
+
+// WriteModel renders the model in the textual format.
+func WriteModel(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "model %s\n", m.Name)
+	names := make([]string, 0, len(m.Blocks))
+	for n := range m.Blocks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b := m.Blocks[n]
+		switch b.Type {
+		case Inport:
+			if b.IntSignal {
+				fmt.Fprintf(bw, "block %s inport int\n", n)
+			} else {
+				fmt.Fprintf(bw, "block %s inport\n", n)
+			}
+		case Outport:
+			fmt.Fprintf(bw, "block %s outport\n", n)
+		case Constant:
+			fmt.Fprintf(bw, "block %s constant %g\n", n, b.Value)
+		case Gain:
+			fmt.Fprintf(bw, "block %s gain %g\n", n, b.Value)
+		case Sum:
+			fmt.Fprintf(bw, "block %s sum %s\n", n, b.Signs)
+		case Product:
+			fmt.Fprintf(bw, "block %s product\n", n)
+		case Divide:
+			fmt.Fprintf(bw, "block %s divide\n", n)
+		case RelOp:
+			fmt.Fprintf(bw, "block %s relop %s\n", n, b.Op)
+		case Logic:
+			op := map[LogicOp]string{LogicAnd: "and", LogicOr: "or", LogicNot: "not", LogicXor: "xor"}[b.Logic]
+			fmt.Fprintf(bw, "block %s logic %s\n", n, op)
+		case Saturation:
+			fmt.Fprintf(bw, "block %s saturation %g %g\n", n, b.Lo, b.Hi)
+		case Switch:
+			fmt.Fprintf(bw, "block %s switch %g\n", n, b.Value)
+		case Fcn:
+			fmt.Fprintf(bw, "block %s fcn %s\n", n, b.Fn)
+		case MinMax:
+			mode := "min"
+			if b.Max {
+				mode = "max"
+			}
+			fmt.Fprintf(bw, "block %s minmax %s\n", n, mode)
+		case DeadZone:
+			fmt.Fprintf(bw, "block %s deadzone %g %g\n", n, b.Lo, b.Hi)
+		}
+	}
+	for _, l := range m.Lines {
+		fmt.Fprintf(bw, "line %s -> %s %d\n", l.From, l.To, l.ToPort)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,283 @@
+package simulink
+
+import (
+	"fmt"
+	"math"
+
+	"absolver/internal/expr"
+)
+
+// Simulation is the result of evaluating a model at one input point: every
+// block's output signal, split by kind.
+type Simulation struct {
+	// Num holds the numeric signal of each non-Boolean block.
+	Num map[string]float64
+	// Bool holds the value of each RelOp/Logic block.
+	Bool map[string]bool
+}
+
+// Simulate evaluates the model at the given input valuation — the
+// conventional industrial validation path the paper contrasts its analysis
+// with ("the analysis of the model focuses on testing the complete system
+// in several test cases and in simulations", Sec. 3). All inports must be
+// assigned. Division by zero and domain errors are reported.
+//
+// Together with GenerateTestVectors this closes the verification loop: the
+// engine proposes a stimulus, Simulate confirms the modelled behaviour.
+func (m *Model) Simulate(inputs map[string]float64) (*Simulation, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	feeds := m.feedsOf()
+	sim := &Simulation{Num: map[string]float64{}, Bool: map[string]bool{}}
+	type state int
+	const (
+		unvisited state = iota
+		visiting
+		done
+	)
+	st := map[string]state{}
+
+	var num func(name string) (float64, error)
+	var boo func(name string) (bool, error)
+
+	eval := func(name string) error {
+		if st[name] == done {
+			return nil
+		}
+		if st[name] == visiting {
+			return fmt.Errorf("simulink: algebraic loop through %q", name)
+		}
+		st[name] = visiting
+		defer func() { st[name] = done }()
+		b := m.Blocks[name]
+		switch b.Type {
+		case Inport:
+			v, ok := inputs[name]
+			if !ok {
+				return fmt.Errorf("simulink: input %q unassigned", name)
+			}
+			sim.Num[name] = v
+		case Constant:
+			sim.Num[name] = b.Value
+		case Gain:
+			x, err := num(feeds[name][0])
+			if err != nil {
+				return err
+			}
+			sim.Num[name] = b.Value * x
+		case Sum:
+			signs := b.Signs
+			for len(signs) < len(feeds[name]) {
+				signs += "+"
+			}
+			acc := 0.0
+			for i, src := range feeds[name] {
+				x, err := num(src)
+				if err != nil {
+					return err
+				}
+				if signs[i] == '-' {
+					acc -= x
+				} else {
+					acc += x
+				}
+			}
+			sim.Num[name] = acc
+		case Product:
+			acc := 1.0
+			for _, src := range feeds[name] {
+				x, err := num(src)
+				if err != nil {
+					return err
+				}
+				acc *= x
+			}
+			sim.Num[name] = acc
+		case Divide:
+			l, err := num(feeds[name][0])
+			if err != nil {
+				return err
+			}
+			r, err := num(feeds[name][1])
+			if err != nil {
+				return err
+			}
+			if r == 0 {
+				return fmt.Errorf("simulink: division by zero in %q", name)
+			}
+			sim.Num[name] = l / r
+		case Fcn:
+			x, err := num(feeds[name][0])
+			if err != nil {
+				return err
+			}
+			v, err := expr.Call{Fn: b.Fn, Arg: expr.C(x)}.Eval(nil)
+			if err != nil {
+				return fmt.Errorf("simulink: %q: %v", name, err)
+			}
+			sim.Num[name] = v
+		case Saturation:
+			x, err := num(feeds[name][0])
+			if err != nil {
+				return err
+			}
+			sim.Num[name] = math.Min(math.Max(x, b.Lo), b.Hi)
+		case DeadZone:
+			x, err := num(feeds[name][0])
+			if err != nil {
+				return err
+			}
+			switch {
+			case x >= b.Hi:
+				sim.Num[name] = x - b.Hi
+			case x <= b.Lo:
+				sim.Num[name] = x - b.Lo
+			default:
+				sim.Num[name] = 0
+			}
+		case MinMax:
+			best := math.Inf(1)
+			if b.Max {
+				best = math.Inf(-1)
+			}
+			for _, src := range feeds[name] {
+				x, err := num(src)
+				if err != nil {
+					return err
+				}
+				if b.Max {
+					best = math.Max(best, x)
+				} else {
+					best = math.Min(best, x)
+				}
+			}
+			sim.Num[name] = best
+		case Switch:
+			ctrl, err := num(feeds[name][1])
+			if err != nil {
+				return err
+			}
+			var src string
+			if ctrl >= b.Value {
+				src = feeds[name][0]
+			} else {
+				src = feeds[name][2]
+			}
+			x, err := num(src)
+			if err != nil {
+				return err
+			}
+			sim.Num[name] = x
+		case RelOp:
+			l, err := num(feeds[name][0])
+			if err != nil {
+				return err
+			}
+			r, err := num(feeds[name][1])
+			if err != nil {
+				return err
+			}
+			var v bool
+			switch b.Op {
+			case expr.CmpLT:
+				v = l < r
+			case expr.CmpGT:
+				v = l > r
+			case expr.CmpLE:
+				v = l <= r
+			case expr.CmpGE:
+				v = l >= r
+			case expr.CmpEQ:
+				v = l == r
+			case expr.CmpNE:
+				v = l != r
+			}
+			sim.Bool[name] = v
+		case Logic:
+			switch b.Logic {
+			case LogicNot:
+				x, err := boo(feeds[name][0])
+				if err != nil {
+					return err
+				}
+				sim.Bool[name] = !x
+			case LogicXor:
+				a, err := boo(feeds[name][0])
+				if err != nil {
+					return err
+				}
+				c, err := boo(feeds[name][1])
+				if err != nil {
+					return err
+				}
+				sim.Bool[name] = a != c
+			case LogicAnd:
+				acc := true
+				for _, src := range feeds[name] {
+					x, err := boo(src)
+					if err != nil {
+						return err
+					}
+					acc = acc && x
+				}
+				sim.Bool[name] = acc
+			case LogicOr:
+				acc := false
+				for _, src := range feeds[name] {
+					x, err := boo(src)
+					if err != nil {
+						return err
+					}
+					acc = acc || x
+				}
+				sim.Bool[name] = acc
+			}
+		case Outport:
+			src := feeds[name][0]
+			sb := m.Blocks[src]
+			if sb.Type == RelOp || sb.Type == Logic {
+				x, err := boo(src)
+				if err != nil {
+					return err
+				}
+				sim.Bool[name] = x
+			} else {
+				x, err := num(src)
+				if err != nil {
+					return err
+				}
+				sim.Num[name] = x
+			}
+		}
+		return nil
+	}
+
+	num = func(name string) (float64, error) {
+		if err := eval(name); err != nil {
+			return 0, err
+		}
+		v, ok := sim.Num[name]
+		if !ok {
+			return 0, fmt.Errorf("simulink: %q is not a numeric signal", name)
+		}
+		return v, nil
+	}
+	boo = func(name string) (bool, error) {
+		if err := eval(name); err != nil {
+			return false, err
+		}
+		v, ok := sim.Bool[name]
+		if !ok {
+			return false, fmt.Errorf("simulink: %q is not a Boolean signal", name)
+		}
+		return v, nil
+	}
+
+	for name := range m.Blocks {
+		if err := eval(name); err != nil {
+			return nil, err
+		}
+	}
+	return sim, nil
+}

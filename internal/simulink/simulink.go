@@ -1,0 +1,596 @@
+// Package simulink implements the block-diagram substrate of the paper's
+// front end: "hybrid and embedded control systems, whose continuous
+// dynamics are often modelled using MATLAB/Simulink" (abstract, Fig. 1).
+// MATLAB itself is proprietary, so the package provides a compatible
+// block-diagram model — inports, outports, constants, gains, sums,
+// products, divisions, relational operators, logic gates, saturations,
+// switches and unary function blocks — with a textual format, a validating
+// compiler to ABsolver's circuit representation, and the Fig. 1 example.
+//
+// Compilation follows the paper's semantics: numeric signals become
+// arithmetic expression trees, relational operators become comparison
+// atoms, logic blocks become circuit gates; saturation and switch blocks
+// introduce auxiliary signal variables constrained by guarded equalities.
+package simulink
+
+import (
+	"fmt"
+	"sort"
+
+	"absolver/internal/circuit"
+	"absolver/internal/expr"
+)
+
+// BlockType enumerates supported block kinds.
+type BlockType int
+
+// Block kinds.
+const (
+	Inport BlockType = iota
+	Outport
+	Constant
+	Gain
+	Sum
+	Product
+	Divide
+	RelOp
+	Logic
+	Saturation
+	Switch
+	Fcn // unary function (sin, cos, exp, log, sqrt, abs)
+	MinMax
+	DeadZone
+)
+
+// String returns the block type keyword used by the textual format.
+func (t BlockType) String() string {
+	switch t {
+	case Inport:
+		return "inport"
+	case Outport:
+		return "outport"
+	case Constant:
+		return "constant"
+	case Gain:
+		return "gain"
+	case Sum:
+		return "sum"
+	case Product:
+		return "product"
+	case Divide:
+		return "divide"
+	case RelOp:
+		return "relop"
+	case Logic:
+		return "logic"
+	case Saturation:
+		return "saturation"
+	case Switch:
+		return "switch"
+	case Fcn:
+		return "fcn"
+	case MinMax:
+		return "minmax"
+	case DeadZone:
+		return "deadzone"
+	}
+	return fmt.Sprintf("BlockType(%d)", int(t))
+}
+
+// LogicOp enumerates logic block operators.
+type LogicOp int
+
+// Logic operators.
+const (
+	LogicAnd LogicOp = iota
+	LogicOr
+	LogicNot
+	LogicXor
+)
+
+// Block is one diagram node.
+type Block struct {
+	Name string
+	Type BlockType
+
+	// Value is the constant of a Constant block, the factor of a Gain, or
+	// the threshold of a Switch.
+	Value float64
+	// Signs configures a Sum block: one '+' or '-' per input.
+	Signs string
+	// Op is the comparison of a RelOp block.
+	Op expr.CmpOp
+	// Logic is the operator of a Logic block.
+	Logic LogicOp
+	// Lo, Hi bound a Saturation block.
+	Lo, Hi float64
+	// Fn is the function of an Fcn block.
+	Fn expr.Func
+	// Max selects the maximum (instead of minimum) for a MinMax block.
+	Max bool
+	// IntSignal marks an Inport as integer-valued (affects atom domains).
+	IntSignal bool
+}
+
+// inputs returns the number of input ports the block expects (-1 = any ≥ 2).
+func (b *Block) inputs() int {
+	switch b.Type {
+	case Inport, Constant:
+		return 0
+	case Outport, Gain, Saturation, Fcn, DeadZone:
+		return 1
+	case Divide:
+		return 2
+	case RelOp:
+		return 2
+	case Switch:
+		return 3
+	case Sum:
+		if b.Signs != "" {
+			return len(b.Signs)
+		}
+		return -1
+	case Product, Logic, MinMax:
+		if b.Type == Logic && b.Logic == LogicNot {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// Line connects FromBlock's output to ToBlock's input port (1-based).
+type Line struct {
+	From   string
+	To     string
+	ToPort int
+}
+
+// Model is a block diagram.
+type Model struct {
+	Name   string
+	Blocks map[string]*Block
+	Lines  []Line
+}
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model {
+	return &Model{Name: name, Blocks: map[string]*Block{}}
+}
+
+// Add inserts a block; it panics on duplicate names (programming error).
+func (m *Model) Add(b *Block) *Block {
+	if _, dup := m.Blocks[b.Name]; dup {
+		panic("simulink: duplicate block " + b.Name)
+	}
+	m.Blocks[b.Name] = b
+	return b
+}
+
+// Connect wires src's output to dst's input port (1-based).
+func (m *Model) Connect(src, dst string, port int) {
+	m.Lines = append(m.Lines, Line{From: src, To: dst, ToPort: port})
+}
+
+// Validate checks structural well-formedness: known endpoints, correct
+// port counts, no duplicate port feeds, acyclicity.
+func (m *Model) Validate() error {
+	feeds := map[string]map[int]string{}
+	for _, l := range m.Lines {
+		if _, ok := m.Blocks[l.From]; !ok {
+			return fmt.Errorf("simulink: line from unknown block %q", l.From)
+		}
+		if _, ok := m.Blocks[l.To]; !ok {
+			return fmt.Errorf("simulink: line to unknown block %q", l.To)
+		}
+		if l.ToPort < 1 {
+			return fmt.Errorf("simulink: line into %q has port %d", l.To, l.ToPort)
+		}
+		if feeds[l.To] == nil {
+			feeds[l.To] = map[int]string{}
+		}
+		if prev, dup := feeds[l.To][l.ToPort]; dup {
+			return fmt.Errorf("simulink: port %d of %q fed twice (%q and %q)", l.ToPort, l.To, prev, l.From)
+		}
+		feeds[l.To][l.ToPort] = l.From
+	}
+	for name, b := range m.Blocks {
+		want := b.inputs()
+		got := len(feeds[name])
+		if want == -1 {
+			if got < 2 {
+				return fmt.Errorf("simulink: %s block %q needs ≥ 2 inputs, has %d", b.Type, name, got)
+			}
+			// Ports must be contiguous 1..got.
+			for p := 1; p <= got; p++ {
+				if _, ok := feeds[name][p]; !ok {
+					return fmt.Errorf("simulink: %q missing input port %d", name, p)
+				}
+			}
+			continue
+		}
+		if got != want {
+			return fmt.Errorf("simulink: %s block %q has %d inputs, wants %d", b.Type, name, got, want)
+		}
+		for p := 1; p <= want; p++ {
+			if _, ok := feeds[name][p]; !ok {
+				return fmt.Errorf("simulink: %q missing input port %d", name, p)
+			}
+		}
+	}
+	// Acyclicity via DFS.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(n string) error {
+		switch color[n] {
+		case grey:
+			return fmt.Errorf("simulink: algebraic loop through %q", n)
+		case black:
+			return nil
+		}
+		color[n] = grey
+		for p := 1; p <= len(feeds[n]); p++ {
+			if src, ok := feeds[n][p]; ok {
+				if err := visit(src); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for name := range m.Blocks {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// feedsOf assembles the input map (validated models only).
+func (m *Model) feedsOf() map[string][]string {
+	tmp := map[string]map[int]string{}
+	for _, l := range m.Lines {
+		if tmp[l.To] == nil {
+			tmp[l.To] = map[int]string{}
+		}
+		tmp[l.To][l.ToPort] = l.From
+	}
+	out := map[string][]string{}
+	for name, ports := range tmp {
+		n := 0
+		for p := range ports {
+			if p > n {
+				n = p
+			}
+		}
+		row := make([]string, n)
+		for p, src := range ports {
+			row[p-1] = src
+		}
+		out[name] = row
+	}
+	return out
+}
+
+// Compiled is the result of compiling a model: one circuit gate per
+// Boolean outport, one expression per numeric outport, plus auxiliary
+// constraints introduced by saturation/switch blocks.
+type Compiled struct {
+	// BoolOutputs maps outport names to gates.
+	BoolOutputs map[string]*circuit.Gate
+	// NumOutputs maps outport names to expressions.
+	NumOutputs map[string]expr.Expr
+	// Aux holds gates that must hold in every behaviour (switch and
+	// saturation definitions).
+	Aux []*circuit.Gate
+	// Inports lists input signal names in sorted order.
+	Inports []string
+}
+
+// Circuit assembles the verification circuit: the conjunction of all
+// Boolean outputs and auxiliary constraints (the Fig. 1 → Fig. 2 shape).
+func (c *Compiled) Circuit() *circuit.Circuit {
+	gates := make([]*circuit.Gate, 0, len(c.BoolOutputs)+len(c.Aux))
+	names := make([]string, 0, len(c.BoolOutputs))
+	for n := range c.BoolOutputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		gates = append(gates, c.BoolOutputs[n])
+	}
+	gates = append(gates, c.Aux...)
+	if len(gates) == 1 {
+		return circuit.New(gates[0])
+	}
+	return circuit.New(circuit.And(gates...))
+}
+
+// signal is a compiled block output: numeric or Boolean.
+type signal struct {
+	num expr.Expr
+	b   *circuit.Gate
+}
+
+// Compile lowers the model. Inports become arithmetic variables named
+// after the block; every RelOp becomes an atom whose domain is Int exactly
+// when all contributing inports are integer-marked.
+func (m *Model) Compile() (*Compiled, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	feeds := m.feedsOf()
+	memo := map[string]*signal{}
+	out := &Compiled{BoolOutputs: map[string]*circuit.Gate{}, NumOutputs: map[string]expr.Expr{}}
+	auxN := 0
+
+	intIn := map[string]bool{}
+	for name, b := range m.Blocks {
+		if b.Type == Inport {
+			out.Inports = append(out.Inports, name)
+			if b.IntSignal {
+				intIn[name] = true
+			}
+		}
+	}
+	sort.Strings(out.Inports)
+
+	domainOf := func(es ...expr.Expr) expr.Domain {
+		for _, e := range es {
+			for _, v := range expr.Vars(e) {
+				if !intIn[v] {
+					return expr.Real
+				}
+			}
+		}
+		return expr.Int
+	}
+
+	var eval func(name string) (*signal, error)
+	numIn := func(name string, port int) (expr.Expr, error) {
+		s, err := eval(feeds[name][port])
+		if err != nil {
+			return nil, err
+		}
+		if s.num == nil {
+			return nil, fmt.Errorf("simulink: %q input %d is Boolean, numeric expected", name, port+1)
+		}
+		return s.num, nil
+	}
+	boolIn := func(name string, port int) (*circuit.Gate, error) {
+		s, err := eval(feeds[name][port])
+		if err != nil {
+			return nil, err
+		}
+		if s.b == nil {
+			return nil, fmt.Errorf("simulink: %q input %d is numeric, Boolean expected", name, port+1)
+		}
+		return s.b, nil
+	}
+
+	eval = func(name string) (*signal, error) {
+		if s, ok := memo[name]; ok {
+			return s, nil
+		}
+		b := m.Blocks[name]
+		var s signal
+		switch b.Type {
+		case Inport:
+			s.num = expr.V(name)
+		case Constant:
+			s.num = expr.C(b.Value)
+		case Gain:
+			in, err := numIn(name, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.num = expr.Mul(expr.C(b.Value), in)
+		case Sum:
+			signs := b.Signs
+			n := len(feeds[name])
+			if signs == "" {
+				for i := 0; i < n; i++ {
+					signs += "+"
+				}
+			}
+			var acc expr.Expr
+			for i := 0; i < n; i++ {
+				in, err := numIn(name, i)
+				if err != nil {
+					return nil, err
+				}
+				if signs[i] == '-' {
+					in = expr.Neg{X: in}
+				}
+				if acc == nil {
+					acc = in
+				} else {
+					acc = expr.Add(acc, in)
+				}
+			}
+			s.num = acc
+		case Product:
+			var acc expr.Expr
+			for i := range feeds[name] {
+				in, err := numIn(name, i)
+				if err != nil {
+					return nil, err
+				}
+				if acc == nil {
+					acc = in
+				} else {
+					acc = expr.Mul(acc, in)
+				}
+			}
+			s.num = acc
+		case Divide:
+			l, err := numIn(name, 0)
+			if err != nil {
+				return nil, err
+			}
+			r, err := numIn(name, 1)
+			if err != nil {
+				return nil, err
+			}
+			s.num = expr.Div(l, r)
+		case Fcn:
+			in, err := numIn(name, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.num = expr.Call{Fn: b.Fn, Arg: in}
+		case RelOp:
+			l, err := numIn(name, 0)
+			if err != nil {
+				return nil, err
+			}
+			r, err := numIn(name, 1)
+			if err != nil {
+				return nil, err
+			}
+			s.b = circuit.AtomGate(expr.NewAtom(l, b.Op, r, domainOf(l, r)))
+		case Logic:
+			var ins []*circuit.Gate
+			for i := range feeds[name] {
+				g, err := boolIn(name, i)
+				if err != nil {
+					return nil, err
+				}
+				ins = append(ins, g)
+			}
+			switch b.Logic {
+			case LogicAnd:
+				s.b = circuit.And(ins...)
+			case LogicOr:
+				s.b = circuit.Or(ins...)
+			case LogicXor:
+				if len(ins) != 2 {
+					return nil, fmt.Errorf("simulink: xor block %q needs 2 inputs", name)
+				}
+				s.b = circuit.Xor(ins[0], ins[1])
+			case LogicNot:
+				s.b = circuit.Not(ins[0])
+			}
+		case Saturation:
+			in, err := numIn(name, 0)
+			if err != nil {
+				return nil, err
+			}
+			auxN++
+			v := expr.V(fmt.Sprintf("%s.sat%d", m.Name, auxN))
+			dom := domainOf(in)
+			// (in ≥ hi → v = hi) ∧ (in ≤ lo → v = lo) ∧ (lo ≤ in ≤ hi → v = in)
+			geHi := circuit.AtomGate(expr.NewAtom(in, expr.CmpGE, expr.C(b.Hi), dom))
+			leLo := circuit.AtomGate(expr.NewAtom(in, expr.CmpLE, expr.C(b.Lo), dom))
+			out.Aux = append(out.Aux,
+				circuit.Implies(geHi, circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, expr.C(b.Hi), dom))),
+				circuit.Implies(leLo, circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, expr.C(b.Lo), dom))),
+				circuit.Implies(circuit.And(circuit.Not(geHi), circuit.Not(leLo)),
+					circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, in, dom))),
+			)
+			s.num = v
+		case Switch:
+			in1, err := numIn(name, 0)
+			if err != nil {
+				return nil, err
+			}
+			ctrl, err := numIn(name, 1)
+			if err != nil {
+				return nil, err
+			}
+			in3, err := numIn(name, 2)
+			if err != nil {
+				return nil, err
+			}
+			auxN++
+			v := expr.V(fmt.Sprintf("%s.sw%d", m.Name, auxN))
+			dom := domainOf(in1, in3, ctrl)
+			cond := circuit.AtomGate(expr.NewAtom(ctrl, expr.CmpGE, expr.C(b.Value), dom))
+			out.Aux = append(out.Aux,
+				circuit.Implies(cond, circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, in1, dom))),
+				circuit.Implies(circuit.Not(cond), circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, in3, dom))),
+			)
+			s.num = v
+		case MinMax:
+			// min/max over n inputs via an auxiliary variable v with the
+			// guarded definition: v equals some input, and v ≤ (≥) all.
+			n := len(feeds[name])
+			ins := make([]expr.Expr, n)
+			for i := 0; i < n; i++ {
+				in, err := numIn(name, i)
+				if err != nil {
+					return nil, err
+				}
+				ins[i] = in
+			}
+			auxN++
+			v := expr.V(fmt.Sprintf("%s.mm%d", m.Name, auxN))
+			dom := domainOf(ins...)
+			op := expr.CmpLE
+			if b.Max {
+				op = expr.CmpGE
+			}
+			eqs := make([]*circuit.Gate, n)
+			for i, in := range ins {
+				out.Aux = append(out.Aux, circuit.AtomGate(expr.NewAtom(v, op, in, dom)))
+				eqs[i] = circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, in, dom))
+			}
+			out.Aux = append(out.Aux, circuit.Or(eqs...))
+			s.num = v
+		case DeadZone:
+			// dz(x) = 0 for lo ≤ x ≤ hi, x − hi above, x − lo below.
+			in, err := numIn(name, 0)
+			if err != nil {
+				return nil, err
+			}
+			auxN++
+			v := expr.V(fmt.Sprintf("%s.dz%d", m.Name, auxN))
+			dom := domainOf(in)
+			geHi := circuit.AtomGate(expr.NewAtom(in, expr.CmpGE, expr.C(b.Hi), dom))
+			leLo := circuit.AtomGate(expr.NewAtom(in, expr.CmpLE, expr.C(b.Lo), dom))
+			out.Aux = append(out.Aux,
+				circuit.Implies(geHi, circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, expr.Sub(in, expr.C(b.Hi)), dom))),
+				circuit.Implies(leLo, circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, expr.Sub(in, expr.C(b.Lo)), dom))),
+				circuit.Implies(circuit.And(circuit.Not(geHi), circuit.Not(leLo)),
+					circuit.AtomGate(expr.NewAtom(v, expr.CmpEQ, expr.C(0), dom))),
+			)
+			s.num = v
+		case Outport:
+			in, err := eval(feeds[name][0])
+			if err != nil {
+				return nil, err
+			}
+			s = *in
+			if s.b != nil {
+				out.BoolOutputs[name] = s.b
+			} else {
+				out.NumOutputs[name] = s.num
+			}
+		}
+		memo[name] = &s
+		return &s, nil
+	}
+
+	names := make([]string, 0, len(m.Blocks))
+	for n := range m.Blocks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if m.Blocks[n].Type == Outport {
+			if _, err := eval(n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(out.BoolOutputs)+len(out.NumOutputs) == 0 {
+		return nil, fmt.Errorf("simulink: model %q has no outports", m.Name)
+	}
+	return out, nil
+}

@@ -1,0 +1,431 @@
+package simulink
+
+import (
+	"strings"
+	"testing"
+
+	"absolver/internal/circuit"
+	"absolver/internal/core"
+	"absolver/internal/expr"
+)
+
+func TestFig1Validates(t *testing.T) {
+	m := Fig1()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1Compile(t *testing.T) {
+	m := Fig1()
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.BoolOutputs) != 1 {
+		t.Fatalf("Boolean outputs = %d", len(c.BoolOutputs))
+	}
+	circ := c.Circuit()
+	if got := len(circ.Atoms()); got != 5 {
+		t.Fatalf("atoms = %d, want 5 (Fig. 1 has five comparisons)", got)
+	}
+	// Int domains: the i/j comparisons; real: the nonlinear one.
+	ints, reals := 0, 0
+	for _, a := range circ.Atoms() {
+		if a.Domain == expr.Int {
+			ints++
+		} else {
+			reals++
+		}
+	}
+	if ints != 4 || reals != 1 {
+		t.Fatalf("domains: %d int, %d real; want 4/1", ints, reals)
+	}
+}
+
+func TestFig1Semantics(t *testing.T) {
+	// Point evaluation of the compiled circuit against hand evaluation.
+	m := Fig1()
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ := c.Circuit()
+	cases := []struct {
+		env  expr.Env
+		want expr.Truth
+	}{
+		// i,j ≥ 0 ✓; 2i+j = 4 < 10 so need i+j = 3 < 5 ✓; nl = 2·2+3.5/2+4 = 9.75 ≥ 7.1 ✓
+		{expr.Env{"a": 2, "x": 2, "y": 2, "i": 1, "j": 2}, expr.True},
+		// i < 0 fails the first conjunct.
+		{expr.Env{"a": 2, "x": 2, "y": 2, "i": -1, "j": 2}, expr.False},
+		// 2i+j = 12 ≥ 10, so ¬(2i+j<10) makes the middle disjunct true;
+		// nl = 9.75 ≥ 7.1 ✓.
+		{expr.Env{"a": 2, "x": 2, "y": 2, "i": 5, "j": 2}, expr.True},
+		// nonlinear constraint fails: a·x small, y = 0 → 0 + 0.875 + 0 < 7.1.
+		{expr.Env{"a": 0, "x": 0, "y": 0, "i": 1, "j": 2}, expr.False},
+	}
+	for i, tc := range cases {
+		got := circ.Eval(circuit.Env{Real: tc.env})
+		if got != tc.want {
+			t.Fatalf("case %d: got %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestFig1SolveViaEngine(t *testing.T) {
+	m := Fig1()
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.FromCircuit(c.Circuit())
+	for _, v := range []string{"a", "x", "i", "j"} {
+		p.SetBounds(v, -10, 10)
+	}
+	p.SetBounds("y", -10, 3.9)
+	res, err := core.NewEngine(p, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusSat {
+		t.Fatalf("Fig. 1 model should be satisfiable, got %v", res.Status)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	// Missing input.
+	m := NewModel("bad")
+	m.Add(&Block{Name: "g", Type: Gain, Value: 2})
+	m.Add(&Block{Name: "o", Type: Outport})
+	m.Connect("g", "o", 1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("gain without input accepted")
+	}
+	// Unknown endpoint.
+	m2 := NewModel("bad2")
+	m2.Add(&Block{Name: "o", Type: Outport})
+	m2.Connect("ghost", "o", 1)
+	if err := m2.Validate(); err == nil {
+		t.Fatal("line from unknown block accepted")
+	}
+	// Double feed.
+	m3 := NewModel("bad3")
+	m3.Add(&Block{Name: "c1", Type: Constant, Value: 1})
+	m3.Add(&Block{Name: "c2", Type: Constant, Value: 2})
+	m3.Add(&Block{Name: "o", Type: Outport})
+	m3.Connect("c1", "o", 1)
+	m3.Connect("c2", "o", 1)
+	if err := m3.Validate(); err == nil {
+		t.Fatal("double feed accepted")
+	}
+	// Algebraic loop.
+	m4 := NewModel("bad4")
+	m4.Add(&Block{Name: "s", Type: Sum, Signs: "++"})
+	m4.Add(&Block{Name: "c", Type: Constant, Value: 1})
+	m4.Add(&Block{Name: "o", Type: Outport})
+	m4.Connect("c", "s", 1)
+	m4.Connect("s", "s", 2)
+	m4.Connect("s", "o", 1)
+	if err := m4.Validate(); err == nil {
+		t.Fatal("algebraic loop accepted")
+	}
+}
+
+func TestSwitchCompiles(t *testing.T) {
+	m := NewModel("sw")
+	m.Add(&Block{Name: "u", Type: Inport})
+	m.Add(&Block{Name: "ctl", Type: Inport})
+	m.Add(&Block{Name: "k", Type: Constant, Value: 9})
+	m.Add(&Block{Name: "sw", Type: Switch, Value: 0.5})
+	m.Connect("u", "sw", 1)
+	m.Connect("ctl", "sw", 2)
+	m.Connect("k", "sw", 3)
+	m.Add(&Block{Name: "big", Type: RelOp, Op: expr.CmpGE})
+	m.Add(&Block{Name: "c5", Type: Constant, Value: 5})
+	m.Connect("sw", "big", 1)
+	m.Connect("c5", "big", 2)
+	m.Add(&Block{Name: "out", Type: Outport})
+	m.Connect("big", "out", 1)
+
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Aux) != 2 {
+		t.Fatalf("switch should add two guarded definitions, got %d", len(c.Aux))
+	}
+	p := core.FromCircuit(c.Circuit())
+	p.SetBounds("u", 0, 1)
+	p.SetBounds("ctl", 0, 1)
+	res, err := core.NewEngine(p, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out ≥ 5 requires taking the else branch (constant 9): ctl < 0.5.
+	if res.Status != core.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Model.Real["ctl"] >= 0.5 {
+		t.Fatalf("ctl = %g should be < 0.5", res.Model.Real["ctl"])
+	}
+}
+
+func TestSaturationCompiles(t *testing.T) {
+	m := NewModel("sat")
+	m.Add(&Block{Name: "u", Type: Inport})
+	m.Add(&Block{Name: "s", Type: Saturation, Lo: -1, Hi: 1})
+	m.Connect("u", "s", 1)
+	m.Add(&Block{Name: "c2", Type: Constant, Value: 1.5})
+	m.Add(&Block{Name: "r", Type: RelOp, Op: expr.CmpGE})
+	m.Connect("s", "r", 1)
+	m.Connect("c2", "r", 2)
+	m.Add(&Block{Name: "out", Type: Outport})
+	m.Connect("r", "out", 1)
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.FromCircuit(c.Circuit())
+	p.SetBounds("u", -100, 100)
+	res, err := core.NewEngine(p, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sat(u) ∈ [-1,1] can never reach 1.5.
+	if res.Status == core.StatusSat {
+		t.Fatalf("saturated signal cannot exceed its limit; got sat with %v", res.Model.Real)
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	m := NewModel("mix")
+	m.Add(&Block{Name: "u", Type: Inport})
+	m.Add(&Block{Name: "n", Type: Logic, Logic: LogicNot})
+	m.Connect("u", "n", 1)
+	m.Add(&Block{Name: "o", Type: Outport})
+	m.Connect("n", "o", 1)
+	if _, err := m.Compile(); err == nil {
+		t.Fatal("logic over numeric signal accepted")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	m := Fig1()
+	var sb strings.Builder
+	if err := WriteModel(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseModel(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if len(m2.Blocks) != len(m.Blocks) || len(m2.Lines) != len(m.Lines) {
+		t.Fatalf("shape changed: %d/%d blocks, %d/%d lines",
+			len(m2.Blocks), len(m.Blocks), len(m2.Lines), len(m.Lines))
+	}
+	// Compile both and compare atom counts.
+	c1, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m2.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Circuit().Atoms()) != len(c2.Circuit().Atoms()) {
+		t.Fatal("atom count changed after round trip")
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"block x inport\n",
+		"model m\nblock x mystery\n",
+		"model m\nblock x inport\nblock x inport\n",
+		"model m\nline a -> b x\n",
+		"model m\nblock s sum xy\n",
+		"model m\nblock r relop ~\n",
+	}
+	for _, src := range bad {
+		if _, err := ParseModel(strings.NewReader(src)); err == nil {
+			t.Fatalf("accepted %q", src)
+		}
+	}
+}
+
+func TestMinMaxCompiles(t *testing.T) {
+	m := NewModel("mm")
+	m.Add(&Block{Name: "u", Type: Inport})
+	m.Add(&Block{Name: "v", Type: Inport})
+	m.Add(&Block{Name: "mx", Type: MinMax, Max: true})
+	m.Connect("u", "mx", 1)
+	m.Connect("v", "mx", 2)
+	m.Add(&Block{Name: "c5", Type: Constant, Value: 5})
+	m.Add(&Block{Name: "r", Type: RelOp, Op: expr.CmpGE})
+	m.Connect("mx", "r", 1)
+	m.Connect("c5", "r", 2)
+	m.Add(&Block{Name: "o", Type: Outport})
+	m.Connect("r", "o", 1)
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.FromCircuit(c.Circuit())
+	// max(u,v) ≥ 5 with u ≤ 3 forced: v must supply the 5.
+	p.SetBounds("u", 0, 3)
+	p.SetBounds("v", 0, 10)
+	res, err := core.NewEngine(p, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Model.Real["v"] < 5-1e-6 {
+		t.Fatalf("v = %g should be ≥ 5", res.Model.Real["v"])
+	}
+	// And infeasible when both are capped below 5.
+	p2 := core.FromCircuit(c.Circuit())
+	p2.SetBounds("u", 0, 3)
+	p2.SetBounds("v", 0, 4)
+	res2, err := core.NewEngine(p2, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status == core.StatusSat {
+		t.Fatalf("max(3,4) cannot reach 5; got sat with %v", res2.Model.Real)
+	}
+}
+
+func TestDeadZoneCompiles(t *testing.T) {
+	m := NewModel("dz")
+	m.Add(&Block{Name: "u", Type: Inport})
+	m.Add(&Block{Name: "d", Type: DeadZone, Lo: -1, Hi: 1})
+	m.Connect("u", "d", 1)
+	m.Add(&Block{Name: "c2", Type: Constant, Value: 2})
+	m.Add(&Block{Name: "r", Type: RelOp, Op: expr.CmpGE})
+	m.Connect("d", "r", 1)
+	m.Connect("c2", "r", 2)
+	m.Add(&Block{Name: "o", Type: Outport})
+	m.Connect("r", "o", 1)
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.FromCircuit(c.Circuit())
+	p.SetBounds("u", -10, 10)
+	res, err := core.NewEngine(p, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dz(u) ≥ 2 requires u ≥ 3 (u − 1 ≥ 2).
+	if res.Status != core.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Model.Real["u"] < 3-1e-6 {
+		t.Fatalf("u = %g should be ≥ 3", res.Model.Real["u"])
+	}
+}
+
+func TestMinMaxDeadZoneFormatRoundTrip(t *testing.T) {
+	src := `model rt
+block u inport
+block v inport
+block mm minmax max
+block dz deadzone -0.5 0.5
+block c constant 1
+block r relop >
+block o outport
+line u -> mm 1
+line v -> mm 2
+line mm -> dz 1
+line dz -> r 1
+line c -> r 2
+line r -> o 1
+`
+	m, err := ParseModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteModel(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseModel(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if !m2.Blocks["mm"].Max || m2.Blocks["dz"].Lo != -0.5 || m2.Blocks["dz"].Hi != 0.5 {
+		t.Fatal("parameters lost in round trip")
+	}
+}
+
+func TestSimulateFig1(t *testing.T) {
+	m := Fig1()
+	sim, err := m.Simulate(map[string]float64{"a": 2, "x": 2, "y": 2, "i": 1, "j": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Bool["Out1"] {
+		t.Fatal("Out1 should be true at the reference point")
+	}
+	// nlSum = 2·2 + 3.5/2 + 2·2 = 9.75.
+	if d := sim.Num["nlSum"] - 9.75; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("nlSum = %g", sim.Num["nlSum"])
+	}
+	sim2, err := m.Simulate(map[string]float64{"a": 2, "x": 2, "y": 2, "i": -1, "j": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim2.Bool["Out1"] {
+		t.Fatal("Out1 should be false for negative i")
+	}
+}
+
+func TestSimulateAgainstCircuitEval(t *testing.T) {
+	// Simulation and circuit evaluation must agree on Fig. 1 at many points.
+	m := Fig1()
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ := c.Circuit()
+	pts := []map[string]float64{
+		{"a": 2, "x": 2, "y": 2, "i": 1, "j": 2},
+		{"a": 0, "x": 0, "y": 0, "i": 1, "j": 2},
+		{"a": 2, "x": 2, "y": 2, "i": 5, "j": 2},
+		{"a": -1, "x": 3, "y": 3.5, "i": 0, "j": 0},
+		{"a": 1, "x": 1, "y": -2, "i": 4, "j": 4},
+	}
+	for i, pt := range pts {
+		sim, err := m.Simulate(pt)
+		if err != nil {
+			t.Fatalf("pt %d: %v", i, err)
+		}
+		env := expr.Env{}
+		for k, v := range pt {
+			env[k] = v
+		}
+		want := circ.Eval(circuit.Env{Real: env})
+		got := expr.FromBool(sim.Bool["Out1"])
+		if want != got {
+			t.Fatalf("pt %d: circuit %v vs simulation %v", i, want, got)
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	m := Fig1()
+	if _, err := m.Simulate(map[string]float64{"a": 1}); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+	// Division by zero: y = 4 makes 4 - y = 0.
+	if _, err := m.Simulate(map[string]float64{"a": 1, "x": 1, "y": 4, "i": 1, "j": 1}); err == nil {
+		t.Fatal("division by zero not reported")
+	}
+}

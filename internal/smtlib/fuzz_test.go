@@ -1,0 +1,19 @@
+package smtlib
+
+import "testing"
+
+// FuzzParse exercises the SMT-LIB 1.2 benchmark parser.
+func FuzzParse(f *testing.F) {
+	f.Add("(benchmark b :logic QF_LRA :extrafuns ((x Real)) :formula (> x 0))")
+	f.Add("(benchmark b :extrapreds ((p)) :formula (flet ($a p) (and $a true)))")
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Parsed benchmarks must lower to structurally valid problems.
+		if err := b.ToProblem().Validate(); err != nil {
+			t.Fatalf("parsed benchmark lowers to invalid problem: %v\ninput: %q", err, src)
+		}
+	})
+}

@@ -1,0 +1,493 @@
+package smtlib
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"absolver/internal/circuit"
+	"absolver/internal/core"
+	"absolver/internal/expr"
+)
+
+// Sort is an SMT-LIB arithmetic sort.
+type Sort int
+
+// Sorts.
+const (
+	SortReal Sort = iota
+	SortInt
+)
+
+// Benchmark is a parsed SMT-LIB 1.2 benchmark.
+type Benchmark struct {
+	Name   string
+	Logic  string
+	Status string // "sat", "unsat" or "unknown" as annotated
+	Funs   map[string]Sort
+	Preds  map[string]bool
+	// Formula is the conjunction of all :assumption and :formula
+	// attributes, as a circuit.
+	Formula *circuit.Circuit
+}
+
+// Parse reads an SMT-LIB 1.2 benchmark file.
+func Parse(src string) (*Benchmark, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	e, next, err := parseSExpr(toks, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(toks) {
+		return nil, fmt.Errorf("smtlib: trailing tokens after benchmark")
+	}
+	if e.IsAtom() || len(e.List) < 2 || e.List[0].Sym != "benchmark" {
+		return nil, fmt.Errorf("smtlib: not a benchmark s-expression")
+	}
+	b := &Benchmark{
+		Name:   e.List[1].Sym,
+		Status: "unknown",
+		Funs:   map[string]Sort{},
+		Preds:  map[string]bool{},
+	}
+	var formulas []*SExpr
+	i := 2
+	for i < len(e.List) {
+		item := e.List[i]
+		if !item.IsAtom() || !strings.HasPrefix(item.Sym, ":") {
+			return nil, fmt.Errorf("smtlib: expected attribute, got %s", item)
+		}
+		attr := item.Sym
+		i++
+		switch attr {
+		case ":logic", ":status", ":source", ":category", ":difficulty", ":notes":
+			if i >= len(e.List) {
+				return nil, fmt.Errorf("smtlib: missing value for %s", attr)
+			}
+			val := e.List[i]
+			i++
+			switch attr {
+			case ":logic":
+				b.Logic = val.Sym
+			case ":status":
+				b.Status = val.Sym
+			}
+		case ":extrafuns":
+			if i >= len(e.List) {
+				return nil, fmt.Errorf("smtlib: missing value for :extrafuns")
+			}
+			for _, d := range e.List[i].List {
+				if d.IsAtom() || len(d.List) != 2 {
+					return nil, fmt.Errorf("smtlib: bad fun declaration %s", d)
+				}
+				name := d.List[0].Sym
+				switch d.List[1].Sym {
+				case "Real":
+					b.Funs[name] = SortReal
+				case "Int":
+					b.Funs[name] = SortInt
+				default:
+					return nil, fmt.Errorf("smtlib: unsupported sort %s", d.List[1].Sym)
+				}
+			}
+			i++
+		case ":extrapreds":
+			if i >= len(e.List) {
+				return nil, fmt.Errorf("smtlib: missing value for :extrapreds")
+			}
+			for _, d := range e.List[i].List {
+				if d.IsAtom() {
+					b.Preds[d.Sym] = true
+				} else if len(d.List) == 1 {
+					b.Preds[d.List[0].Sym] = true
+				} else {
+					return nil, fmt.Errorf("smtlib: only nullary predicates supported: %s", d)
+				}
+			}
+			i++
+		case ":assumption", ":formula":
+			if i >= len(e.List) {
+				return nil, fmt.Errorf("smtlib: missing value for %s", attr)
+			}
+			formulas = append(formulas, e.List[i])
+			i++
+		default:
+			// Unknown attribute: skip its value if present.
+			if i < len(e.List) && !(e.List[i].IsAtom() && strings.HasPrefix(e.List[i].Sym, ":")) {
+				i++
+			}
+		}
+	}
+	if len(formulas) == 0 {
+		return nil, fmt.Errorf("smtlib: benchmark has no :formula")
+	}
+	conv := &converter{
+		b:         b,
+		lets:      map[string]expr.Expr{},
+		flets:     map[string]*circuit.Gate{},
+		atomCache: map[string]*circuit.Gate{},
+	}
+	gates := make([]*circuit.Gate, len(formulas))
+	for j, f := range formulas {
+		g, err := conv.formula(f)
+		if err != nil {
+			return nil, err
+		}
+		gates[j] = g
+	}
+	if len(gates) == 1 {
+		b.Formula = circuit.New(gates[0])
+	} else {
+		b.Formula = circuit.New(circuit.And(gates...))
+	}
+	return b, nil
+}
+
+// ToProblem lowers the benchmark to an AB problem (automatic conversion to
+// ABsolver's input format, Sec. 5.2).
+func (b *Benchmark) ToProblem() *core.Problem {
+	return core.FromCircuit(b.Formula)
+}
+
+// converter tracks let/flet scopes during formula conversion. atomCache
+// shares one gate (hence one CNF variable) among syntactically identical
+// atoms — without it every occurrence of a repeated comparison would get
+// its own Boolean variable after Tseitin conversion.
+type converter struct {
+	b         *Benchmark
+	lets      map[string]expr.Expr
+	flets     map[string]*circuit.Gate
+	atomCache map[string]*circuit.Gate
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"<": expr.CmpLT, ">": expr.CmpGT, "<=": expr.CmpLE, ">=": expr.CmpGE, "=": expr.CmpEQ,
+}
+
+// formula converts an s-expression into a circuit gate.
+func (c *converter) formula(e *SExpr) (*circuit.Gate, error) {
+	if e.IsAtom() {
+		switch e.Sym {
+		case "true":
+			return circuit.Const(true), nil
+		case "false":
+			return circuit.Const(false), nil
+		}
+		if g, ok := c.flets[e.Sym]; ok {
+			return g, nil
+		}
+		if c.b.Preds[e.Sym] || strings.HasPrefix(e.Sym, "$") {
+			return circuit.Input(e.Sym), nil
+		}
+		return nil, fmt.Errorf("smtlib: unknown proposition %q", e.Sym)
+	}
+	if len(e.List) == 0 {
+		return nil, fmt.Errorf("smtlib: empty formula")
+	}
+	head := e.List[0].Sym
+	args := e.List[1:]
+	switch head {
+	case "and", "or":
+		gs := make([]*circuit.Gate, len(args))
+		for i, a := range args {
+			g, err := c.formula(a)
+			if err != nil {
+				return nil, err
+			}
+			gs[i] = g
+		}
+		if head == "and" {
+			return circuit.And(gs...), nil
+		}
+		return circuit.Or(gs...), nil
+	case "not":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("smtlib: not takes one argument")
+		}
+		g, err := c.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Not(g), nil
+	case "implies", "=>":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: implies takes two arguments")
+		}
+		a, err := c.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.formula(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Implies(a, b), nil
+	case "iff":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: iff takes two arguments")
+		}
+		a, err := c.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.formula(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Not(circuit.Xor(a, b)), nil
+	case "xor":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: xor takes two arguments")
+		}
+		a, err := c.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.formula(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Xor(a, b), nil
+	case "if_then_else", "ite":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("smtlib: if_then_else takes three arguments")
+		}
+		cnd, err := c.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		th, err := c.formula(args[1])
+		if err != nil {
+			return nil, err
+		}
+		el, err := c.formula(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Ite(cnd, th, el), nil
+	case "let":
+		// (let (?x term) body)
+		if len(args) != 2 || args[0].IsAtom() || len(args[0].List) != 2 {
+			return nil, fmt.Errorf("smtlib: malformed let")
+		}
+		name := args[0].List[0].Sym
+		t, err := c.term(args[0].List[1])
+		if err != nil {
+			return nil, err
+		}
+		old, had := c.lets[name]
+		c.lets[name] = t
+		g, err := c.formula(args[1])
+		if had {
+			c.lets[name] = old
+		} else {
+			delete(c.lets, name)
+		}
+		return g, err
+	case "flet":
+		// (flet ($p formula) body)
+		if len(args) != 2 || args[0].IsAtom() || len(args[0].List) != 2 {
+			return nil, fmt.Errorf("smtlib: malformed flet")
+		}
+		name := args[0].List[0].Sym
+		f, err := c.formula(args[0].List[1])
+		if err != nil {
+			return nil, err
+		}
+		old, had := c.flets[name]
+		c.flets[name] = f
+		g, err := c.formula(args[1])
+		if had {
+			c.flets[name] = old
+		} else {
+			delete(c.flets, name)
+		}
+		return g, err
+	case "distinct":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("smtlib: distinct takes at least two arguments")
+		}
+		var gs []*circuit.Gate
+		for i := 0; i < len(args); i++ {
+			for j := i + 1; j < len(args); j++ {
+				a, err := c.atom(expr.CmpNE, args[i], args[j])
+				if err != nil {
+					return nil, err
+				}
+				gs = append(gs, a)
+			}
+		}
+		if len(gs) == 1 {
+			return gs[0], nil
+		}
+		return circuit.And(gs...), nil
+	case "<", ">", "<=", ">=":
+		return c.chainCmp(cmpOps[head], args)
+	case "=":
+		// Equality over formulas is iff; over terms it is an atom. Decide
+		// by attempting term conversion first.
+		if len(args) < 2 {
+			return nil, fmt.Errorf("smtlib: = takes at least two arguments")
+		}
+		if _, err := c.term(args[0]); err == nil {
+			return c.chainCmp(expr.CmpEQ, args)
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: Boolean = takes two arguments")
+		}
+		a, err := c.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.formula(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Not(circuit.Xor(a, b)), nil
+	}
+	return nil, fmt.Errorf("smtlib: unsupported connective %q", head)
+}
+
+// chainCmp converts (op t1 t2 … tn) into the conjunction of adjacent
+// comparisons.
+func (c *converter) chainCmp(op expr.CmpOp, args []*SExpr) (*circuit.Gate, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("smtlib: comparison needs two arguments")
+	}
+	var gs []*circuit.Gate
+	for i := 0; i+1 < len(args); i++ {
+		g, err := c.atom(op, args[i], args[i+1])
+		if err != nil {
+			return nil, err
+		}
+		gs = append(gs, g)
+	}
+	if len(gs) == 1 {
+		return gs[0], nil
+	}
+	return circuit.And(gs...), nil
+}
+
+// atom builds a comparison atom gate from two term s-expressions.
+func (c *converter) atom(op expr.CmpOp, l, r *SExpr) (*circuit.Gate, error) {
+	lt, err := c.term(l)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.term(r)
+	if err != nil {
+		return nil, err
+	}
+	dom := expr.Int
+	for _, v := range expr.Vars(lt) {
+		if c.b.Funs[v] != SortInt {
+			dom = expr.Real
+		}
+	}
+	for _, v := range expr.Vars(rt) {
+		if c.b.Funs[v] != SortInt {
+			dom = expr.Real
+		}
+	}
+	a := expr.NewAtom(lt, op, rt, dom)
+	key := a.String() + "#" + a.Domain.String()
+	if g, ok := c.atomCache[key]; ok {
+		return g, nil
+	}
+	g := circuit.AtomGate(a)
+	c.atomCache[key] = g
+	return g, nil
+}
+
+// term converts an s-expression into an arithmetic expression.
+func (c *converter) term(e *SExpr) (expr.Expr, error) {
+	if e.IsAtom() {
+		s := e.Sym
+		if t, ok := c.lets[s]; ok {
+			return t, nil
+		}
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return expr.C(v), nil
+		}
+		if _, ok := c.b.Funs[s]; ok || strings.HasPrefix(s, "?") {
+			return expr.V(s), nil
+		}
+		return nil, fmt.Errorf("smtlib: unknown term %q", s)
+	}
+	if len(e.List) == 0 {
+		return nil, fmt.Errorf("smtlib: empty term")
+	}
+	head := e.List[0].Sym
+	args := e.List[1:]
+	switch head {
+	case "~":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("smtlib: ~ takes one argument")
+		}
+		t, err := c.term(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return expr.Neg{X: t}, nil
+	case "+", "*":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("smtlib: %s needs arguments", head)
+		}
+		t, err := c.term(args[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range args[1:] {
+			u, err := c.term(a)
+			if err != nil {
+				return nil, err
+			}
+			if head == "+" {
+				t = expr.Add(t, u)
+			} else {
+				t = expr.Mul(t, u)
+			}
+		}
+		return t, nil
+	case "-":
+		if len(args) == 1 {
+			t, err := c.term(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return expr.Neg{X: t}, nil
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("smtlib: - needs arguments")
+		}
+		t, err := c.term(args[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range args[1:] {
+			u, err := c.term(a)
+			if err != nil {
+				return nil, err
+			}
+			t = expr.Sub(t, u)
+		}
+		return t, nil
+	case "/":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: / takes two arguments")
+		}
+		l, err := c.term(args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.term(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return expr.Div(l, r), nil
+	}
+	return nil, fmt.Errorf("smtlib: unsupported term head %q", head)
+}

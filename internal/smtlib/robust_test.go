@@ -1,0 +1,67 @@
+package smtlib
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics: random s-expression-ish soup must never panic.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	alphabet := "()benchmark :logic formula extrafuns Real and or not < >= x y 0123 {} \" \n~"
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(160)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = Parse(sb.String())
+		}()
+	}
+}
+
+// TestParserNeverPanicsStructured mutates a valid benchmark.
+func TestParserNeverPanicsStructured(t *testing.T) {
+	base := `(benchmark b
+  :logic QF_LRA
+  :status sat
+  :extrafuns ((x Real) (i Int))
+  :extrapreds ((p))
+  :assumption (>= x (~ 5))
+  :formula (and p (or (< x 2) (not (= i 3))) (if_then_else p (> x 0) (< x 0)))
+)`
+	rng := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 2000; iter++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			switch rng.Intn(3) {
+			case 0:
+				b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+			case 1:
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 2:
+				i := rng.Intn(len(b))
+				b = append(b[:i], append([]byte{byte("()x1 "[rng.Intn(5)])}, b[i:]...)...)
+			}
+			if len(b) == 0 {
+				b = []byte("(")
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input %q: %v", string(b), r)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}

@@ -1,0 +1,143 @@
+// Package smtlib implements a parser for the subset of the SMT-LIB 1.2
+// benchmark format (Ranise & Tinelli, 2006) needed to ingest the paper's
+// Table 2 workload: (benchmark …) headers with :logic/:status/:extrafuns/
+// :extrapreds/:formula attributes, quantifier-free formulas over linear
+// real/integer arithmetic, and the usual Boolean connectives. Benchmarks
+// are "converted automatically to ABSOLVER's input format" (Sec. 5.2):
+// ToProblem lowers a parsed benchmark to a core.Problem via the circuit
+// representation.
+package smtlib
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SExpr is an s-expression: either an atom (Sym != "") or a list.
+type SExpr struct {
+	Sym  string
+	List []*SExpr
+}
+
+// IsAtom reports whether e is an atom.
+func (e *SExpr) IsAtom() bool { return e.Sym != "" }
+
+// String renders the s-expression.
+func (e *SExpr) String() string {
+	if e.IsAtom() {
+		return e.Sym
+	}
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, c := range e.List {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(c.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// lexer splits SMT-LIB 1.2 text into tokens: parens, symbols, {…} user
+// annotations (returned as single tokens), and ;-comments (skipped).
+type lexer struct {
+	src  string
+	pos  int
+	toks []string
+}
+
+func lex(src string) ([]string, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == ';':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '(' || c == ')':
+			l.toks = append(l.toks, string(c))
+			l.pos++
+		case c == '{':
+			depth := 0
+			start := l.pos
+			for l.pos < len(l.src) {
+				switch l.src[l.pos] {
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+				l.pos++
+				if depth == 0 {
+					break
+				}
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("smtlib: unterminated annotation at %d", start)
+			}
+			l.toks = append(l.toks, l.src[start:l.pos])
+		case c == '"':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("smtlib: unterminated string at %d", start)
+			}
+			l.pos++
+			l.toks = append(l.toks, l.src[start:l.pos])
+		default:
+			start := l.pos
+			for l.pos < len(l.src) && !isDelim(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, l.src[start:l.pos])
+		}
+	}
+	return l.toks, nil
+}
+
+func isDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '(', ')', ';', '{', '"':
+		return true
+	}
+	return false
+}
+
+// parseSExpr parses one s-expression from toks starting at i, returning the
+// expression and the next index.
+func parseSExpr(toks []string, i int) (*SExpr, int, error) {
+	if i >= len(toks) {
+		return nil, i, fmt.Errorf("smtlib: unexpected end of input")
+	}
+	t := toks[i]
+	switch t {
+	case "(":
+		i++
+		e := &SExpr{}
+		for {
+			if i >= len(toks) {
+				return nil, i, fmt.Errorf("smtlib: missing ')'")
+			}
+			if toks[i] == ")" {
+				return e, i + 1, nil
+			}
+			child, ni, err := parseSExpr(toks, i)
+			if err != nil {
+				return nil, ni, err
+			}
+			e.List = append(e.List, child)
+			i = ni
+		}
+	case ")":
+		return nil, i, fmt.Errorf("smtlib: unexpected ')'")
+	default:
+		return &SExpr{Sym: t}, i + 1, nil
+	}
+}

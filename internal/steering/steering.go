@@ -1,0 +1,356 @@
+// Package steering reproduces the paper's industrial case study (Sec. 3):
+// the safety analysis of a car's steering control system. The original
+// MATLAB/Simulink model is IP-protected ("excluding the original car
+// steering model due to obvious issues with the protection of intellectual
+// property"); the paper publishes only its interface and dimensions, which
+// this synthetic substitute matches:
+//
+//   - sensors: yaw rate (−7 ≤ x ≤ 7), lateral acceleration (−20 ≤ x ≤ 20),
+//     four wheel-speed sensors (−400 ≤ x ≤ 400), steering angle (−1 ≤ x ≤ 1);
+//   - problem dimensions: ≈976 CNF clauses and 24 arithmetic constraints,
+//     4 linear and 20 nonlinear (Table 1, row "Car steering").
+//
+// The model couples a nonlinear single-track vehicle environment (products
+// of speed, yaw rate and steering angle; slip by division) with a
+// dual-channel monitoring controller: per-wheel plausibility checks, a
+// 2-out-of-4 voter, channel agreement logic, a 16-row situation
+// classification matrix, a pairwise diagnostic-coverage matrix and an
+// escalation ladder. The verification question posed — exactly the class
+// the paper describes — is the reachability of a *critical driving
+// situation*: sensors plausible, the car demonstrably oversteering within
+// its physical limits, and the commanded correction outside the actuator
+// range. A SAT answer is a concrete test vector for the situation; UNSAT
+// proves the controller's envelope covers it.
+//
+// The model is produced as a Simulink block diagram and analysed through
+// the complete Fig. 3 tool-chain (Simulink → Lustre → AB problem).
+package steering
+
+import (
+	"fmt"
+
+	"absolver/internal/core"
+	"absolver/internal/expr"
+	"absolver/internal/lustre"
+	"absolver/internal/simulink"
+)
+
+// Wheelbase of the synthetic vehicle (m).
+const Wheelbase = 2.7
+
+// Model builds the steering-control block diagram.
+func Model() *simulink.Model {
+	m := simulink.NewModel("steering")
+	add := func(b *simulink.Block) string { m.Add(b); return b.Name }
+	con := m.Connect
+
+	// --- Sensor inports (ranges are attached by Problem()). -----------
+	for _, n := range []string{"yaw", "lat", "v1", "v2", "v3", "v4", "delta"} {
+		add(&simulink.Block{Name: n, Type: simulink.Inport})
+	}
+
+	// --- Environment arithmetic (nonlinear vehicle model). ------------
+	// vavg = (v1+v2+v3+v4)/4
+	add(&simulink.Block{Name: "vsum", Type: simulink.Sum, Signs: "++++"})
+	con("v1", "vsum", 1)
+	con("v2", "vsum", 2)
+	con("v3", "vsum", 3)
+	con("v4", "vsum", 4)
+	add(&simulink.Block{Name: "vavg", Type: simulink.Gain, Value: 0.25})
+	con("vsum", "vavg", 1)
+	// vsq = vavg²
+	add(&simulink.Block{Name: "vsq", Type: simulink.Product})
+	con("vavg", "vsq", 1)
+	con("vavg", "vsq", 2)
+	// ayp = yaw·vavg (predicted lateral acceleration)
+	add(&simulink.Block{Name: "ayp", Type: simulink.Product})
+	con("yaw", "ayp", 1)
+	con("vavg", "ayp", 2)
+	// curvL = Wheelbase·yaw/vavg (geometric steering demand)
+	add(&simulink.Block{Name: "yawL", Type: simulink.Gain, Value: Wheelbase})
+	con("yaw", "yawL", 1)
+	add(&simulink.Block{Name: "curvL", Type: simulink.Divide})
+	con("yawL", "curvL", 1)
+	con("vavg", "curvL", 2)
+	// slip = delta − curvL (side-slip indicator)
+	add(&simulink.Block{Name: "slip", Type: simulink.Sum, Signs: "+-"})
+	con("delta", "slip", 1)
+	con("curvL", "slip", 2)
+	// margin = slip·vsq (dynamic stability margin)
+	add(&simulink.Block{Name: "margin", Type: simulink.Product})
+	con("slip", "margin", 1)
+	con("vsq", "margin", 2)
+	// dsl = delta·vsq (dynamic steering load)
+	add(&simulink.Block{Name: "dsl", Type: simulink.Product})
+	con("delta", "dsl", 1)
+	con("vsq", "dsl", 2)
+	// yawAy = yaw·lat ; yy = yaw·yaw·vsq ; aysq = lat·lat
+	add(&simulink.Block{Name: "yawAy", Type: simulink.Product})
+	con("yaw", "yawAy", 1)
+	con("lat", "yawAy", 2)
+	add(&simulink.Block{Name: "yawSq", Type: simulink.Product})
+	con("yaw", "yawSq", 1)
+	con("yaw", "yawSq", 2)
+	add(&simulink.Block{Name: "yy", Type: simulink.Product})
+	con("yawSq", "yy", 1)
+	con("vsq", "yy", 2)
+	add(&simulink.Block{Name: "aysq", Type: simulink.Product})
+	con("lat", "aysq", 1)
+	con("lat", "aysq", 2)
+	// steer coupling: sc = vavg·delta − 1.5·yaw
+	add(&simulink.Block{Name: "vd", Type: simulink.Product})
+	con("vavg", "vd", 1)
+	con("delta", "vd", 2)
+	add(&simulink.Block{Name: "yaw15", Type: simulink.Gain, Value: 1.5})
+	con("yaw", "yaw15", 1)
+	add(&simulink.Block{Name: "sc", Type: simulink.Sum, Signs: "+-"})
+	con("vd", "sc", 1)
+	con("yaw15", "sc", 2)
+	// dirCons = delta·yaw ; counter = delta·lat
+	add(&simulink.Block{Name: "dirCons", Type: simulink.Product})
+	con("delta", "dirCons", 1)
+	con("yaw", "dirCons", 2)
+	add(&simulink.Block{Name: "counter", Type: simulink.Product})
+	con("delta", "counter", 1)
+	con("lat", "counter", 2)
+	// per-wheel deviation squares: wdev_i = (v_i − vavg)²
+	for i := 1; i <= 4; i++ {
+		d := fmt.Sprintf("wd%d", i)
+		add(&simulink.Block{Name: d, Type: simulink.Sum, Signs: "+-"})
+		con(fmt.Sprintf("v%d", i), d, 1)
+		con("vavg", d, 2)
+		sq := fmt.Sprintf("wdev%d", i)
+		add(&simulink.Block{Name: sq, Type: simulink.Product})
+		con(d, sq, 1)
+		con(d, sq, 2)
+	}
+	// wheel tolerance: wtol = 0.01·vsq + 1
+	add(&simulink.Block{Name: "vsq001", Type: simulink.Gain, Value: 0.01})
+	con("vsq", "vsq001", 1)
+	add(&simulink.Block{Name: "c1", Type: simulink.Constant, Value: 1})
+	add(&simulink.Block{Name: "wtol", Type: simulink.Sum, Signs: "++"})
+	con("vsq001", "wtol", 1)
+	con("c1", "wtol", 2)
+
+	// --- The 24 comparison atoms: 4 linear, 20 nonlinear. -------------
+	cmp := func(name string, op expr.CmpOp, left string, right float64) {
+		cn := name + "_c"
+		add(&simulink.Block{Name: cn, Type: simulink.Constant, Value: right})
+		add(&simulink.Block{Name: name, Type: simulink.RelOp, Op: op})
+		con(left, name, 1)
+		con(cn, name, 2)
+	}
+	// Linear (4): actuator range and fleet plausibility.
+	cmp("L1_deltaLo", expr.CmpGE, "delta", -0.9)
+	cmp("L2_deltaHi", expr.CmpLE, "delta", 0.9)
+	add(&simulink.Block{Name: "axleDiff", Type: simulink.Sum, Signs: "++--"})
+	con("v1", "axleDiff", 1)
+	con("v2", "axleDiff", 2)
+	con("v3", "axleDiff", 3)
+	con("v4", "axleDiff", 4)
+	cmp("L3_axle", expr.CmpLE, "axleDiff", 30)
+	cmp("L4_moving", expr.CmpGE, "vavg", 5)
+	// Nonlinear (20).
+	cmp("N1_ayConsHi", expr.CmpLE, "aypMinusAy", 2)
+	add(&simulink.Block{Name: "aypMinusAy", Type: simulink.Sum, Signs: "+-"})
+	con("ayp", "aypMinusAy", 1)
+	con("lat", "aypMinusAy", 2)
+	cmp("N2_ayConsLo", expr.CmpGE, "aypMinusAy", -2)
+	cmp("N3_dslHi", expr.CmpLE, "dsl", 120)
+	cmp("N4_dslLo", expr.CmpGE, "dsl", -120)
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("N%d_wheel%d", 4+i, i)
+		add(&simulink.Block{Name: name, Type: simulink.RelOp, Op: expr.CmpLE})
+		con(fmt.Sprintf("wdev%d", i), name, 1)
+		con("wtol", name, 2)
+	}
+	cmp("N9_under", expr.CmpGE, "slip", 0.05)
+	cmp("N10_over", expr.CmpLE, "slip", -0.05)
+	cmp("N11_friction", expr.CmpLE, "aysq", 96.04)
+	cmp("N12_load", expr.CmpLE, "yy", 2500)
+	cmp("N13_dir", expr.CmpGE, "dirCons", 0)
+	cmp("N14_counter", expr.CmpGE, "counter", -5)
+	cmp("N15_marginHi", expr.CmpLE, "margin", 50)
+	cmp("N16_marginLo", expr.CmpGE, "margin", -50)
+	cmp("N17_yawAyHi", expr.CmpLE, "yawAy", 60)
+	cmp("N18_yawAyLo", expr.CmpGE, "yawAy", -60)
+	cmp("N19_scHi", expr.CmpLE, "sc", 25)
+	cmp("N20_scLo", expr.CmpGE, "sc", -25)
+
+	// --- Dual-channel monitoring controller (Boolean logic). ----------
+	logic := func(name string, op simulink.LogicOp, ins ...string) string {
+		add(&simulink.Block{Name: name, Type: simulink.Logic, Logic: op})
+		for i, s := range ins {
+			con(s, name, i+1)
+		}
+		return name
+	}
+	not := func(name, in string) string { return logic(name, simulink.LogicNot, in) }
+
+	// Channel A judges the front axle, channel B the rear.
+	chA := logic("chA", simulink.LogicAnd, "N5_wheel1", "N6_wheel2")
+	chB := logic("chB", simulink.LogicAnd, "N7_wheel3", "N8_wheel4")
+	agree := not("agree", logic("disagree", simulink.LogicXor, chA, chB))
+	// 2-out-of-4 voter over the wheel checks.
+	wheels := []string{"N5_wheel1", "N6_wheel2", "N7_wheel3", "N8_wheel4"}
+	var pairs []string
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			p := logic(fmt.Sprintf("vote%d%d", i+1, j+1), simulink.LogicAnd, wheels[i], wheels[j])
+			pairs = append(pairs, p)
+		}
+	}
+	voter := logic("voter2oo4", simulink.LogicOr, pairs...)
+	sensorsOK := logic("sensorsOK", simulink.LogicAnd, voter, agree, "L3_axle",
+		"N1_ayConsHi", "N2_ayConsLo", "N17_yawAyHi", "N18_yawAyLo")
+
+	// Situation classification: 16 rows over the four indicator bits
+	// (under, over, limits, moving); each row maps to an expected
+	// controller response which is checked against the actual atoms.
+	under := "N9_under"
+	over := "N10_over"
+	limits := logic("limits", simulink.LogicAnd, "N3_dslHi", "N4_dslLo", "N11_friction", "N12_load")
+	moving := "L4_moving"
+	bits := []string{under, over, limits, moving}
+	notBits := make([]string, 4)
+	for i, b := range bits {
+		notBits[i] = not("n_"+b, b)
+	}
+	respOK := []string{
+		logic("respDir", simulink.LogicAnd, "N13_dir", "N14_counter"),
+		logic("respMargin", simulink.LogicAnd, "N15_marginHi", "N16_marginLo"),
+		logic("respRange", simulink.LogicAnd, "L1_deltaLo", "L2_deltaHi"),
+		logic("respCoupling", simulink.LogicAnd, "N19_scHi", "N20_scLo"),
+	}
+	var rowViol []string
+	for row := 0; row < 16; row++ {
+		ins := make([]string, 4)
+		for b := 0; b < 4; b++ {
+			if row>>uint(b)&1 == 1 {
+				ins[b] = bits[b]
+			} else {
+				ins[b] = notBits[b]
+			}
+		}
+		rname := fmt.Sprintf("row%02d", row)
+		r := logic(rname, simulink.LogicAnd, ins...)
+		// Rows where the car is destabilised (under or over set while
+		// moving) demand the full response; quiet rows demand only range.
+		expected := respOK[2]
+		if row&1 == 1 || row&2 == 2 { // under or over
+			expected = logic("exp"+rname, simulink.LogicAnd, respOK[0], respOK[1], respOK[2], respOK[3])
+		}
+		v := logic("viol"+rname, simulink.LogicAnd, r, not("nexp"+rname, expected))
+		rowViol = append(rowViol, v)
+	}
+	// Escalation ladder: viol rows OR-chained pairwise with the pairwise
+	// diagnostic-coverage matrix over the eight monitor bits.
+	diagBits := []string{chA, chB, voter, agree, under, over, limits, moving}
+	var diag []string
+	for i := 0; i < len(diagBits); i++ {
+		for j := i + 1; j < len(diagBits); j++ {
+			x := logic(fmt.Sprintf("dx%d_%d", i, j), simulink.LogicXor, diagBits[i], diagBits[j])
+			d := logic(fmt.Sprintf("dc%d_%d", i, j), simulink.LogicOr, x,
+				logic(fmt.Sprintf("da%d_%d", i, j), simulink.LogicAnd, diagBits[i], diagBits[j]))
+			diag = append(diag, d)
+		}
+	}
+	diagAll := logic("diagAll", simulink.LogicAnd, diag...)
+	// Escalation ladder: the row violations are chained (each stage latches
+	// the previous), mirroring the alarm prioritisation of the original
+	// controller.
+	ladder := rowViol[0]
+	for i := 1; i < len(rowViol); i++ {
+		ladder = logic(fmt.Sprintf("ladder%02d", i), simulink.LogicOr, ladder, rowViol[i])
+	}
+	anyViol := ladder
+
+	// Built-in self-test: a 16-row plausibility matrix over the channel
+	// and voter bits. Rows whose bit pattern is structurally impossible
+	// (e.g. both channels healthy but the 2-out-of-4 voter failing) drive
+	// a BIST fault flag; the query requires the self-test to pass.
+	bistBits := []string{chA, chB, voter, agree}
+	notBist := make([]string, 4)
+	for i, b := range bistBits {
+		notBist[i] = not("nb_"+b, b)
+	}
+	var bistFaults []string
+	for row := 0; row < 16; row++ {
+		ins := make([]string, 4)
+		for b := 0; b < 4; b++ {
+			if row>>uint(b)&1 == 1 {
+				ins[b] = bistBits[b]
+			} else {
+				ins[b] = notBist[b]
+			}
+		}
+		hasA := row&1 == 1
+		hasB := row&2 == 2
+		hasV := row&4 == 4
+		hasAg := row&8 == 8
+		// Structurally impossible patterns given the definitions:
+		// both channels healthy ⇒ voter must pass and channels agree;
+		// channels in the same state ⇒ agree must be set.
+		impossible := (hasA && hasB && (!hasV || !hasAg)) || (hasA == hasB && !hasAg) || (hasA != hasB && hasAg)
+		if !impossible {
+			continue
+		}
+		bistFaults = append(bistFaults, logic(fmt.Sprintf("bist%02d", row), simulink.LogicAnd, ins...))
+	}
+	bistFault := bistFaults[0]
+	for i := 1; i < len(bistFaults); i++ {
+		bistFault = logic(fmt.Sprintf("bistLadder%02d", i), simulink.LogicOr, bistFault, bistFaults[i])
+	}
+	bistOK := not("bistOK", bistFault)
+
+	// The critical-driving-situation query: plausible sensors, the car
+	// oversteering within physical limits, diagnostics conclusive, and
+	// some classified response violated (typically the actuator range).
+	critical := logic("critical", simulink.LogicAnd,
+		sensorsOK, over, limits, moving, diagAll, bistOK, anyViol)
+	add(&simulink.Block{Name: "CriticalScenario", Type: simulink.Outport})
+	con(critical, "CriticalScenario", 1)
+
+	return m
+}
+
+// SensorBounds returns the published sensor ranges of the case study.
+func SensorBounds() map[string][2]float64 {
+	return map[string][2]float64{
+		"yaw":   {-7, 7},
+		"lat":   {-20, 20},
+		"v1":    {-400, 400},
+		"v2":    {-400, 400},
+		"v3":    {-400, 400},
+		"v4":    {-400, 400},
+		"delta": {-1, 1},
+	}
+}
+
+// Problem converts the model through the Fig. 3 tool-chain (Simulink →
+// Lustre → AB problem) and attaches the sensor ranges. Auxiliary variables
+// introduced by the conversion (none for this model) keep their derived
+// bounds.
+func Problem() (*core.Problem, error) {
+	m := Model()
+	prog, err := lustre.FromSimulink(m)
+	if err != nil {
+		return nil, err
+	}
+	// Round-trip through the textual representation, as the paper's
+	// tool-chain does.
+	text := lustre.Format(prog)
+	prog2, err := lustre.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("steering: re-parsing generated Lustre: %w", err)
+	}
+	p, err := lustre.ExtractProblem(prog2)
+	if err != nil {
+		return nil, err
+	}
+	for name, b := range SensorBounds() {
+		p.SetBounds(name, b[0], b[1])
+	}
+	p.Comments = append(p.Comments, "car steering control case study (synthetic substitute)")
+	return p, nil
+}

@@ -1,0 +1,131 @@
+package steering
+
+import (
+	"testing"
+
+	"absolver/internal/baseline"
+	"absolver/internal/core"
+	"absolver/internal/lustre"
+)
+
+func TestModelValidates(t *testing.T) {
+	if err := Model().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProblemDimensions(t *testing.T) {
+	// The paper's Table 1 row: 976 clauses, 24 constraints — 4 linear,
+	// 20 nonlinear. The synthetic substitute must match the constraint
+	// split exactly and the clause count closely (±10%).
+	p, err := Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _, lin, nl := p.Counts()
+	if lin != 4 || nl != 20 {
+		t.Fatalf("constraints: %d linear, %d nonlinear; want 4/20", lin, nl)
+	}
+	if cl < 878 || cl > 1074 {
+		t.Fatalf("clauses = %d, want within 10%% of 976", cl)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensorBoundsAttached(t *testing.T) {
+	p, err := Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range SensorBounds() {
+		iv, ok := p.Bounds[name]
+		if !ok {
+			t.Fatalf("missing bounds for %s", name)
+		}
+		if iv.Lo != b[0] || iv.Hi != b[1] {
+			t.Fatalf("%s bounds = %v, want %v", name, iv, b)
+		}
+	}
+}
+
+func TestSolveCaseStudy(t *testing.T) {
+	// The paper: "Computing a solution required less than a minute."
+	p, err := Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(p, core.Config{})
+	res, err := eng.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusSat {
+		t.Fatalf("status = %v (the critical scenario should be reachable)", res.Status)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatal(err)
+	}
+	// Witness plausibility: the scenario requires motion and oversteer.
+	v := (res.Model.Real["v1"] + res.Model.Real["v2"] + res.Model.Real["v3"] + res.Model.Real["v4"]) / 4
+	if v < 5-1e-6 {
+		t.Fatalf("witness vehicle speed %g below the moving threshold", v)
+	}
+}
+
+func TestBaselinesRejectSteering(t *testing.T) {
+	// Table 1: "both CVC Lite and MathSAT rejected the problems due to the
+	// nonlinear arithmetic inequalities contained, e.g., in the
+	// environment model of the car steering controller."
+	p, err := Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := &baseline.MathSATLike{}
+	if _, err := ms.Solve(p); err == nil {
+		t.Fatal("MathSATLike accepted a nonlinear problem")
+	}
+	cv := &baseline.CVCLiteLike{}
+	if _, err := cv.Solve(p); err == nil {
+		t.Fatal("CVCLiteLike accepted a nonlinear problem")
+	}
+}
+
+func TestLustreTextRoundTrips(t *testing.T) {
+	prog, err := lustre.FromSimulink(Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := lustre.Format(prog)
+	if _, err := lustre.Parse(text); err != nil {
+		t.Fatalf("generated Lustre does not re-parse: %v", err)
+	}
+}
+
+func TestWitnessConfirmedBySimulation(t *testing.T) {
+	// The solver's critical-scenario witness must drive the actual block
+	// diagram (classic simulation semantics) to CriticalScenario = true.
+	p, err := Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewEngine(p, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	stim := map[string]float64{}
+	for name := range SensorBounds() {
+		stim[name] = res.Model.Real[name]
+	}
+	sim, err := Model().Simulate(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Bool["CriticalScenario"] {
+		t.Fatalf("simulation contradicts the witness: %v", stim)
+	}
+}

@@ -1,0 +1,269 @@
+package sudoku
+
+import (
+	"testing"
+
+	"absolver/internal/core"
+)
+
+func TestCanonicalGridValid(t *testing.T) {
+	g := canonicalGrid()
+	empty := Puzzle{}
+	if err := Verify(&empty, &g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedPuzzlesValid(t *testing.T) {
+	for _, inst := range Puzzles() {
+		want := 24
+		if !inst.Hard {
+			want = 36
+		}
+		if got := inst.Puzzle.Givens(); got != want {
+			t.Fatalf("%s: givens = %d, want %d", inst.Name, got, want)
+		}
+	}
+	// Determinism.
+	a := Puzzles()
+	b := Puzzles()
+	for i := range a {
+		if a[i].Puzzle != b[i].Puzzle {
+			t.Fatalf("%s not deterministic", a[i].Name)
+		}
+	}
+}
+
+func TestScramblePreservesValidity(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := GeneratePuzzle(seed, 81) // no cells cleared → full grid
+		empty := Puzzle{}
+		if err := Verify(&empty, &p); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestParseString(t *testing.T) {
+	g := canonicalGrid()
+	s := g.String()
+	p, err := ParsePuzzle(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != g {
+		t.Fatal("round trip failed")
+	}
+	if _, err := ParsePuzzle("123"); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := ParsePuzzle(s[:80] + "x"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	g := canonicalGrid()
+	bad := g
+	bad[0], bad[1] = bad[1], bad[0] // duplicates in columns/boxes now
+	empty := Puzzle{}
+	if err := Verify(&empty, &bad); err == nil {
+		t.Fatal("swapped grid accepted")
+	}
+	var givens Puzzle
+	givens[0] = 9
+	g2 := canonicalGrid()
+	if g2[0] != 9 {
+		if err := Verify(&givens, &g2); err == nil {
+			t.Fatal("contradicted given accepted")
+		}
+	}
+}
+
+func TestCNFEncodingSolves(t *testing.T) {
+	inst := Puzzles()[0]
+	prob := EncodeCNF(&inst.Puzzle)
+	res, err := core.NewEngine(prob, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	g, err := DecodeCNF(res.Model.Bool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(&inst.Puzzle, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedEncodingSolves(t *testing.T) {
+	inst := Puzzles()[0]
+	prob := EncodeMixed(&inst.Puzzle)
+	res, err := core.NewEngine(prob, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if err := prob.Check(*res.Model); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeMixed(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(&inst.Puzzle, g); err != nil {
+		t.Fatal(err)
+	}
+	// Boolean selectors and integer values must agree.
+	g2, err := DecodeCNF(res.Model.Bool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *g != *g2 {
+		t.Fatal("integer and Boolean views disagree")
+	}
+}
+
+func TestMixedEncodingAllInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, inst := range Puzzles() {
+		prob := EncodeMixed(&inst.Puzzle)
+		res, err := core.NewEngine(prob, core.Config{}).Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if res.Status != core.StatusSat {
+			t.Fatalf("%s: status = %v", inst.Name, res.Status)
+		}
+		g, err := DecodeMixed(res.Model)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if err := Verify(&inst.Puzzle, g); err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+	}
+}
+
+func TestArithmeticEncodingShape(t *testing.T) {
+	inst := Puzzles()[0]
+	prob := EncodeArithmetic(&inst.Puzzle)
+	// 27 units × C(9,2) = 972 disequalities + givens.
+	wantBindings := 972 + inst.Puzzle.Givens()
+	if len(prob.Bindings) != wantBindings {
+		t.Fatalf("bindings = %d, want %d", len(prob.Bindings), wantBindings)
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithmeticEncodingSolves4x4Style(t *testing.T) {
+	// Full 9×9 arithmetic encoding is deliberately hostile to lazy
+	// solvers; validate correctness on a nearly-complete puzzle instead
+	// (3 empty cells), which any encoding must solve instantly.
+	g := canonicalGrid()
+	p := g
+	p[0], p[40], p[80] = 0, 0, 0
+	prob := EncodeArithmetic(&p)
+	res, err := core.NewEngine(prob, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	var sol Puzzle
+	for r := 0; r < 9; r++ {
+		for c := 0; c < 9; c++ {
+			sol.Set(r, c, int8(res.Model.Real[cellVar(r, c)]+0.5))
+		}
+	}
+	if err := Verify(&p, &sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsolvablePuzzle(t *testing.T) {
+	// Two identical digits in one row.
+	var p Puzzle
+	p[0], p[1] = 5, 5
+	prob := EncodeCNF(&p)
+	res, err := core.NewEngine(prob, core.Config{}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusUnsat {
+		t.Fatalf("status = %v, want unsat", res.Status)
+	}
+}
+
+func TestUnitsCover(t *testing.T) {
+	us := units()
+	if len(us) != 27 {
+		t.Fatalf("units = %d", len(us))
+	}
+	count := map[int]int{}
+	for _, u := range us {
+		if len(u) != 9 {
+			t.Fatalf("unit size %d", len(u))
+		}
+		for _, idx := range u {
+			count[idx]++
+		}
+	}
+	for i := 0; i < 81; i++ {
+		if count[i] != 3 {
+			t.Fatalf("cell %d in %d units, want 3", i, count[i])
+		}
+	}
+}
+
+func TestCountSolutionsNearlyComplete(t *testing.T) {
+	// A grid with one empty cell has exactly one completion.
+	g := canonicalGrid()
+	p := g
+	p[40] = 0
+	n, err := CountSolutions(&p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("solutions = %d, want 1", n)
+	}
+}
+
+func TestCountSolutionsMultiple(t *testing.T) {
+	// Emptying a full band leaves many completions; bound the count.
+	g := canonicalGrid()
+	p := g
+	for i := 0; i < 27; i++ {
+		p[i] = 0
+	}
+	n, err := CountSolutions(&p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("solutions = %d, want ≥ 2", n)
+	}
+}
+
+func TestCountSolutionsUnsolvable(t *testing.T) {
+	var p Puzzle
+	p[0], p[1] = 7, 7
+	n, err := CountSolutions(&p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("solutions = %d, want 0", n)
+	}
+}
