@@ -34,6 +34,7 @@
 package absolver
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -41,6 +42,7 @@ import (
 	"absolver/internal/dimacs"
 	"absolver/internal/expr"
 	"absolver/internal/lustre"
+	"absolver/internal/portfolio"
 	"absolver/internal/simulink"
 	"absolver/internal/smtlib"
 )
@@ -62,8 +64,15 @@ type (
 	Result = core.Result
 	// Status is sat / unsat / unknown.
 	Status = core.Status
-	// Stats carries engine counters and per-stage timings.
+	// Stats carries engine counters and per-stage timings; Stats.Merge
+	// aggregates across portfolio engines.
 	Stats = core.Stats
+	// Event is one engine iteration report delivered to Config.Trace.
+	Event = core.Event
+	// EventKind classifies a trace event (sat / conflict / lossy-block).
+	EventKind = core.EventKind
+	// TraceFunc receives engine iteration events.
+	TraceFunc = core.TraceFunc
 	// Atom is an arithmetic comparison bound to a Boolean variable.
 	Atom = expr.Atom
 	// Domain marks atoms as integer or real valued.
@@ -82,6 +91,25 @@ const (
 	Real = expr.Real
 	Int  = expr.Int
 )
+
+// Trace event kinds.
+const (
+	EventSat        = core.EventSat
+	EventConflict   = core.EventConflict
+	EventLossyBlock = core.EventLossyBlock
+)
+
+// Sentinel errors.
+var (
+	// ErrTimeout reports that Config.Timeout elapsed before a verdict.
+	ErrTimeout = core.ErrTimeout
+	// ErrIterationLimit reports that Config.MaxIterations was exceeded.
+	ErrIterationLimit = core.ErrIterationLimit
+)
+
+// WriterTrace adapts an io.Writer into a TraceFunc producing the
+// stand-alone tool's historical -v text lines.
+func WriterTrace(w io.Writer) TraceFunc { return core.WriterTrace(w) }
 
 // Plug-in interfaces for sub-solvers (the extensibility mechanism of the
 // paper's Sec. 4) and their default implementations.
@@ -141,6 +169,37 @@ func NewEngine(p *Problem, cfg Config) *Engine { return core.NewEngine(p, cfg) }
 // Solve decides p with the default configuration.
 func Solve(p *Problem) (Result, error) {
 	return core.NewEngine(p, core.Config{}).Solve()
+}
+
+// SolveContext decides p with the default configuration under a caller
+// context: cancelling ctx makes the engine return promptly with
+// StatusUnknown and ctx.Err(). For full control use
+// NewEngine(p, cfg).SolveContext(ctx).
+func SolveContext(ctx context.Context, p *Problem) (Result, error) {
+	return core.NewEngine(p, core.Config{}).SolveContext(ctx)
+}
+
+// Portfolio types, re-exported.
+type (
+	// Strategy names one engine configuration entering a portfolio race.
+	Strategy = portfolio.Strategy
+	// PortfolioOutcome is a portfolio race's aggregate answer.
+	PortfolioOutcome = portfolio.Outcome
+	// PortfolioEngineResult is one engine's individual outcome in a race.
+	PortfolioEngineResult = portfolio.EngineResult
+)
+
+// DefaultStrategies returns n distinct engine configurations suitable for
+// PortfolioSolve, with fresh solver instances on every call.
+func DefaultStrategies(n int) []Strategy { return portfolio.DefaultStrategies(n) }
+
+// PortfolioSolve races one engine per strategy over clones of p; the first
+// definitive SAT/UNSAT verdict wins and the losers are cancelled and
+// drained before the call returns. Which engine wins is nondeterministic
+// when several finish close together — the verdict is always sound, but the
+// winner's identity and the reported model may vary between runs.
+func PortfolioSolve(ctx context.Context, p *Problem, strategies []Strategy) PortfolioOutcome {
+	return portfolio.Solve(ctx, p, strategies)
 }
 
 // ParseAtom parses an arithmetic comparison such as
@@ -207,6 +266,13 @@ func ParseLustre(src string) (*Problem, error) {
 // return core.ErrStopEnumeration to end early.
 func AllModels(p *Problem, cfg Config, projectVars []int, max int, report func(Model) error) (int, Status, error) {
 	return core.NewEngine(p, cfg).AllModels(projectVars, max, report)
+}
+
+// AllModelsContext is AllModels under a caller context: cancellation stops
+// the enumeration promptly, returning the models reported so far with
+// StatusUnknown and ctx.Err().
+func AllModelsContext(ctx context.Context, p *Problem, cfg Config, projectVars []int, max int, report func(Model) error) (int, Status, error) {
+	return core.NewEngine(p, cfg).AllModelsContext(ctx, projectVars, max, report)
 }
 
 // FormatProblem renders p as extended DIMACS text.

@@ -17,6 +17,7 @@
 package absolver_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"absolver/internal/bench"
 	"absolver/internal/core"
 	"absolver/internal/fischer"
+	"absolver/internal/portfolio"
 	"absolver/internal/simulink"
 	"absolver/internal/smtlib"
 	"absolver/internal/sudoku"
@@ -361,6 +363,91 @@ func BenchmarkAblationSudokuEncoding(b *testing.B) {
 			p := sudoku.EncodeCNF(&inst.Puzzle)
 			b.StartTimer()
 			solveOnce(b, p, core.Config{}, core.StatusSat)
+		}
+	})
+}
+
+// BenchmarkPortfolio races the default strategy portfolio against each of
+// its member configurations alone, over a small mixed SAT/UNSAT suite.
+// Compare the sub-benchmarks: the portfolio's wall time should track the
+// best single configuration (first definitive verdict wins and the losers
+// are cancelled) and beat the worst, at the cost of running several
+// engines' worth of total work. Single configurations run under a 10 s
+// cap because some are hopeless on parts of the suite (no-iis blocks
+// full assignments on Fischer and never terminates in reasonable time) —
+// exactly the failure mode the portfolio erases, since a hopeless engine
+// is cancelled as soon as a sibling finishes.
+func BenchmarkPortfolio(b *testing.B) {
+	type instance struct {
+		name  string
+		build func() *core.Problem
+		want  core.Status
+	}
+	suite := []instance{
+		{"fischer2-sat", func() *core.Problem {
+			return fischer.Generate(fischer.Params{N: 2}).Problem
+		}, core.StatusSat},
+		{"linear-unsat", func() *core.Problem {
+			p := core.NewProblem()
+			p.AddClause(1)
+			p.AddClause(2)
+			a1, _ := absolver.ParseAtom("x + y >= 5", absolver.Real)
+			a2, _ := absolver.ParseAtom("x + y <= 4", absolver.Real)
+			p.Bind(0, a1)
+			p.Bind(1, a2)
+			return p
+		}, core.StatusUnsat},
+		{"nonlinear-sat", func() *core.Problem {
+			p, err := bench.Table1Instances()[3].Build() // div_operator
+			if err != nil {
+				b.Fatal(err)
+			}
+			return p
+		}, core.StatusSat},
+	}
+	const width = 4
+	names := make([]string, width)
+	for i, s := range portfolio.DefaultStrategies(width) {
+		names[i] = s.Name
+	}
+	for idx, name := range names {
+		idx := idx
+		b.Run("single/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, inst := range suite {
+					b.StopTimer()
+					p := inst.build()
+					cfg := portfolio.DefaultStrategies(width)[idx].Config
+					cfg.Timeout = 10 * time.Second
+					b.StartTimer()
+					res, err := core.NewEngine(p, cfg).Solve()
+					if err == core.ErrTimeout {
+						continue // capped: this config is hopeless here
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Status != inst.want {
+						b.Fatalf("%s: status = %v, want %v", inst.name, res.Status, inst.want)
+					}
+				}
+			}
+		})
+	}
+	b.Run("portfolio-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, inst := range suite {
+				b.StopTimer()
+				p := inst.build()
+				b.StartTimer()
+				out := portfolio.Solve(context.Background(), p, portfolio.DefaultStrategies(width))
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				if out.Result.Status != inst.want {
+					b.Fatalf("%s: status = %v, want %v", inst.name, out.Result.Status, inst.want)
+				}
+			}
 		}
 	})
 }

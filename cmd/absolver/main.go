@@ -13,6 +13,10 @@
 //
 //	-all            enumerate all models (LSAT mode) instead of one
 //	-max N          stop enumeration after N models
+//	-portfolio N    race N differently-configured engines; first
+//	                definitive verdict wins (see docs/exit-codes.md for
+//	                the nondeterminism caveats)
+//	-timeout D      give up after duration D (e.g. 30s), exit 20
 //	-restart        restart the Boolean solver on every iteration (the
 //	                paper's external-combination mode)
 //	-no-iis         disable smallest-conflicting-subset refinement
@@ -20,21 +24,39 @@
 //	-stats          print engine statistics
 //	-q              verdict only
 //	-v              trace engine iterations to stderr
+//
+// Exit codes (stable, documented in docs/exit-codes.md): 0 satisfiable,
+// 10 unsatisfiable, 20 unknown or timeout, 2 usage or input error,
+// 1 internal error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"absolver"
 	"absolver/internal/core"
 )
 
+// Stable exit codes; keep in sync with docs/exit-codes.md.
+const (
+	exitSat      = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitUnsat    = 10
+	exitUnknown  = 20
+)
+
 func main() {
 	all := flag.Bool("all", false, "enumerate all models")
 	max := flag.Int("max", 0, "bound the number of enumerated models (0 = unbounded)")
+	nPortfolio := flag.Int("portfolio", 0, "race N engine configurations; first definitive verdict wins (0 = single engine)")
+	timeout := flag.Duration("timeout", 0, "give up after this long (0 = none)")
 	restart := flag.Bool("restart", false, "restart the Boolean solver per iteration")
 	noIIS := flag.Bool("no-iis", false, "disable conflict-set minimisation")
 	noLemmas := flag.Bool("no-lemmas", false, "disable theory-lemma grounding")
@@ -46,13 +68,21 @@ func main() {
 	in := os.Stdin
 	if flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "absolver: at most one input file")
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if *nPortfolio < 0 {
+		fmt.Fprintln(os.Stderr, "absolver: -portfolio must be >= 0")
+		os.Exit(exitUsage)
+	}
+	if *nPortfolio > 0 && *all {
+		fmt.Fprintln(os.Stderr, "absolver: -portfolio and -all are mutually exclusive")
+		os.Exit(exitUsage)
 	}
 	if flag.NArg() == 1 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "absolver:", err)
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		defer f.Close()
 		in = f
@@ -61,65 +91,119 @@ func main() {
 	p, err := absolver.ParseDIMACS(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "absolver:", err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	cfg := absolver.Config{
 		RestartBoolean: *restart,
 		NoIIS:          *noIIS,
 		NoGroundLemmas: *noLemmas,
+		Timeout:        *timeout,
 	}
 	if *verbose {
-		cfg.Trace = os.Stderr
+		cfg.Trace = absolver.WriterTrace(os.Stderr)
 	}
-	eng := absolver.NewEngine(p, cfg)
 
-	exit := 0
+	if *nPortfolio > 0 {
+		os.Exit(runPortfolio(p, cfg, *nPortfolio, *timeout, *quiet, *stats))
+	}
+
+	eng := absolver.NewEngine(p, cfg)
+	exit := exitUnknown
 	if *all {
 		n, status, err := eng.AllModels(nil, *max, func(m absolver.Model) error {
-			printModel(p, m, *quiet)
+			printModel(m, *quiet)
 			return nil
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, absolver.ErrTimeout) {
 			fmt.Fprintln(os.Stderr, "absolver:", err)
-			os.Exit(2)
+			os.Exit(exitInternal)
 		}
 		fmt.Printf("c %d model(s); final status %s\n", n, status)
-		if n == 0 {
+		switch {
+		case err != nil: // timeout mid-enumeration: the count is a lower bound
+			fmt.Println("s UNKNOWN")
+			exit = exitUnknown
+		case n == 0:
 			fmt.Println("s UNSATISFIABLE")
-			exit = 20
-		} else {
+			exit = exitUnsat
+		default:
 			fmt.Println("s SATISFIABLE")
-			exit = 10
+			exit = exitSat
 		}
 	} else {
 		res, err := eng.Solve()
-		if err != nil {
+		if err != nil && !errors.Is(err, absolver.ErrTimeout) {
 			fmt.Fprintln(os.Stderr, "absolver:", err)
-			os.Exit(2)
+			os.Exit(exitInternal)
 		}
-		switch res.Status {
-		case absolver.StatusSat:
-			fmt.Println("s SATISFIABLE")
-			printModel(p, *res.Model, *quiet)
-			exit = 10
-		case absolver.StatusUnsat:
-			fmt.Println("s UNSATISFIABLE")
-			exit = 20
-		default:
-			fmt.Println("s UNKNOWN")
-		}
+		exit = printVerdict(res, *quiet)
 	}
 	if *stats {
-		st := eng.Stats()
-		fmt.Printf("c iterations=%d linear-checks=%d nonlinear-checks=%d conflicts=%d ne-splits=%d\n",
-			st.Iterations, st.LinearChecks, st.NonlinearChecks, st.ConflictClauses, st.NESplits)
-		fmt.Printf("c time: bool=%v linear=%v nonlinear=%v\n", st.BoolTime, st.LinearTime, st.NonlinearTime)
+		printStats(eng.Stats())
 	}
 	os.Exit(exit)
 }
 
-func printModel(p *core.Problem, m absolver.Model, quiet bool) {
+// runPortfolio races n default strategies and reports the adopted verdict.
+func runPortfolio(p *absolver.Problem, base absolver.Config, n int, timeout time.Duration, quiet, stats bool) int {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	strategies := absolver.DefaultStrategies(n)
+	for i := range strategies {
+		// Per-engine knobs from the command line compose with the
+		// strategy's own; the trace stays on the single engine path (N
+		// interleaved engine traces are not readable).
+		strategies[i].Config.RestartBoolean = base.RestartBoolean
+		strategies[i].Config.NoIIS = strategies[i].Config.NoIIS || base.NoIIS
+		strategies[i].Config.NoGroundLemmas = strategies[i].Config.NoGroundLemmas || base.NoGroundLemmas
+	}
+	out := absolver.PortfolioSolve(ctx, p, strategies)
+	if out.Err != nil && !errors.Is(out.Err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "absolver:", out.Err)
+		return exitInternal
+	}
+	if out.Winner != "" {
+		fmt.Printf("c portfolio winner: %s (%d engines)\n", out.Winner, len(out.Engines))
+	}
+	exit := printVerdict(out.Result, quiet)
+	if stats {
+		printStats(out.Stats)
+	}
+	return exit
+}
+
+// printVerdict prints the solution line (and model when satisfiable) and
+// returns the matching exit code.
+func printVerdict(res absolver.Result, quiet bool) int {
+	switch res.Status {
+	case absolver.StatusSat:
+		fmt.Println("s SATISFIABLE")
+		if res.Model != nil {
+			printModel(*res.Model, quiet)
+		}
+		return exitSat
+	case absolver.StatusUnsat:
+		fmt.Println("s UNSATISFIABLE")
+		return exitUnsat
+	default:
+		fmt.Println("s UNKNOWN")
+		return exitUnknown
+	}
+}
+
+func printStats(st core.Stats) {
+	fmt.Printf("c iterations=%d linear-checks=%d nonlinear-checks=%d conflicts=%d ne-splits=%d\n",
+		st.Iterations, st.LinearChecks, st.NonlinearChecks, st.ConflictClauses, st.NESplits)
+	fmt.Printf("c time: bool=%v linear=%v nonlinear=%v wall=%v\n",
+		st.BoolTime, st.LinearTime, st.NonlinearTime, st.WallTime)
+}
+
+func printModel(m absolver.Model, quiet bool) {
 	if quiet {
 		return
 	}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"absolver/internal/expr"
+	"absolver/internal/nlp"
+)
+
+// promptness is the bound within which a cancelled solve must return. The
+// poll intervals are a few hundred cheap steps at most, so even loaded CI
+// machines finish far inside this.
+const promptness = 3 * time.Second
+
+// hardNonlinearProblem is satisfiable only at points the penalty search
+// struggles to certify (two near-coincident hyperbola constraints), so a
+// solve with an enormous multi-start budget runs effectively forever.
+func hardNonlinearProblem(t testing.TB) *Problem {
+	t.Helper()
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	a1, err := expr.ParseAtom("x * y >= 1", expr.Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := expr.ParseAtom("x * y <= 0.999999", expr.Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Bind(0, a1)
+	p.Bind(1, a2)
+	p.SetBounds("x", -100, 100)
+	p.SetBounds("y", -100, 100)
+	return p
+}
+
+// endlessNonlinearConfig gives the nonlinear stage an effectively unbounded
+// multi-start budget, so only cancellation can stop it.
+func endlessNonlinearConfig() Config {
+	return Config{Nonlinear: &PenaltySolver{Options: nlp.Options{Starts: 1 << 30}}}
+}
+
+func TestSolveContextCancelMidNonlinear(t *testing.T) {
+	eng := NewEngine(hardNonlinearProblem(t), endlessNonlinearConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := eng.SolveContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Status != StatusUnknown {
+		t.Fatalf("status = %v, want unknown", res.Status)
+	}
+	if elapsed > promptness {
+		t.Fatalf("cancelled solve took %v", elapsed)
+	}
+}
+
+func TestSolveContextOuterDeadline(t *testing.T) {
+	eng := NewEngine(hardNonlinearProblem(t), endlessNonlinearConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := eng.SolveContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded (caller deadline, not ErrTimeout)", err)
+	}
+	if err == ErrTimeout {
+		t.Fatal("caller deadline must not masquerade as Config.Timeout")
+	}
+	if res.Status != StatusUnknown {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if elapsed := time.Since(start); elapsed > promptness {
+		t.Fatalf("deadline solve took %v", elapsed)
+	}
+}
+
+func TestConfigTimeoutStillErrTimeout(t *testing.T) {
+	cfg := endlessNonlinearConfig()
+	cfg.Timeout = 50 * time.Millisecond
+	eng := NewEngine(hardNonlinearProblem(t), cfg)
+	res, err := eng.SolveContext(context.Background())
+	if err != ErrTimeout { // sentinel equality: internal/bench compares with ==
+		t.Fatalf("err = %v, want ErrTimeout sentinel", err)
+	}
+	if res.Status != StatusUnknown {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Stats.WallTime <= 0 {
+		t.Fatal("WallTime not accounted")
+	}
+}
+
+func TestAllModelsContextCancel(t *testing.T) {
+	// 2^19 models over 20 variables: far too many to enumerate, so the
+	// cancellation issued by the report callback must end the run.
+	p := NewProblem()
+	cl := make([]int, 20)
+	for i := range cl {
+		cl[i] = i + 1
+	}
+	p.AddClause(cl...)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	eng := NewEngine(p, Config{})
+	start := time.Now()
+	count, status, err := eng.AllModelsContext(ctx, nil, 0, func(Model) error {
+		seen++
+		if seen == 5 {
+			cancel()
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if status != StatusUnknown {
+		t.Fatalf("status = %v (cancelled enumeration proves nothing)", status)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want the 5 models reported before cancellation", count)
+	}
+	if elapsed > promptness {
+		t.Fatalf("cancelled enumeration took %v", elapsed)
+	}
+}
+
+func TestSolveContextCancelMidNESplit(t *testing.T) {
+	// Integer pigeonhole via disequalities: 8 variables over 6 values, all
+	// pairwise distinct. Every Boolean model asserts all 28 disequalities,
+	// so the engine spends its time deep in the NE case-split recursion —
+	// the exact loop the context must be able to interrupt.
+	p := NewProblem()
+	n := 8
+	v := 1
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, err := expr.ParseAtom(fmt.Sprintf("h%d - h%d != 0", i, j), expr.Int)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.AddClause(v)
+			p.Bind(v-1, a)
+			v++
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.SetBounds(fmt.Sprintf("h%d", i), 0, 5)
+	}
+	cfg := Config{MaxNESplits: 1 << 30, NoGroundLemmas: true}
+	eng := NewEngine(p, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := eng.SolveContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Status != StatusUnknown {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if elapsed > promptness {
+		t.Fatalf("cancelled NE-split solve took %v", elapsed)
+	}
+}
+
+func TestSolveContextCancelMidCDCL(t *testing.T) {
+	// Pigeonhole principle PHP(10,9): pure CNF, exponentially hard for
+	// CDCL, no theory atoms — cancellation must land inside the SAT search.
+	p := NewProblem()
+	pigeons, holes := 10, 9
+	at := func(i, j int) int { return i*holes + j + 1 }
+	for i := 0; i < pigeons; i++ {
+		cl := make([]int, holes)
+		for j := 0; j < holes; j++ {
+			cl[j] = at(i, j)
+		}
+		p.AddClause(cl...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				p.AddClause(-at(i, j), -at(k, j))
+			}
+		}
+	}
+	eng := NewEngine(p, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := eng.SolveContext(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		// CDCL got lucky and finished before the cancel; the instance is
+		// UNSAT, so at least the verdict must be right.
+		if res.Status != StatusUnsat {
+			t.Fatalf("status = %v", res.Status)
+		}
+		t.Skip("solver finished before cancellation fired")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Status != StatusUnknown {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if elapsed > promptness {
+		t.Fatalf("cancelled CDCL solve took %v", elapsed)
+	}
+}
+
+func TestSolveContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewEngine(hardNonlinearProblem(t), Config{}).SolveContext(ctx)
+	if !errors.Is(err, context.Canceled) || res.Status != StatusUnknown {
+		t.Fatalf("res = %v err = %v", res.Status, err)
+	}
+}
+
+func TestSolveContextBackgroundUnaffected(t *testing.T) {
+	// The context plumbing must not change verdicts on the normal path.
+	p := NewProblem()
+	p.AddClause(1)
+	a, _ := expr.ParseAtom("x >= 5", expr.Real)
+	p.Bind(0, a)
+	res, err := NewEngine(p, Config{}).SolveContext(context.Background())
+	if err != nil || res.Status != StatusSat {
+		t.Fatalf("res = %v err = %v", res.Status, err)
+	}
+	if res.Stats.WallTime <= 0 {
+		t.Fatal("WallTime not recorded")
+	}
+}

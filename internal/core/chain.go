@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"absolver/internal/expr"
 	"absolver/internal/lp"
 	"absolver/internal/nlp"
@@ -35,12 +37,16 @@ func (c *LinearChain) Name() string {
 	return name + ")"
 }
 
-// Check implements LinearSolver.
-func (c *LinearChain) Check(rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict {
+// Check implements LinearSolver. A cancelled context short-circuits the
+// fallback sequence: later members are not consulted once ctx is done.
+func (c *LinearChain) Check(ctx context.Context, rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict {
 	last := LinearVerdict{Status: lp.IterLimit}
 	for _, s := range c.Solvers {
-		v := s.Check(rows, lower, upper, ints)
-		if v.Status == lp.Feasible || v.Status == lp.Infeasible {
+		if ctx.Err() != nil {
+			return LinearVerdict{Status: lp.Canceled}
+		}
+		v := s.Check(ctx, rows, lower, upper, ints)
+		if v.Status == lp.Feasible || v.Status == lp.Infeasible || v.Status == lp.Canceled {
 			return v
 		}
 		last = v
@@ -71,10 +77,14 @@ func (c *NonlinearChain) Name() string {
 	return name + ")"
 }
 
-// Check implements NonlinearSolver.
-func (c *NonlinearChain) Check(atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict {
+// Check implements NonlinearSolver. A cancelled context short-circuits the
+// fallback sequence: later members are not consulted once ctx is done.
+func (c *NonlinearChain) Check(ctx context.Context, atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict {
 	for _, s := range c.Solvers {
-		v := s.Check(atoms, box, hint)
+		if ctx.Err() != nil {
+			return NonlinearVerdict{Status: nlp.Unknown}
+		}
+		v := s.Check(ctx, atoms, box, hint)
 		if v.Status != nlp.Unknown {
 			return v
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"absolver/internal/expr"
@@ -15,7 +16,7 @@ type stubLinear struct {
 }
 
 func (s *stubLinear) Name() string { return "stub" }
-func (s *stubLinear) Check([]lp.Constraint, map[string]float64, map[string]float64, map[string]bool) LinearVerdict {
+func (s *stubLinear) Check(context.Context, []lp.Constraint, map[string]float64, map[string]float64, map[string]bool) LinearVerdict {
 	s.calls++
 	return s.verdict
 }
@@ -27,7 +28,7 @@ type stubNonlinear struct {
 }
 
 func (s *stubNonlinear) Name() string { return "stub" }
-func (s *stubNonlinear) Check([]expr.Atom, expr.Box, expr.Env) NonlinearVerdict {
+func (s *stubNonlinear) Check(context.Context, []expr.Atom, expr.Box, expr.Env) NonlinearVerdict {
 	s.calls++
 	return s.verdict
 }
@@ -36,7 +37,7 @@ func TestLinearChainFallsThrough(t *testing.T) {
 	weak := &stubLinear{verdict: LinearVerdict{Status: lp.IterLimit}}
 	strong := &stubLinear{verdict: LinearVerdict{Status: lp.Feasible, X: map[string]float64{"x": 1}}}
 	chain := NewLinearChain(weak, strong)
-	v := chain.Check(nil, nil, nil, nil)
+	v := chain.Check(context.Background(), nil, nil, nil, nil)
 	if v.Status != lp.Feasible {
 		t.Fatalf("status = %v", v.Status)
 	}
@@ -49,7 +50,7 @@ func TestLinearChainStopsAtDecisive(t *testing.T) {
 	first := &stubLinear{verdict: LinearVerdict{Status: lp.Infeasible, IIS: []int{0}}}
 	second := &stubLinear{verdict: LinearVerdict{Status: lp.Feasible}}
 	chain := NewLinearChain(first, second)
-	v := chain.Check(nil, nil, nil, nil)
+	v := chain.Check(context.Background(), nil, nil, nil, nil)
 	if v.Status != lp.Infeasible {
 		t.Fatalf("status = %v", v.Status)
 	}
@@ -62,7 +63,7 @@ func TestNonlinearChainFallsThrough(t *testing.T) {
 	unsure := &stubNonlinear{verdict: NonlinearVerdict{Status: nlp.Unknown}}
 	sure := &stubNonlinear{verdict: NonlinearVerdict{Status: nlp.Infeasible}}
 	chain := NewNonlinearChain(unsure, sure)
-	v := chain.Check(nil, nil, nil)
+	v := chain.Check(context.Background(), nil, nil, nil)
 	if v.Status != nlp.Infeasible {
 		t.Fatalf("status = %v", v.Status)
 	}
@@ -71,7 +72,7 @@ func TestNonlinearChainFallsThrough(t *testing.T) {
 	}
 	// All-unknown chain reports unknown.
 	chain2 := NewNonlinearChain(unsure, unsure)
-	if v := chain2.Check(nil, nil, nil); v.Status != nlp.Unknown {
+	if v := chain2.Check(context.Background(), nil, nil, nil); v.Status != nlp.Unknown {
 		t.Fatalf("status = %v", v.Status)
 	}
 }

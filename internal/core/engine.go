@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -63,11 +64,67 @@ type Config struct {
 	// (0 = 4096).
 	MaxNESplits int
 	// Timeout bounds the wall-clock time of Solve (0 = none). Exceeding it
-	// returns ErrTimeout with StatusUnknown.
+	// returns ErrTimeout with StatusUnknown. It composes with the context
+	// passed to SolveContext: whichever deadline fires first wins.
 	Timeout time.Duration
-	// Trace, when non-nil, receives a line per engine iteration (the
-	// stand-alone tool's -v output).
-	Trace io.Writer
+	// Trace, when non-nil, receives a structured Event per engine
+	// iteration. Use WriterTrace to reproduce the stand-alone tool's -v
+	// text output.
+	Trace TraceFunc
+}
+
+// EventKind classifies an engine trace event.
+type EventKind int
+
+// Trace event kinds, one per theory-check outcome.
+const (
+	// EventSat reports the iteration that found a consistent model.
+	EventSat EventKind = iota
+	// EventConflict reports a theory conflict turned into a blocking clause.
+	EventConflict
+	// EventLossyBlock reports an undecidable assignment blocked lossily
+	// (the verdict degrades from unsat to unknown).
+	EventLossyBlock
+)
+
+// String returns the kind's trace-line name.
+func (k EventKind) String() string {
+	switch k {
+	case EventSat:
+		return "sat"
+	case EventConflict:
+		return "conflict"
+	case EventLossyBlock:
+		return "lossy-block"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one engine iteration report delivered to Config.Trace.
+type Event struct {
+	// Iteration is the 1-based SAT↔theory iteration number.
+	Iteration int
+	// Kind is the theory-check outcome.
+	Kind EventKind
+	// ClauseLen is the blocking-clause length (conflict kinds only).
+	ClauseLen int
+}
+
+// TraceFunc receives engine iteration events. Callbacks run synchronously
+// on the solving goroutine; keep them cheap.
+type TraceFunc func(Event)
+
+// WriterTrace adapts an io.Writer to a TraceFunc, formatting each event
+// exactly as the stand-alone tool's historical -v lines, e.g.
+// "c iter 3: conflict (clause of 2 literals)".
+func WriterTrace(w io.Writer) TraceFunc {
+	return func(ev Event) {
+		fmt.Fprintf(w, "c iter %d: %s", ev.Iteration, ev.Kind)
+		if ev.Kind != EventSat {
+			fmt.Fprintf(w, " (clause of %d literals)", ev.ClauseLen)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +157,30 @@ type Stats struct {
 	BoolTime        time.Duration
 	LinearTime      time.Duration
 	NonlinearTime   time.Duration
+	// WallTime is the engine's total wall-clock time inside Solve /
+	// SolveContext. In a portfolio run each engine reports its own
+	// WallTime; merged Stats carry the sum over engines (total work),
+	// which exceeds elapsed time when engines run in parallel.
+	WallTime time.Duration
+}
+
+// Merge accumulates o into s, summing every counter and duration. It is
+// how a portfolio run aggregates per-engine statistics: each engine
+// goroutine owns its Stats exclusively while solving, and Merge is called
+// only after that engine has delivered its result over a channel, so the
+// aggregation is race-free by construction (happens-before via channel
+// receive) without any locking in the hot solving paths.
+func (s *Stats) Merge(o Stats) {
+	s.Iterations += o.Iterations
+	s.LinearChecks += o.LinearChecks
+	s.NonlinearChecks += o.NonlinearChecks
+	s.ConflictClauses += o.ConflictClauses
+	s.LossyBlocks += o.LossyBlocks
+	s.NESplits += o.NESplits
+	s.BoolTime += o.BoolTime
+	s.LinearTime += o.LinearTime
+	s.NonlinearTime += o.NonlinearTime
+	s.WallTime += o.WallTime
 }
 
 // Result is the outcome of Solve.
@@ -146,22 +227,63 @@ func NewEngine(p *Problem, cfg Config) *Engine {
 func (e *Engine) Stats() Stats { return e.st }
 
 // Solve runs the lazy combination loop: Boolean model → theory check →
-// conflict refinement, until a consistent model or exhaustion.
+// conflict refinement, until a consistent model or exhaustion. It is
+// SolveContext over the background context (Config.Timeout still applies).
 func (e *Engine) Solve() (Result, error) {
+	return e.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with cooperative cancellation: every long-running
+// inner loop — the CDCL search, simplex pivoting, branch-and-bound,
+// disequality case splitting, and nonlinear descent — polls ctx at a short
+// interval, so cancellation returns promptly with StatusUnknown and
+// ctx.Err(). A Config.Timeout composes with the caller's deadline
+// (whichever fires first); expiry of the configured timeout alone is still
+// reported as ErrTimeout.
+func (e *Engine) SolveContext(ctx context.Context) (Result, error) {
+	start := time.Now()
+	res, err := e.solve(ctx)
+	e.st.WallTime += time.Since(start)
+	res.Stats = e.st
+	return res, err
+}
+
+// cancelErr maps a cancellation error for the caller: a deadline that only
+// the engine's own Config.Timeout can have produced is reported as the
+// historical ErrTimeout; cancellations originating from the caller's
+// context pass through unchanged.
+func (e *Engine) cancelErr(outer context.Context, err error) error {
+	if e.cfg.Timeout > 0 && outer.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	if err == nil {
+		// Defensive: a sub-solver reported cancellation the context no
+		// longer shows (cannot happen with the stock solvers).
+		return context.Canceled
+	}
+	return err
+}
+
+func (e *Engine) solve(outer context.Context) (Result, error) {
 	if err := e.p.Validate(); err != nil {
 		return Result{}, err
 	}
-	deadline := time.Time{}
+	ctx := outer
 	if e.cfg.Timeout > 0 {
-		deadline = time.Now().Add(e.cfg.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(outer, e.cfg.Timeout)
+		defer cancel()
 	}
 	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return Result{Status: StatusUnknown, Stats: e.st}, ErrTimeout
+		if err := ctx.Err(); err != nil {
+			return Result{Status: StatusUnknown, Stats: e.st}, e.cancelErr(outer, err)
 		}
 		e.st.Iterations++
-		model, ok, err := e.nextBoolModel()
+		model, ok, err := e.nextBoolModel(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				return Result{Status: StatusUnknown, Stats: e.st}, e.cancelErr(outer, err)
+			}
 			return Result{Stats: e.st}, err
 		}
 		if !ok {
@@ -170,14 +292,13 @@ func (e *Engine) Solve() (Result, error) {
 			}
 			return Result{Status: StatusUnsat, Stats: e.st}, nil
 		}
-		verdict := e.theoryCheck(model)
+		verdict := e.theoryCheck(ctx, model)
+		if verdict.kind == thCanceled {
+			return Result{Status: StatusUnknown, Stats: e.st}, e.cancelErr(outer, ctx.Err())
+		}
 		if e.cfg.Trace != nil {
-			kind := map[theoryKind]string{thSat: "sat", thConflict: "conflict", thLossyBlock: "lossy-block"}[verdict.kind]
-			fmt.Fprintf(e.cfg.Trace, "c iter %d: %s", iter+1, kind)
-			if verdict.kind != thSat {
-				fmt.Fprintf(e.cfg.Trace, " (clause of %d literals)", len(verdict.conflict))
-			}
-			fmt.Fprintln(e.cfg.Trace)
+			kind := map[theoryKind]EventKind{thSat: EventSat, thConflict: EventConflict, thLossyBlock: EventLossyBlock}[verdict.kind]
+			e.cfg.Trace(Event{Iteration: iter + 1, Kind: kind, ClauseLen: len(verdict.conflict)})
 		}
 		switch verdict.kind {
 		case thSat:
@@ -206,6 +327,15 @@ func (e *Engine) Solve() (Result, error) {
 // and the final status (StatusUnsat when the space was exhausted cleanly,
 // StatusUnknown when lossy blocks may have hidden models).
 func (e *Engine) AllModels(projectVars []int, max int, report func(Model) error) (int, Status, error) {
+	return e.AllModelsContext(context.Background(), projectVars, max, report)
+}
+
+// AllModelsContext is AllModels with cooperative cancellation: the context
+// is polled between models and inside every Solve, so a cancelled
+// enumeration stops promptly, returning the models reported so far with
+// StatusUnknown and ctx.Err(). Config.Timeout, when set, bounds each
+// individual model search, not the whole enumeration.
+func (e *Engine) AllModelsContext(ctx context.Context, projectVars []int, max int, report func(Model) error) (int, Status, error) {
 	if projectVars == nil {
 		projectVars = make([]int, e.p.NumVars)
 		for i := range projectVars {
@@ -217,7 +347,10 @@ func (e *Engine) AllModels(projectVars []int, max int, report func(Model) error)
 		if max > 0 && count >= max {
 			return count, StatusSat, nil
 		}
-		res, err := e.Solve()
+		if err := ctx.Err(); err != nil {
+			return count, StatusUnknown, err
+		}
+		res, err := e.SolveContext(ctx)
 		if err != nil {
 			return count, res.Status, err
 		}
@@ -255,7 +388,7 @@ func (e *Engine) AllModels(projectVars []int, max int, report func(Model) error)
 var ErrStopEnumeration = errors.New("core: enumeration stopped by callback")
 
 // nextBoolModel obtains the next Boolean model, honouring restart mode.
-func (e *Engine) nextBoolModel() ([]bool, bool, error) {
+func (e *Engine) nextBoolModel(ctx context.Context) ([]bool, bool, error) {
 	start := time.Now()
 	defer func() { e.st.BoolTime += time.Since(start) }()
 	if e.cfg.RestartBoolean || !e.boolReady {
@@ -278,7 +411,7 @@ func (e *Engine) nextBoolModel() ([]bool, bool, error) {
 		e.applyPolarityHints()
 		e.boolReady = true
 	}
-	model, ok, err := e.cfg.Bool.Solve()
+	model, ok, err := e.cfg.Bool.Solve(ctx)
 	return model, ok, err
 }
 
@@ -342,6 +475,10 @@ const (
 	thSat theoryKind = iota
 	thConflict
 	thLossyBlock
+	// thCanceled reports that a sub-solver stopped on context cancellation
+	// before reaching a verdict; the engine surfaces StatusUnknown with the
+	// context's error.
+	thCanceled
 )
 
 type theoryVerdict struct {
@@ -354,7 +491,7 @@ type theoryVerdict struct {
 // atoms from the Boolean model, dispatch the linear part (with disequality
 // case-splitting), then — if the output pin is still "?" — the nonlinear
 // part, and assemble either a witness or a conflict clause.
-func (e *Engine) theoryCheck(model []bool) theoryVerdict {
+func (e *Engine) theoryCheck(ctx context.Context, model []bool) theoryVerdict {
 	var asserted []assertedAtom
 	for v, a := range e.p.Bindings {
 		if model[v] {
@@ -390,8 +527,11 @@ func (e *Engine) theoryCheck(model []bool) theoryVerdict {
 
 	// Linear stage.
 	start := time.Now()
-	st, x, conflictLits := e.checkLinearWithNE(rows, neqs)
+	st, x, conflictLits := e.checkLinearWithNE(ctx, rows, neqs)
 	e.st.LinearTime += time.Since(start)
+	if st == lp.Canceled {
+		return theoryVerdict{kind: thCanceled}
+	}
 	if st == lp.Infeasible {
 		if e.cfg.NoIIS || conflictLits == nil {
 			conflictLits = allLits(asserted)
@@ -460,7 +600,10 @@ func (e *Engine) theoryCheck(model []bool) theoryVerdict {
 			}
 		}
 		if anyPin {
-			verdict := e.cfg.Nonlinear.Check(atoms, pinned, hint)
+			verdict := e.cfg.Nonlinear.Check(ctx, atoms, pinned, hint)
+			if ctx.Err() != nil {
+				return theoryVerdict{kind: thCanceled}
+			}
 			if verdict.Status == nlp.Feasible {
 				env := e.defaultEnv(nil)
 				for k, v := range verdict.X {
@@ -479,7 +622,10 @@ func (e *Engine) theoryCheck(model []bool) theoryVerdict {
 		}
 	}
 
-	verdict := e.cfg.Nonlinear.Check(atoms, e.p.Bounds, hint)
+	verdict := e.cfg.Nonlinear.Check(ctx, atoms, e.p.Bounds, hint)
+	if ctx.Err() != nil {
+		return theoryVerdict{kind: thCanceled}
+	}
 	switch verdict.Status {
 	case nlp.Feasible:
 		env := e.defaultEnv(nil)
@@ -498,7 +644,7 @@ func (e *Engine) theoryCheck(model []bool) theoryVerdict {
 		// undecidable rather than report a bogus model.
 		return theoryVerdict{kind: thLossyBlock, conflict: negate(allLits(asserted))}
 	case nlp.Infeasible:
-		core := e.minimizeNonlinearConflict(atoms, lits)
+		core := e.minimizeNonlinearConflict(ctx, atoms, lits)
 		if e.cfg.NoIIS {
 			core = lits
 		}
@@ -514,8 +660,8 @@ func (e *Engine) theoryCheck(model []bool) theoryVerdict {
 // satisfiable"). Returns the status, a witness when feasible, and the
 // literals of a conflicting subset when infeasible (nil = caller blocks
 // everything).
-func (e *Engine) checkLinearWithNE(rows []lp.Constraint, neqs []assertedAtom) (lp.Status, map[string]float64, []int) {
-	base := e.checkRows(rows)
+func (e *Engine) checkLinearWithNE(ctx context.Context, rows []lp.Constraint, neqs []assertedAtom) (lp.Status, map[string]float64, []int) {
+	base := e.checkRows(ctx, rows)
 	if base.Status == lp.Infeasible {
 		return lp.Infeasible, nil, tagsToLits(rows, base.IIS)
 	}
@@ -534,9 +680,12 @@ func (e *Engine) checkLinearWithNE(rows []lp.Constraint, neqs []assertedAtom) (l
 
 	// DFS over case splits of violated disequalities.
 	budget := e.cfg.MaxNESplits
-	st, x, conflict := e.neSplit(rows, neqs, &budget)
+	st, x, conflict := e.neSplit(ctx, rows, neqs, &budget)
 	if st == lp.Feasible {
 		return lp.Feasible, x, nil
+	}
+	if st == lp.Canceled {
+		return lp.Canceled, nil, nil
 	}
 	if st == lp.IterLimit || budget <= 0 {
 		return lp.IterLimit, nil, nil
@@ -548,12 +697,15 @@ func (e *Engine) checkLinearWithNE(rows []lp.Constraint, neqs []assertedAtom) (l
 // Σ aᵢxᵢ < c, or Σ aᵢxᵢ > c must be satisfiable"). On infeasibility it
 // returns the union of the two branches' conflict literals — each branch's
 // IIS maps split rows back to the disequality's literal via the row tag.
-func (e *Engine) neSplit(rows []lp.Constraint, neqs []assertedAtom, budget *int) (lp.Status, map[string]float64, []int) {
+func (e *Engine) neSplit(ctx context.Context, rows []lp.Constraint, neqs []assertedAtom, budget *int) (lp.Status, map[string]float64, []int) {
+	if err := ctx.Err(); err != nil {
+		return lp.Canceled, nil, nil
+	}
 	if *budget <= 0 {
 		return lp.IterLimit, nil, nil
 	}
 	*budget--
-	res := e.checkRows(rows)
+	res := e.checkRows(ctx, rows)
 	if res.Status == lp.Infeasible {
 		lits := tagsToLits(rows, res.IIS)
 		if lits == nil {
@@ -579,11 +731,11 @@ func (e *Engine) neSplit(rows []lp.Constraint, neqs []assertedAtom, budget *int)
 		sideAtomLA.Op = side
 		row := linearRow(sideAtomLA, aa.atom.Domain, e.intVars)
 		row.Tag = aa.lit
-		st, x, c := e.neSplit(append(rows[:len(rows):len(rows)], row), neqs, budget)
+		st, x, c := e.neSplit(ctx, append(rows[:len(rows):len(rows)], row), neqs, budget)
 		if st == lp.Feasible {
 			return st, x, nil
 		}
-		if st == lp.IterLimit {
+		if st == lp.IterLimit || st == lp.Canceled {
 			return st, nil, nil
 		}
 		conflict = append(conflict, c...)
@@ -605,7 +757,7 @@ func dedupLits(lits []int) []int {
 }
 
 // checkRows dispatches a weak-row conjunction to the linear plug-in.
-func (e *Engine) checkRows(rows []lp.Constraint) LinearVerdict {
+func (e *Engine) checkRows(ctx context.Context, rows []lp.Constraint) LinearVerdict {
 	e.st.LinearChecks++
 	ints := map[string]bool{}
 	for _, r := range rows {
@@ -615,7 +767,7 @@ func (e *Engine) checkRows(rows []lp.Constraint) LinearVerdict {
 			}
 		}
 	}
-	return e.cfg.Linear.Check(rows, e.lower, e.upper, ints)
+	return e.cfg.Linear.Check(ctx, rows, e.lower, e.upper, ints)
 }
 
 // verifyAsserted checks every asserted atom at env with the engine's
@@ -650,10 +802,10 @@ func violatedNE(neqs []assertedAtom, x map[string]float64) []assertedAtom {
 // interval-propagation refutation as the oracle (deletion filter). When
 // the full set is not propagation-refutable (the verdict came from a
 // richer argument), the full literal set is returned.
-func (e *Engine) minimizeNonlinearConflict(atoms []expr.Atom, lits []int) []int {
+func (e *Engine) minimizeNonlinearConflict(ctx context.Context, atoms []expr.Atom, lits []int) []int {
 	refuted := func(sub []expr.Atom) bool {
 		p := &nlp.Problem{Atoms: sub, Box: e.p.Bounds}
-		r := nlp.Solve(p, nlp.Options{Starts: 1, MaxIters: 1})
+		r := nlp.SolveContext(ctx, p, nlp.Options{Starts: 1, MaxIters: 1})
 		return r.Status == nlp.Infeasible
 	}
 	if !refuted(atoms) {
@@ -662,6 +814,11 @@ func (e *Engine) minimizeNonlinearConflict(atoms []expr.Atom, lits []int) []int 
 	keepAtoms := append([]expr.Atom(nil), atoms...)
 	keepLits := append([]int(nil), lits...)
 	for i := 0; i < len(keepAtoms); {
+		if ctx.Err() != nil {
+			// Cancelled mid-minimisation: the unminimised remainder is still
+			// a sound (if larger) conflict.
+			return keepLits
+		}
 		trial := make([]expr.Atom, 0, len(keepAtoms)-1)
 		trial = append(trial, keepAtoms[:i]...)
 		trial = append(trial, keepAtoms[i+1:]...)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -59,7 +60,9 @@ func (e *ExternalCDCLSolver) Reset(numVars int, clauses [][]int) error {
 }
 
 // Solve implements BoolSolver.
-func (e *ExternalCDCLSolver) Solve() ([]bool, bool, error) { return e.inner.Solve() }
+func (e *ExternalCDCLSolver) Solve(ctx context.Context) ([]bool, bool, error) {
+	return e.inner.Solve(ctx)
+}
 
 // AddBlocking implements BoolSolver. In a real external combination the
 // blocking clauses are appended to the next process invocation's input;

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"absolver/internal/expr"
@@ -11,7 +12,7 @@ func TestExternalSolverBasics(t *testing.T) {
 	if err := e.Reset(3, [][]int{{1, 2}, {-1, 3}}); err != nil {
 		t.Fatal(err)
 	}
-	model, ok, err := e.Solve()
+	model, ok, err := e.Solve(context.Background())
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v", ok, err)
 	}
@@ -31,7 +32,7 @@ func TestExternalSolverBasics(t *testing.T) {
 	if err := e.AddBlocking([]int{-2}); err != nil {
 		t.Fatal(err)
 	}
-	_, ok, err = e.Solve()
+	_, ok, err = e.Solve(context.Background())
 	if err != nil || ok {
 		t.Fatalf("expected unsat, ok=%v err=%v", ok, err)
 	}

@@ -72,6 +72,31 @@ func (p *Problem) SetBounds(name string, lo, hi float64) {
 	p.Bounds[name] = interval.New(lo, hi)
 }
 
+// Clone returns a deep copy of the problem that shares no mutable state
+// with the original: clauses, bindings, bounds and comments are copied
+// (atoms themselves are immutable and shared). Engines mutate their
+// problem — block can grow NumVars — so a portfolio run gives each engine
+// its own clone.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{NumVars: p.NumVars}
+	if p.Clauses != nil {
+		q.Clauses = make([][]int, len(p.Clauses))
+		for i, cl := range p.Clauses {
+			q.Clauses[i] = append([]int(nil), cl...)
+		}
+	}
+	q.Bindings = make(map[int]expr.Atom, len(p.Bindings))
+	for v, a := range p.Bindings {
+		q.Bindings[v] = a
+	}
+	q.Bounds = p.Bounds.Clone()
+	if q.Bounds == nil {
+		q.Bounds = expr.Box{}
+	}
+	q.Comments = append([]string(nil), p.Comments...)
+	return q
+}
+
 // IntVars returns the arithmetic variables that must take integer values:
 // every variable occurring in an atom whose Domain is Int.
 func (p *Problem) IntVars() map[string]bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,19 +18,23 @@ import (
 // AddBlocking+Solve) or in restart mode (Reset before every Solve), which
 // is the engine's knob for reproducing the paper's "expense of ...
 // restarting the entire solving process externally".
+//
+// Solve must honour ctx: on cancellation it returns promptly with ctx.Err()
+// (satisfiable=false), polling at worst every few hundred search steps.
 type BoolSolver interface {
 	Name() string
 	Reset(numVars int, clauses [][]int) error
-	Solve() (model []bool, satisfiable bool, err error)
+	Solve(ctx context.Context) (model []bool, satisfiable bool, err error)
 	AddBlocking(clause []int) error
 }
 
 // LinearSolver is the plug-in interface for linear solvers — COIN's role.
 // Check decides the conjunction of rows under bounds; on infeasibility it
-// reports the indices of an irreducible conflicting subset.
+// reports the indices of an irreducible conflicting subset. A cancelled
+// ctx makes Check return promptly with Status lp.Canceled.
 type LinearSolver interface {
 	Name() string
-	Check(rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict
+	Check(ctx context.Context, rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict
 }
 
 // LinearVerdict is a linear solver's answer.
@@ -42,10 +47,12 @@ type LinearVerdict struct {
 }
 
 // NonlinearSolver is the plug-in interface for nonlinear solvers — IPOPT's
-// role, extended with refutation ability.
+// role, extended with refutation ability. A cancelled ctx makes Check
+// return promptly with Status nlp.Unknown; the engine distinguishes
+// cancellation from a genuine "?" by inspecting ctx.Err() afterwards.
 type NonlinearSolver interface {
 	Name() string
-	Check(atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict
+	Check(ctx context.Context, atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict
 }
 
 // NonlinearVerdict is a nonlinear solver's answer; Unknown is the paper's
@@ -101,11 +108,11 @@ func (c *CDCLSolver) accumulate() {
 }
 
 // Solve implements BoolSolver.
-func (c *CDCLSolver) Solve() ([]bool, bool, error) {
+func (c *CDCLSolver) Solve(ctx context.Context) ([]bool, bool, error) {
 	if c.s == nil {
 		return nil, false, fmt.Errorf("core: Solve before Reset")
 	}
-	model, res, err := c.s.SolveModel()
+	model, res, err := c.s.SolveModelContext(ctx)
 	if err != nil {
 		return nil, false, err
 	}
@@ -178,7 +185,7 @@ func NewSimplexSolver() *SimplexSolver { return &SimplexSolver{} }
 func (s *SimplexSolver) Name() string { return "simplex" }
 
 // Check implements LinearSolver.
-func (s *SimplexSolver) Check(rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict {
+func (s *SimplexSolver) Check(ctx context.Context, rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict {
 	s.Calls++
 	p := lp.NewProblem()
 	p.Constraints = rows
@@ -201,15 +208,15 @@ func (s *SimplexSolver) Check(rows []lp.Constraint, lower, upper map[string]floa
 	}
 	var res lp.Result
 	if len(p.Integer) > 0 {
-		mr := p.SolveMIP(s.MaxNodes)
+		mr := p.SolveMIPContext(ctx, s.MaxNodes)
 		res = mr.Result
 	} else {
-		res = p.Solve()
+		res = p.SolveContext(ctx)
 	}
 	s.Pivots += res.Pivots
 	v := LinearVerdict{Status: res.Status, X: res.X}
 	if res.Status == lp.Infeasible {
-		v.IIS = p.IIS()
+		v.IIS = p.IISContext(ctx)
 		if len(p.Integer) > 0 && v.IIS == nil {
 			// Integrality-driven infeasibility: the relaxation is feasible,
 			// so the deletion filter over the relaxation finds nothing.
@@ -246,15 +253,15 @@ func NewPenaltySolver() *PenaltySolver { return &PenaltySolver{} }
 func (n *PenaltySolver) Name() string { return "penalty+hc4" }
 
 // Check implements NonlinearSolver.
-func (n *PenaltySolver) Check(atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict {
+func (n *PenaltySolver) Check(ctx context.Context, atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict {
 	n.Calls++
 	p := &nlp.Problem{Atoms: atoms, Box: box}
 	opt := n.Options
-	res := nlp.Solve(p, opt)
+	res := nlp.SolveContext(ctx, p, opt)
 	n.Evals += res.Evals
-	if res.Status == nlp.Unknown && hint != nil {
+	if res.Status == nlp.Unknown && hint != nil && ctx.Err() == nil {
 		// Second chance: descend from the linear solver's point.
-		res2 := nlp.Solve(p, withHintSeed(opt))
+		res2 := nlp.SolveContext(ctx, p, withHintSeed(opt))
 		n.Evals += res2.Evals
 		if res2.Status != nlp.Unknown {
 			res = res2

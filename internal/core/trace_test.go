@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"absolver/internal/expr"
+)
+
+// TestWriterTraceFormat pins the text format of the io.Writer adapter to
+// the stand-alone tool's historical -v lines.
+func TestWriterTraceFormat(t *testing.T) {
+	var sb strings.Builder
+	tr := WriterTrace(&sb)
+	tr(Event{Iteration: 1, Kind: EventSat})
+	tr(Event{Iteration: 2, Kind: EventConflict, ClauseLen: 3})
+	tr(Event{Iteration: 7, Kind: EventLossyBlock, ClauseLen: 1})
+	want := "c iter 1: sat\n" +
+		"c iter 2: conflict (clause of 3 literals)\n" +
+		"c iter 7: lossy-block (clause of 1 literals)\n"
+	if sb.String() != want {
+		t.Fatalf("trace text:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+// TestTraceEvents checks the structured callback sees the engine's actual
+// iteration sequence: a conflict (with the blocking clause length) followed
+// by the satisfying iteration.
+func TestTraceEvents(t *testing.T) {
+	p := NewProblem()
+	p.AddClause(1, 2)
+	a1, _ := expr.ParseAtom("x >= 5", expr.Real)
+	a2, _ := expr.ParseAtom("x <= 4", expr.Real)
+	p.Bind(0, a1)
+	p.Bind(1, a2)
+	var events []Event
+	cfg := Config{NoGroundLemmas: true, Trace: func(ev Event) { events = append(events, ev) }}
+	res, err := NewEngine(p, cfg).Solve()
+	if err != nil || res.Status != StatusSat {
+		t.Fatalf("res = %v err = %v", res.Status, err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no trace events delivered")
+	}
+	last := events[len(events)-1]
+	if last.Kind != EventSat {
+		t.Fatalf("last event = %v, want sat", last.Kind)
+	}
+	for i, ev := range events {
+		if ev.Iteration != i+1 {
+			t.Fatalf("event %d has iteration %d", i, ev.Iteration)
+		}
+		if ev.Kind == EventConflict && ev.ClauseLen == 0 {
+			t.Fatal("conflict event without clause length")
+		}
+	}
+}

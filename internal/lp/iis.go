@@ -1,5 +1,7 @@
 package lp
 
+import "context"
+
 // IIS computes an irreducible infeasible subset of the problem's
 // constraints by the deletion filter: every constraint is tentatively
 // removed, and kept out when the remainder is still infeasible. The result
@@ -11,7 +13,14 @@ package lp
 // The problem must be infeasible; if it is not, IIS returns nil. Variable
 // bounds are treated as background theory and are never removed.
 func (p *Problem) IIS() []int {
-	if !p.RefutedByPropagation() && p.Solve().Status != Infeasible {
+	return p.IISContext(context.Background())
+}
+
+// IISContext is IIS with cooperative cancellation: the deletion filter
+// checks ctx between removal tests and returns nil once it is cancelled
+// (callers treat a nil IIS as "could not minimise").
+func (p *Problem) IISContext(ctx context.Context) []int {
+	if !p.RefutedByPropagation() && p.SolveContext(ctx).Status != Infeasible {
 		return nil
 	}
 	active := make([]bool, len(p.Constraints))
@@ -25,9 +34,12 @@ func (p *Problem) IIS() []int {
 		if !propagateBounds(rows, p.Lower, p.Upper, 50) {
 			return true
 		}
-		return p.solveRows(rows).Status == Infeasible
+		return p.solveRowsContext(ctx, rows).Status == Infeasible
 	}
 	for i := range p.Constraints {
+		if ctx.Err() != nil {
+			return nil
+		}
 		active[i] = false
 		if !stillInfeasible() {
 			active[i] = true // i is needed for infeasibility
@@ -81,12 +93,12 @@ func (p *Problem) activeRows(active []bool) []Constraint {
 	return rows
 }
 
-// solveRows solves the problem with a replacement row set.
-func (p *Problem) solveRows(rows []Constraint) Result {
+// solveRowsContext solves the problem with a replacement row set.
+func (p *Problem) solveRowsContext(ctx context.Context, rows []Constraint) Result {
 	q := NewProblem()
 	q.Constraints = rows
 	q.Lower = p.Lower
 	q.Upper = p.Upper
 	q.MaxIter = p.MaxIter
-	return q.Solve()
+	return q.SolveContext(ctx)
 }

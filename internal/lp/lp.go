@@ -8,6 +8,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -51,12 +52,16 @@ const FeasTol = 1e-7
 // Status is the outcome of a solve.
 type Status int
 
-// Solve outcomes.
+// Solve outcomes. Canceled is reported when the context passed to
+// SolveContext / SolveMIPContext is cancelled before a verdict: the partial
+// search proves nothing, so callers must treat it like an indeterminate
+// result and surface ctx.Err().
 const (
 	Feasible Status = iota
 	Infeasible
 	Unbounded
 	IterLimit
+	Canceled
 )
 
 // String returns the status name.
@@ -70,6 +75,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case Canceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -260,6 +267,12 @@ type Result struct {
 // A presolve pass absorbs single-variable rows into bounds first; only the
 // residual multi-variable rows reach the simplex.
 func (p *Problem) Solve() Result {
+	return p.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with cooperative cancellation: the simplex polls
+// ctx between pivots and returns Status Canceled once it is done.
+func (p *Problem) SolveContext(ctx context.Context) Result {
 	ps := presolve(p)
 	if ps.status == Infeasible {
 		return Result{Status: Infeasible}
@@ -275,7 +288,9 @@ func (p *Problem) Solve() Result {
 	// Variables absorbed entirely into bounds keep their columns: the
 	// presolve wrote their bounds into q, and the tableau's variable set
 	// includes every bounded variable.
-	return newTableau(q).run()
+	t := newTableau(q)
+	t.ctx = ctx
+	return t.run()
 }
 
 // Verify reports whether x satisfies every constraint and bound of p

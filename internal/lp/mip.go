@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 )
 
@@ -19,11 +20,18 @@ const intTol = 1e-6
 // maxNodes bounds the search (0 = a generous default); exhausting it yields
 // Status IterLimit.
 func (p *Problem) SolveMIP(maxNodes int) MIPResult {
+	return p.SolveMIPContext(context.Background(), maxNodes)
+}
+
+// SolveMIPContext is SolveMIP with cooperative cancellation: the context is
+// polled at every branch-and-bound node and inside every LP relaxation;
+// once cancelled the search aborts with Status Canceled.
+func (p *Problem) SolveMIPContext(ctx context.Context, maxNodes int) MIPResult {
 	if maxNodes == 0 {
 		maxNodes = 200000
 	}
 	if len(p.Integer) == 0 {
-		return MIPResult{Result: p.Solve()}
+		return MIPResult{Result: p.SolveContext(ctx)}
 	}
 
 	type node struct {
@@ -48,6 +56,9 @@ func (p *Problem) SolveMIP(maxNodes int) MIPResult {
 			hitLimit = true
 			break
 		}
+		if ctx.Err() != nil {
+			return MIPResult{Result: Result{Status: Canceled}, Nodes: nodes}
+		}
 		nodes++
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -60,7 +71,7 @@ func (p *Problem) SolveMIP(maxNodes int) MIPResult {
 			Integer:     p.Integer,
 			MaxIter:     p.MaxIter,
 		}
-		r := sub.Solve()
+		r := sub.SolveContext(ctx)
 		switch r.Status {
 		case Infeasible:
 			continue
@@ -70,6 +81,8 @@ func (p *Problem) SolveMIP(maxNodes int) MIPResult {
 		case IterLimit:
 			hitLimit = true
 			continue
+		case Canceled:
+			return MIPResult{Result: Result{Status: Canceled}, Nodes: nodes}
 		}
 		if best != nil && p.Objective != nil && r.Objective >= best.Objective-1e-9 {
 			continue // bound: relaxation cannot beat incumbent
@@ -130,7 +143,7 @@ func (p *Problem) SolveMIP(maxNodes int) MIPResult {
 						fixed.Lower[v] = snapped[v]
 						fixed.Upper[v] = snapped[v]
 					}
-					fr := fixed.Solve()
+					fr := fixed.SolveContext(ctx)
 					if fr.Status != Feasible {
 						continue
 					}

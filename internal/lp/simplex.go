@@ -1,8 +1,13 @@
 package lp
 
 import (
+	"context"
 	"math"
 )
+
+// cancelPollEvery is the pivot cadence of cooperative cancellation checks:
+// ctx.Err() takes a lock, so it is consulted only every few pivots.
+const cancelPollEvery = 32
 
 // pivotTol is the minimum magnitude of an eligible pivot element.
 const pivotTol = 1e-9
@@ -44,6 +49,10 @@ type tableau struct {
 	maxIter int
 
 	nArtificial int
+
+	// ctx, when non-nil, is polled every cancelPollEvery pivots; once it
+	// is done the run aborts with Status Canceled.
+	ctx context.Context
 }
 
 // newTableau converts p to standard form.
@@ -286,6 +295,9 @@ func (t *tableau) phase(costRow []float64, banned func(int) bool) Status {
 		if t.pivots > t.maxIter {
 			return IterLimit
 		}
+		if t.ctx != nil && t.pivots%cancelPollEvery == 0 && t.ctx.Err() != nil {
+			return Canceled
+		}
 		// Bland's rule: smallest-index column with negative reduced cost.
 		enter := -1
 		for j := range costRow {
@@ -339,8 +351,8 @@ func (t *tableau) run() Result {
 
 	if t.nArtificial > 0 {
 		st := t.phase(t.wcost, nil)
-		if st == IterLimit {
-			return Result{Status: IterLimit, Pivots: t.pivots}
+		if st == IterLimit || st == Canceled {
+			return Result{Status: st, Pivots: t.pivots}
 		}
 		if st == Unbounded {
 			// Phase-1 objective is bounded below by 0; unbounded signals a
@@ -371,8 +383,8 @@ func (t *tableau) run() Result {
 	if t.p.Objective != nil {
 		st := t.phase(t.cost, banned)
 		switch st {
-		case IterLimit:
-			return Result{Status: IterLimit, Pivots: t.pivots}
+		case IterLimit, Canceled:
+			return Result{Status: st, Pivots: t.pivots}
 		case Unbounded:
 			return Result{Status: Unbounded, Pivots: t.pivots}
 		}

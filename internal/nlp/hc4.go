@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"math"
 
 	"absolver/internal/expr"
@@ -8,25 +9,30 @@ import (
 )
 
 // contract runs HC4 sweeps over all atoms until fixpoint (no interval
-// shrinks by more than a relative threshold) or the round budget is
-// exhausted. It returns true when the box has been proved empty, i.e. the
-// conjunction is infeasible over the box.
-func contract(atoms []expr.Atom, box expr.Box, rounds int) (emptied bool) {
+// shrinks by more than a relative threshold), cancellation, or round-budget
+// exhaustion. It returns emptied=true when the box has been proved empty,
+// i.e. the conjunction is infeasible over the box, and canceled=true when
+// ctx ended the sweep before a fixpoint (the contraction so far is still
+// sound, but refutation may have been missed).
+func contract(ctx context.Context, atoms []expr.Atom, box expr.Box, rounds int) (emptied, canceled bool) {
 	for round := 0; round < rounds; round++ {
+		if ctx.Err() != nil {
+			return false, true
+		}
 		changed := false
 		for _, a := range atoms {
 			switch reviseAtom(a, box) {
 			case reviseEmpty:
-				return true
+				return true, false
 			case reviseChanged:
 				changed = true
 			}
 		}
 		if !changed {
-			return false
+			return false, false
 		}
 	}
-	return false
+	return false, false
 }
 
 type reviseOutcome int

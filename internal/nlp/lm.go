@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"math"
 
 	"absolver/internal/expr"
@@ -12,7 +13,7 @@ import (
 // the quadratic local convergence an interior-point solver like IPOPT has.
 // The returned point is at least as good as the input under the merit
 // function. evals counts merit evaluations.
-func polish(p *penalty, x expr.Env, box expr.Box, opt Options) (expr.Env, int) {
+func polish(ctx context.Context, p *penalty, x expr.Env, box expr.Box, opt Options) (expr.Env, int) {
 	evals := 0
 	f, ok := p.eval(x)
 	evals++
@@ -27,6 +28,9 @@ func polish(p *penalty, x expr.Env, box expr.Box, opt Options) (expr.Env, int) {
 	}
 	for iter := 0; iter < 60; iter++ {
 		if f <= opt.Tol*opt.Tol {
+			return x, evals
+		}
+		if ctx.Err() != nil {
 			return x, evals
 		}
 		// Residuals and Jacobian of active terms.

@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -89,7 +90,7 @@ func TestPolishConvergesOnTightEquality(t *testing.T) {
 	}
 	pen := newPenalty([]expr.Atom{a}, Options{}.withDefaults())
 	box := expr.Box{"x": interval.New(0, 10)}
-	x, _ := polish(pen, expr.Env{"x": 1.3}, box, Options{}.withDefaults())
+	x, _ := polish(context.Background(), pen, expr.Env{"x": 1.3}, box, Options{}.withDefaults())
 	if math.Abs(x["x"]-math.Sqrt2) > 1e-7 {
 		t.Fatalf("x = %v, want √2", x["x"])
 	}
@@ -102,7 +103,7 @@ func TestPolishRespectsBox(t *testing.T) {
 	}
 	pen := newPenalty([]expr.Atom{a}, Options{}.withDefaults())
 	box := expr.Box{"x": interval.New(0, 5)}
-	x, _ := polish(pen, expr.Env{"x": 2}, box, Options{}.withDefaults())
+	x, _ := polish(context.Background(), pen, expr.Env{"x": 2}, box, Options{}.withDefaults())
 	if x["x"] < 0 || x["x"] > 5 {
 		t.Fatalf("x = %v escaped the box", x["x"])
 	}

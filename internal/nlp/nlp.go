@@ -20,6 +20,7 @@
 package nlp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -143,6 +144,15 @@ type Result struct {
 
 // Solve decides feasibility of p.
 func Solve(p *Problem, opt Options) Result {
+	return SolveContext(context.Background(), p, opt)
+}
+
+// SolveContext is Solve with cooperative cancellation: the context is
+// polled between propagation sweeps, between multi-start attempts, and
+// inside every descent/polish iteration, so a cancelled solve stops within
+// one poll interval. Cancellation yields Status Unknown (the partial
+// search proves nothing).
+func SolveContext(ctx context.Context, p *Problem, opt Options) Result {
 	opt = opt.withDefaults()
 
 	box := p.Box.Clone()
@@ -157,9 +167,12 @@ func Solve(p *Problem, opt Options) Result {
 
 	// Phase 1: interval propagation for refutation and search-space
 	// contraction.
-	empty := contract(p.Atoms, box, opt.PropagationRounds)
+	empty, canceled := contract(ctx, p.Atoms, box, opt.PropagationRounds)
 	if empty {
 		return Result{Status: Infeasible, ContractedBox: box}
+	}
+	if canceled {
+		return Result{Status: Unknown, ContractedBox: box}
 	}
 
 	// Phase 2: multi-start penalty descent.
@@ -169,8 +182,11 @@ func Solve(p *Problem, opt Options) Result {
 	evals := 0
 
 	for start := 0; start < opt.Starts; start++ {
+		if ctx.Err() != nil {
+			return Result{Status: Unknown, ContractedBox: box, Evals: evals}
+		}
 		x := samplePoint(vars, box, rng, opt.DefaultRange, start)
-		x, e := descend(pen, x, box, opt)
+		x, e := descend(ctx, pen, x, box, opt)
 		evals += e
 		if x == nil {
 			continue
@@ -180,7 +196,7 @@ func Solve(p *Problem, opt Options) Result {
 		}
 		// Gradient descent gets close; Levenberg-Marquardt finishes the job
 		// on tight (near-)equalities.
-		x, e = polish(pen, x, box, opt)
+		x, e = polish(ctx, pen, x, box, opt)
 		evals += e
 		if verify(p.Atoms, x, opt) {
 			return Result{Status: Feasible, X: x, ContractedBox: box, Evals: evals}

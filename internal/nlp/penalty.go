@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"math"
 
 	"absolver/internal/expr"
@@ -123,8 +124,9 @@ func (p *penalty) grad(x expr.Env) map[string]float64 {
 
 // descend runs projected gradient descent with Armijo backtracking from x0.
 // The returned point is the best found (possibly not feasible); evals
-// counts merit evaluations.
-func descend(p *penalty, x0 expr.Env, box expr.Box, opt Options) (expr.Env, int) {
+// counts merit evaluations. ctx is polled once per iteration; on
+// cancellation the current best point is returned immediately.
+func descend(ctx context.Context, p *penalty, x0 expr.Env, box expr.Box, opt Options) (expr.Env, int) {
 	x := make(expr.Env, len(x0))
 	for k, v := range x0 {
 		x[k] = v
@@ -145,6 +147,9 @@ func descend(p *penalty, x0 expr.Env, box expr.Box, opt Options) (expr.Env, int)
 	}
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		if f <= opt.Tol*opt.Tol {
+			return x, evals
+		}
+		if ctx.Err() != nil {
 			return x, evals
 		}
 		g := p.grad(x)

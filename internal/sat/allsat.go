@@ -1,6 +1,9 @@
 package sat
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // ErrStopEnumeration can be returned by an AllSAT callback to end the
 // enumeration early without reporting an error to the caller.
@@ -24,6 +27,14 @@ var ErrStopEnumeration = errors.New("sat: enumeration stopped by callback")
 // ErrStopEnumeration (not treated as an error) or any other error
 // (propagated).
 func (s *Solver) AllSAT(important []Var, maxModels int, report func(model []bool) error) (int, error) {
+	return s.AllSATContext(context.Background(), important, maxModels, report)
+}
+
+// AllSATContext is AllSAT with cooperative cancellation: the context is
+// polled inside every model search and between models, so a cancelled
+// enumeration stops promptly, returning the models found so far together
+// with ctx.Err().
+func (s *Solver) AllSATContext(ctx context.Context, important []Var, maxModels int, report func(model []bool) error) (int, error) {
 	proj := important
 	if proj == nil {
 		proj = make([]Var, s.NumVars())
@@ -36,7 +47,10 @@ func (s *Solver) AllSAT(important []Var, maxModels int, report func(model []bool
 		if maxModels > 0 && count >= maxModels {
 			return count, nil
 		}
-		model, res, err := s.SolveModel()
+		if err := ctx.Err(); err != nil {
+			return count, err
+		}
+		model, res, err := s.SolveModelContext(ctx)
 		if err != nil {
 			return count, err
 		}

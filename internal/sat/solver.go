@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"math"
 )
@@ -8,6 +9,12 @@ import (
 // ErrBudget is returned by Solve when the configured conflict budget is
 // exhausted before a verdict is reached.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// pollEvery is the cadence, in search-loop steps, of cooperative
+// cancellation checks: ctx.Err() takes a lock, so it is consulted only
+// every pollEvery propagation/decision rounds. The interval is small
+// enough that a cancelled solver stops within microseconds.
+const pollEvery = 256
 
 // watcher pairs a watched clause with its blocker literal (a literal whose
 // truth makes visiting the clause unnecessary).
@@ -50,6 +57,12 @@ type Solver struct {
 	Stats Stats
 
 	conflictAssumps []Lit // final conflict clause in terms of assumptions
+
+	// ctx and polls implement cooperative cancellation: ctx is set for the
+	// duration of a SolveContext call and polled every pollEvery search
+	// steps.
+	ctx   context.Context
+	polls uint64
 }
 
 // New returns an empty solver.
@@ -516,7 +529,26 @@ func luby(x int64) int64 {
 // when unsatisfiable (ConflictAssumptions lists the failing assumptions),
 // or an error when the conflict budget runs out.
 func (s *Solver) Solve(assumptions ...Lit) (LBool, error) {
-	return s.solveKeep(func() {}, assumptions...)
+	return s.SolveContext(context.Background(), assumptions...)
+}
+
+// SolveContext is Solve with cooperative cancellation: the search polls ctx
+// every pollEvery steps and returns LUndef with ctx.Err() once it is done.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (LBool, error) {
+	return s.solveKeep(ctx, func() {}, assumptions...)
+}
+
+// cancelled reports, at the poll cadence, whether the active context has
+// been cancelled. Between polls it is a single counter increment.
+func (s *Solver) cancelled() bool {
+	if s.ctx == nil {
+		return false
+	}
+	s.polls++
+	if s.polls%pollEvery != 0 {
+		return false
+	}
+	return s.ctx.Err() != nil
 }
 
 // search runs CDCL until a verdict, a restart (conflict limit), or budget
@@ -524,6 +556,9 @@ func (s *Solver) Solve(assumptions ...Lit) (LBool, error) {
 func (s *Solver) search(conflictLimit int64, assumptions []Lit) (LBool, int64) {
 	var conflicts int64
 	for {
+		if s.cancelled() {
+			return LUndef, conflicts
+		}
 		conf := s.propagate()
 		if conf != nil {
 			conflicts++
@@ -676,14 +711,19 @@ func (s *Solver) modelSnapshot() []bool {
 // SolveModel runs Solve and, on satisfiability, returns the model (Solve
 // itself backtracks to level 0, discarding the assignment).
 func (s *Solver) SolveModel(assumptions ...Lit) ([]bool, LBool, error) {
+	return s.SolveModelContext(context.Background(), assumptions...)
+}
+
+// SolveModelContext is SolveModel with cooperative cancellation.
+func (s *Solver) SolveModelContext(ctx context.Context, assumptions ...Lit) ([]bool, LBool, error) {
 	var model []bool
-	res, err := s.solveKeep(func() { model = s.modelSnapshot() }, assumptions...)
+	res, err := s.solveKeep(ctx, func() { model = s.modelSnapshot() }, assumptions...)
 	return model, res, err
 }
 
 // solveKeep is Solve with a callback invoked while the satisfying
 // assignment is still in place.
-func (s *Solver) solveKeep(onSAT func(), assumptions ...Lit) (LBool, error) {
+func (s *Solver) solveKeep(ctx context.Context, onSAT func(), assumptions ...Lit) (LBool, error) {
 	s.Stats.SolveCalls++
 	s.conflictAssumps = nil
 	if !s.okFlag {
@@ -692,7 +732,11 @@ func (s *Solver) solveKeep(onSAT func(), assumptions ...Lit) (LBool, error) {
 	for _, a := range assumptions {
 		s.EnsureVars(a.Var() + 1)
 	}
-	defer s.backtrack(0)
+	s.ctx = ctx
+	defer func() {
+		s.ctx = nil
+		s.backtrack(0)
+	}()
 
 	var restarts int64
 	budgetUsed := int64(0)
@@ -707,6 +751,9 @@ func (s *Solver) solveKeep(onSAT func(), assumptions ...Lit) (LBool, error) {
 		}
 		if res != LUndef {
 			return res, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return LUndef, err
 		}
 		if s.ConflictBudget > 0 && budgetUsed >= s.ConflictBudget {
 			return LUndef, ErrBudget
