@@ -105,7 +105,35 @@ var (
 	ErrTimeout = core.ErrTimeout
 	// ErrIterationLimit reports that Config.MaxIterations was exceeded.
 	ErrIterationLimit = core.ErrIterationLimit
+	// ErrModelRejected reports that a SAT model failed the independent
+	// certificate check (Config.CheckModels).
+	ErrModelRejected = core.ErrModelRejected
 )
+
+// Certificate and lemma-audit types, re-exported.
+type (
+	// Lemma is one learned clause with its provenance (Engine.Lemmas,
+	// recorded under Config.RecordLemmas).
+	Lemma = core.Lemma
+	// LemmaKind classifies a learned clause's soundness obligation.
+	LemmaKind = core.LemmaKind
+)
+
+// Lemma provenances.
+const (
+	LemmaGround     = core.LemmaGround
+	LemmaConflict   = core.LemmaConflict
+	LemmaLossy      = core.LemmaLossy
+	LemmaModelBlock = core.LemmaModelBlock
+)
+
+// CertifyModel independently re-validates a SAT model against p: every
+// clause, binding, bound and integrality constraint is replayed through
+// expression evaluation, and the problem is re-evaluated as a 3-valued
+// circuit under Kleene semantics. A failure returns an error wrapping
+// ErrModelRejected. Config.CheckModels runs this on every model the engine
+// returns.
+func CertifyModel(p *Problem, m Model) error { return core.CertifyModel(p, m) }
 
 // WriterTrace adapts an io.Writer into a TraceFunc producing the
 // stand-alone tool's historical -v text lines.

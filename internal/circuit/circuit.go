@@ -129,6 +129,49 @@ type Env struct {
 	// decides atoms by interval evaluation — the paper's 3-valued
 	// semantics over undecided subproblems.
 	Box expr.Box
+	// Tol, when positive, evaluates point atoms with borderline semantics:
+	// a comparison whose two sides are within Tol of each other yields
+	// Unknown ("?") instead of an arbitrary side of the fence. This makes
+	// 3-valued re-evaluation of floating-point witnesses sound under
+	// Kleene negation — a result within solver tolerance of the boundary
+	// is reported as undecided rather than flipped by ¬ — and is how the
+	// engine's certificate checker replays SAT models through the circuit.
+	Tol float64
+}
+
+// evalAtom decides an atom at a point with Env.Tol borderline semantics:
+// outside the tolerance band the exact comparison decides; inside it the
+// result is Unknown. With Tol = 0 this is exact point evaluation.
+func evalAtom(a expr.Atom, env Env) (expr.Truth, error) {
+	l, err := a.LHS.Eval(env.Real)
+	if err != nil {
+		return expr.Unknown, err
+	}
+	r, err := a.RHS.Eval(env.Real)
+	if err != nil {
+		return expr.Unknown, err
+	}
+	d := l - r
+	if env.Tol > 0 && d >= -env.Tol && d <= env.Tol && d != 0 {
+		// Within the float-noise band but not exactly on the boundary:
+		// no comparison against the boundary can be trusted.
+		return expr.Unknown, nil
+	}
+	switch a.Op {
+	case expr.CmpLT:
+		return expr.FromBool(d < 0), nil
+	case expr.CmpGT:
+		return expr.FromBool(d > 0), nil
+	case expr.CmpLE:
+		return expr.FromBool(d <= 0), nil
+	case expr.CmpGE:
+		return expr.FromBool(d >= 0), nil
+	case expr.CmpEQ:
+		return expr.FromBool(d == 0), nil
+	case expr.CmpNE:
+		return expr.FromBool(d != 0), nil
+	}
+	return expr.Unknown, fmt.Errorf("circuit: bad CmpOp %v", a.Op)
 }
 
 // Eval computes the 3-valued output of the circuit under env.
@@ -159,8 +202,8 @@ func evalGateUncached(g *Gate, env Env, memo map[*Gate]expr.Truth) expr.Truth {
 		return expr.Unknown
 	case KAtom:
 		if env.Real != nil {
-			if ok, err := g.Atom.Holds(env.Real); err == nil {
-				return expr.FromBool(ok)
+			if t, err := evalAtom(g.Atom, env); err == nil {
+				return t
 			}
 		}
 		if env.Box != nil {

@@ -8,50 +8,118 @@ import (
 	"time"
 
 	"absolver/internal/expr"
+	"absolver/internal/lp"
 	"absolver/internal/nlp"
 )
 
-// promptness is the bound within which a cancelled solve must return. The
-// poll intervals are a few hundred cheap steps at most, so even loaded CI
-// machines finish far inside this.
-const promptness = 3 * time.Second
+// promptness is a generous backstop: with the handshake-based triggers
+// below nothing in these tests sleeps or races a timer, so a cancelled
+// solve that takes anywhere near this long has a real polling bug.
+const promptness = 30 * time.Second
 
-// hardNonlinearProblem is satisfiable only at points the penalty search
-// struggles to certify (two near-coincident hyperbola constraints), so a
-// solve with an enormous multi-start budget runs effectively forever.
-func hardNonlinearProblem(t testing.TB) *Problem {
+// The cancellation tests must not depend on wall-clock timing (a sleep
+// racing the solver flakes under -race on loaded CI machines). Instead,
+// each test wraps one of the engine's plug-in solvers with a shim that
+// cancels the context from *inside* a solver call: the engine is then
+// provably mid-stage when cancellation fires, every run, on any machine.
+
+// cancelOnNthNonlinear cancels at the entry of its nth Check call, then
+// delegates; the wrapped solver observes the already-cancelled context.
+// The engine drives solvers from a single goroutine, so the counter needs
+// no synchronisation.
+type cancelOnNthNonlinear struct {
+	inner  NonlinearSolver
+	cancel context.CancelFunc
+	n      int
+	calls  int
+}
+
+func (c *cancelOnNthNonlinear) Name() string { return "cancel-shim:" + c.inner.Name() }
+
+func (c *cancelOnNthNonlinear) Check(ctx context.Context, atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict {
+	c.calls++
+	if c.calls >= c.n {
+		c.cancel()
+	}
+	return c.inner.Check(ctx, atoms, box, hint)
+}
+
+// cancelOnNthLinear is the LinearSolver analogue.
+type cancelOnNthLinear struct {
+	inner  LinearSolver
+	cancel context.CancelFunc
+	n      int
+	calls  int
+}
+
+func (c *cancelOnNthLinear) Name() string { return "cancel-shim:" + c.inner.Name() }
+
+func (c *cancelOnNthLinear) Check(ctx context.Context, rows []lp.Constraint, lower, upper map[string]float64, ints map[string]bool) LinearVerdict {
+	c.calls++
+	if c.calls >= c.n {
+		c.cancel()
+	}
+	return c.inner.Check(ctx, rows, lower, upper, ints)
+}
+
+// cancelOnNthBool is the BoolSolver analogue: cancellation fires at the
+// entry of the nth Solve, so the CDCL search starts on a cancelled
+// context and must surface it from its own polling loop.
+type cancelOnNthBool struct {
+	inner  BoolSolver
+	cancel context.CancelFunc
+	n      int
+	calls  int
+}
+
+func (c *cancelOnNthBool) Name() string { return "cancel-shim:" + c.inner.Name() }
+
+func (c *cancelOnNthBool) Reset(numVars int, clauses [][]int) error {
+	return c.inner.Reset(numVars, clauses)
+}
+
+func (c *cancelOnNthBool) Solve(ctx context.Context) ([]bool, bool, error) {
+	c.calls++
+	if c.calls >= c.n {
+		c.cancel()
+	}
+	return c.inner.Solve(ctx)
+}
+
+func (c *cancelOnNthBool) AddBlocking(clause []int) error { return c.inner.AddBlocking(clause) }
+
+// blockingNonlinear parks inside Check until the context is done — the
+// deterministic stand-in for "a solver stage that outlives any deadline".
+type blockingNonlinear struct{}
+
+func (blockingNonlinear) Name() string { return "blocking" }
+
+func (blockingNonlinear) Check(ctx context.Context, atoms []expr.Atom, box expr.Box, hint expr.Env) NonlinearVerdict {
+	<-ctx.Done()
+	return NonlinearVerdict{Status: nlp.Unknown}
+}
+
+// nonlinearProblem needs the nonlinear stage to decide it (a product atom
+// the linear stage cannot handle), guaranteeing the wrapped solver runs.
+func nonlinearProblem(t testing.TB) *Problem {
 	t.Helper()
 	p := NewProblem()
 	p.AddClause(1)
-	p.AddClause(2)
-	a1, err := expr.ParseAtom("x * y >= 1", expr.Real)
+	a, err := expr.ParseAtom("x * y >= 1", expr.Real)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := expr.ParseAtom("x * y <= 0.999999", expr.Real)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p.Bind(0, a1)
-	p.Bind(1, a2)
+	p.Bind(0, a)
 	p.SetBounds("x", -100, 100)
 	p.SetBounds("y", -100, 100)
 	return p
 }
 
-// endlessNonlinearConfig gives the nonlinear stage an effectively unbounded
-// multi-start budget, so only cancellation can stop it.
-func endlessNonlinearConfig() Config {
-	return Config{Nonlinear: &PenaltySolver{Options: nlp.Options{Starts: 1 << 30}}}
-}
-
 func TestSolveContextCancelMidNonlinear(t *testing.T) {
-	eng := NewEngine(hardNonlinearProblem(t), endlessNonlinearConfig())
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(50 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
+	shim := &cancelOnNthNonlinear{inner: NewPenaltySolver(), cancel: cancel, n: 1}
+	eng := NewEngine(nonlinearProblem(t), Config{Nonlinear: shim})
 	start := time.Now()
 	res, err := eng.SolveContext(ctx)
 	elapsed := time.Since(start)
@@ -61,14 +129,19 @@ func TestSolveContextCancelMidNonlinear(t *testing.T) {
 	if res.Status != StatusUnknown {
 		t.Fatalf("status = %v, want unknown", res.Status)
 	}
+	if shim.calls == 0 {
+		t.Fatal("nonlinear stage never ran: cancellation was not mid-solve")
+	}
 	if elapsed > promptness {
 		t.Fatalf("cancelled solve took %v", elapsed)
 	}
 }
 
 func TestSolveContextOuterDeadline(t *testing.T) {
-	eng := NewEngine(hardNonlinearProblem(t), endlessNonlinearConfig())
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	// The nonlinear stage blocks until the caller's deadline expires, so
+	// the test is a pure handshake: no solver race, no flaky margins.
+	eng := NewEngine(nonlinearProblem(t), Config{Nonlinear: blockingNonlinear{}})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
 	res, err := eng.SolveContext(ctx)
@@ -87,9 +160,8 @@ func TestSolveContextOuterDeadline(t *testing.T) {
 }
 
 func TestConfigTimeoutStillErrTimeout(t *testing.T) {
-	cfg := endlessNonlinearConfig()
-	cfg.Timeout = 50 * time.Millisecond
-	eng := NewEngine(hardNonlinearProblem(t), cfg)
+	cfg := Config{Nonlinear: blockingNonlinear{}, Timeout: 30 * time.Millisecond}
+	eng := NewEngine(nonlinearProblem(t), cfg)
 	res, err := eng.SolveContext(context.Background())
 	if err != ErrTimeout { // sentinel equality: internal/bench compares with ==
 		t.Fatalf("err = %v, want ErrTimeout sentinel", err)
@@ -104,7 +176,8 @@ func TestConfigTimeoutStillErrTimeout(t *testing.T) {
 
 func TestAllModelsContextCancel(t *testing.T) {
 	// 2^19 models over 20 variables: far too many to enumerate, so the
-	// cancellation issued by the report callback must end the run.
+	// cancellation issued by the report callback must end the run. This is
+	// already a handshake — the callback cancels after the 5th model.
 	p := NewProblem()
 	cl := make([]int, 20)
 	for i := range cl {
@@ -142,7 +215,8 @@ func TestSolveContextCancelMidNESplit(t *testing.T) {
 	// Integer pigeonhole via disequalities: 8 variables over 6 values, all
 	// pairwise distinct. Every Boolean model asserts all 28 disequalities,
 	// so the engine spends its time deep in the NE case-split recursion —
-	// the exact loop the context must be able to interrupt.
+	// the exact loop the context must interrupt. The linear shim cancels
+	// at its 10th call, which lands well inside the recursion.
 	p := NewProblem()
 	n := 8
 	v := 1
@@ -160,13 +234,11 @@ func TestSolveContextCancelMidNESplit(t *testing.T) {
 	for i := 0; i < n; i++ {
 		p.SetBounds(fmt.Sprintf("h%d", i), 0, 5)
 	}
-	cfg := Config{MaxNESplits: 1 << 30, NoGroundLemmas: true}
-	eng := NewEngine(p, cfg)
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(50 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
+	shim := &cancelOnNthLinear{inner: NewSimplexSolver(), cancel: cancel, n: 10}
+	cfg := Config{MaxNESplits: 1 << 30, NoGroundLemmas: true, Linear: shim}
+	eng := NewEngine(p, cfg)
 	start := time.Now()
 	res, err := eng.SolveContext(ctx)
 	elapsed := time.Since(start)
@@ -176,6 +248,9 @@ func TestSolveContextCancelMidNESplit(t *testing.T) {
 	if res.Status != StatusUnknown {
 		t.Fatalf("status = %v", res.Status)
 	}
+	if shim.calls < 10 {
+		t.Fatalf("linear stage ran %d times; cancellation cannot have been mid-split", shim.calls)
+	}
 	if elapsed > promptness {
 		t.Fatalf("cancelled NE-split solve took %v", elapsed)
 	}
@@ -183,7 +258,10 @@ func TestSolveContextCancelMidNESplit(t *testing.T) {
 
 func TestSolveContextCancelMidCDCL(t *testing.T) {
 	// Pigeonhole principle PHP(10,9): pure CNF, exponentially hard for
-	// CDCL, no theory atoms — cancellation must land inside the SAT search.
+	// CDCL, no theory atoms. The Boolean shim cancels at the entry of the
+	// first Solve, so the search starts on a cancelled context; only its
+	// internal polling can notice — exactly the path under test. Without
+	// working in-search polling this instance takes effectively forever.
 	p := NewProblem()
 	pigeons, holes := 10, 9
 	at := func(i, j int) int { return i*holes + j + 1 }
@@ -201,23 +279,13 @@ func TestSolveContextCancelMidCDCL(t *testing.T) {
 			}
 		}
 	}
-	eng := NewEngine(p, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(50 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
+	shim := &cancelOnNthBool{inner: NewCDCLSolver(), cancel: cancel, n: 1}
+	eng := NewEngine(p, Config{Bool: shim})
 	start := time.Now()
 	res, err := eng.SolveContext(ctx)
 	elapsed := time.Since(start)
-	if err == nil {
-		// CDCL got lucky and finished before the cancel; the instance is
-		// UNSAT, so at least the verdict must be right.
-		if res.Status != StatusUnsat {
-			t.Fatalf("status = %v", res.Status)
-		}
-		t.Skip("solver finished before cancellation fired")
-	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v", err)
 	}
@@ -232,7 +300,7 @@ func TestSolveContextCancelMidCDCL(t *testing.T) {
 func TestSolveContextAlreadyCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := NewEngine(hardNonlinearProblem(t), Config{}).SolveContext(ctx)
+	res, err := NewEngine(nonlinearProblem(t), Config{}).SolveContext(ctx)
 	if !errors.Is(err, context.Canceled) || res.Status != StatusUnknown {
 		t.Fatalf("res = %v err = %v", res.Status, err)
 	}

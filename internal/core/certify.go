@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"absolver/internal/circuit"
+	"absolver/internal/expr"
+)
+
+// ErrModelRejected reports that a SAT model failed the independent
+// certificate check (Config.CheckModels): the engine refuses to return an
+// answer it cannot re-derive, surfacing the diagnostic instead of silently
+// shipping a wrong "sat".
+var ErrModelRejected = errors.New("core: model rejected by certificate check")
+
+// CertTolerance is the acceptance tolerance of the certificate checker,
+// matching the engine's own model-acceptance tolerance (holdsForCheck) and
+// lp.Epsilon: weak comparisons within this band of their boundary count as
+// undecided rather than violated.
+const CertTolerance = 1e-6
+
+// CertifyModel independently re-derives a SAT verdict for m against p using
+// two redundant evaluation paths:
+//
+//  1. expression-level — Problem.Check replays every clause, binding,
+//     bound and integrality constraint through internal/expr point
+//     evaluation with the engine's acceptance tolerances;
+//  2. circuit-level — the problem is rebuilt as the paper's gate
+//     representation (clauses as OR gates over atom and input-pin leaves,
+//     conjoined by one AND) and evaluated under internal/circuit Kleene
+//     semantics with borderline tolerance: the output pin must not be ff.
+//
+// The two paths share no verdict-producing code with the solving loop
+// (the engine assembles models from LP/NLP witnesses; the checker only
+// evaluates), so a bug in witness assembly, blocking-clause bookkeeping or
+// solver plug-ins is caught here instead of shipping as a wrong answer.
+func CertifyModel(p *Problem, m Model) error {
+	if err := p.Check(m); err != nil {
+		return fmt.Errorf("%w: %v", ErrModelRejected, err)
+	}
+	c := CircuitOf(p)
+	env := circuit.Env{
+		Bool: map[string]expr.Truth{},
+		Real: m.Real,
+		Tol:  CertTolerance,
+	}
+	for v := 0; v < p.NumVars && v < len(m.Bool); v++ {
+		if _, bound := p.Bindings[v]; !bound {
+			env.Bool[pinName(v)] = expr.FromBool(m.Bool[v])
+		}
+	}
+	if out := c.Eval(env); out == expr.False {
+		return fmt.Errorf("%w: circuit output is ff under the model", ErrModelRejected)
+	}
+	return nil
+}
+
+// pinName names the circuit input pin of an unbound Boolean variable
+// (0-based v, rendered 1-based as in DIMACS).
+func pinName(v int) string { return fmt.Sprintf("b%d", v+1) }
+
+// CircuitOf rebuilds the problem as a circuit: each clause becomes an OR
+// gate over literal gates (an AtomGate for a bound variable, an Input pin
+// otherwise; negative literals are wrapped in NOT), and the clauses are
+// conjoined under a single AND output gate. Gate sharing mirrors the
+// problem structure: one leaf gate per variable, referenced by every
+// clause that mentions it.
+func CircuitOf(p *Problem) *circuit.Circuit {
+	leaves := make(map[int]*circuit.Gate, p.NumVars)
+	leaf := func(v int) *circuit.Gate {
+		if g, ok := leaves[v]; ok {
+			return g
+		}
+		var g *circuit.Gate
+		if a, bound := p.Bindings[v]; bound {
+			g = circuit.AtomGate(a)
+		} else {
+			g = circuit.Input(pinName(v))
+		}
+		leaves[v] = g
+		return g
+	}
+	clauses := make([]*circuit.Gate, len(p.Clauses))
+	for i, cl := range p.Clauses {
+		lits := make([]*circuit.Gate, len(cl))
+		for j, l := range cl {
+			if l > 0 {
+				lits[j] = leaf(l - 1)
+			} else {
+				lits[j] = circuit.Not(leaf(-l - 1))
+			}
+		}
+		clauses[i] = circuit.Or(lits...)
+	}
+	return circuit.New(circuit.And(clauses...))
+}
+
+// LemmaKind classifies a clause the engine learned while solving, for
+// certificate auditing.
+type LemmaKind int
+
+// Lemma provenances.
+const (
+	// LemmaGround is a statically grounded pair lemma (GroundPairLemmas):
+	// theory-valid under the problem's bounds.
+	LemmaGround LemmaKind = iota
+	// LemmaConflict blocks a theory-refuted assignment: the conjunction of
+	// the negated clause literals' atoms must be infeasible under the
+	// problem's bounds — the soundness obligation an UNSAT audit replays.
+	LemmaConflict
+	// LemmaLossy blocks an assignment the solvers could not decide; it is
+	// NOT theory-valid, and the engine degrades unsat to unknown once one
+	// exists. Audits skip these.
+	LemmaLossy
+	// LemmaModelBlock excludes an already-reported model during AllModels
+	// enumeration; bookkeeping, not a theory lemma.
+	LemmaModelBlock
+)
+
+// String returns the kind name.
+func (k LemmaKind) String() string {
+	switch k {
+	case LemmaGround:
+		return "ground"
+	case LemmaConflict:
+		return "conflict"
+	case LemmaLossy:
+		return "lossy"
+	case LemmaModelBlock:
+		return "model-block"
+	}
+	return fmt.Sprintf("LemmaKind(%d)", int(k))
+}
+
+// Lemma is one learned clause with its provenance.
+type Lemma struct {
+	// Clause is the learned clause in DIMACS convention.
+	Clause []int
+	// Kind records how the clause was derived, which determines the
+	// soundness obligation it carries.
+	Kind LemmaKind
+}
+
+// Lemmas returns a copy of the clauses learned so far (including the
+// statically grounded pair lemmas), with provenance. Recording must have
+// been enabled via Config.RecordLemmas; otherwise the result is nil.
+// Conflict and ground lemmas are theory-valid under the problem's bounds —
+// the property testkit's UNSAT audit replays against the reference oracle.
+func (e *Engine) Lemmas() []Lemma {
+	if e.lemmaLog == nil {
+		return nil
+	}
+	out := make([]Lemma, len(e.lemmaLog))
+	for i, l := range e.lemmaLog {
+		out[i] = Lemma{Clause: append([]int(nil), l.Clause...), Kind: l.Kind}
+	}
+	return out
+}
+
+// recordLemma appends to the lemma log when recording is enabled.
+func (e *Engine) recordLemma(clause []int, kind LemmaKind) {
+	if !e.cfg.RecordLemmas {
+		return
+	}
+	e.lemmaLog = append(e.lemmaLog, Lemma{Clause: append([]int(nil), clause...), Kind: kind})
+}

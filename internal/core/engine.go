@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"time"
 
 	"absolver/internal/expr"
@@ -67,6 +68,20 @@ type Config struct {
 	// returns ErrTimeout with StatusUnknown. It composes with the context
 	// passed to SolveContext: whichever deadline fires first wins.
 	Timeout time.Duration
+	// CheckModels independently re-validates every SAT model before it is
+	// returned: the model is replayed through Problem.Check (expression
+	// evaluation) and through the circuit representation under Kleene
+	// semantics (CertifyModel). A model failing either check makes Solve
+	// return StatusUnknown with an ErrModelRejected diagnostic instead of
+	// a silently wrong "sat". The cost is one extra evaluation pass per
+	// returned model — negligible next to the search that produced it.
+	CheckModels bool
+	// RecordLemmas keeps a provenance-tagged log of every learned clause
+	// (ground pair lemmas, theory conflicts, lossy blocks, model blocks),
+	// retrievable via Engine.Lemmas. Used by testkit's UNSAT audit to
+	// replay conflict lemmas against a reference oracle. Off by default:
+	// the log retains one copy of every blocking clause.
+	RecordLemmas bool
 	// Trace, when non-nil, receives a structured Event per engine
 	// iteration. Use WriterTrace to reproduce the stand-alone tool's -v
 	// text output.
@@ -209,6 +224,8 @@ type Engine struct {
 	lower    map[string]float64
 	upper    map[string]float64
 	lemmas   [][]int
+	// lemmaLog is the provenance-tagged clause log (Config.RecordLemmas).
+	lemmaLog []Lemma
 }
 
 // NewEngine prepares an engine for p. The problem must not be mutated
@@ -219,6 +236,9 @@ func NewEngine(p *Problem, cfg Config) *Engine {
 	e.lower, e.upper = boundsMaps(p.Bounds)
 	if !e.cfg.NoGroundLemmas {
 		e.lemmas = GroundPairLemmas(p)
+		for _, cl := range e.lemmas {
+			e.recordLemma(cl, LemmaGround)
+		}
 	}
 	return e
 }
@@ -303,15 +323,20 @@ func (e *Engine) solve(outer context.Context) (Result, error) {
 		switch verdict.kind {
 		case thSat:
 			m := &Model{Bool: model, Real: verdict.env}
+			if e.cfg.CheckModels {
+				if err := CertifyModel(e.p, *m); err != nil {
+					return Result{Status: StatusUnknown, Stats: e.st}, err
+				}
+			}
 			return Result{Status: StatusSat, Model: m, Stats: e.st}, nil
 		case thConflict:
-			if err := e.block(verdict.conflict); err != nil {
+			if err := e.block(verdict.conflict, LemmaConflict); err != nil {
 				return Result{Stats: e.st}, err
 			}
 		case thLossyBlock:
 			e.lossy = true
 			e.st.LossyBlocks++
-			if err := e.block(verdict.conflict); err != nil {
+			if err := e.block(verdict.conflict, LemmaLossy); err != nil {
 				return Result{Stats: e.st}, err
 			}
 		}
@@ -378,7 +403,7 @@ func (e *Engine) AllModelsContext(ctx context.Context, projectVars []int, max in
 				cl = append(cl, v)
 			}
 		}
-		if err := e.block(cl); err != nil {
+		if err := e.block(cl, LemmaModelBlock); err != nil {
 			return count, StatusUnknown, err
 		}
 	}
@@ -436,8 +461,10 @@ func (e *Engine) applyPolarityHints() {
 }
 
 // block records a conflict clause both with the Boolean solver and the
-// restart-mode accumulator.
-func (e *Engine) block(clause []int) error {
+// restart-mode accumulator, logging it under kind when Config.RecordLemmas
+// is set.
+func (e *Engine) block(clause []int, kind LemmaKind) error {
+	e.recordLemma(clause, kind)
 	if len(clause) == 0 {
 		// Theory refuted independently of any assumption: force UNSAT by
 		// adding an unsatisfiable pair on variable 1.
@@ -492,8 +519,18 @@ type theoryVerdict struct {
 // case-splitting), then — if the output pin is still "?" — the nonlinear
 // part, and assemble either a witness or a conflict clause.
 func (e *Engine) theoryCheck(ctx context.Context, model []bool) theoryVerdict {
+	// Iterate bindings in variable order: map iteration order would leak
+	// into row order, IIS literal order and blocking clauses, making
+	// seeded runs irreproducible (testkit's reproduce-a-failing-seed
+	// workflow and the portfolio determinism contract both rely on this).
+	bvars := make([]int, 0, len(e.p.Bindings))
+	for v := range e.p.Bindings {
+		bvars = append(bvars, v)
+	}
+	sort.Ints(bvars)
 	var asserted []assertedAtom
-	for v, a := range e.p.Bindings {
+	for _, v := range bvars {
+		a := e.p.Bindings[v]
 		if model[v] {
 			asserted = append(asserted, assertedAtom{lit: v + 1, atom: a})
 		} else {

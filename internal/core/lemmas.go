@@ -1,52 +1,69 @@
 package core
 
 import (
+	"sort"
+	"strconv"
+	"strings"
+
 	"absolver/internal/expr"
 )
 
 // GroundPairLemmas derives propositional consequences between bindings
-// whose atoms range over the same single variable: exclusions (x ≥ 5 and
-// x ≤ 4 cannot both hold) and implications (x > 5 entails x ≥ 5). The
-// returned clauses are theory-valid, so adding them to the skeleton prunes
-// Boolean models that every theory check would reject anyway. Variable
-// bounds participate: an atom unsatisfiable within the variable's bounds
-// yields a unit clause.
+// whose linear atoms range over proportional left-hand sides: exclusions
+// (x ≥ 5 and x ≤ 4 cannot both hold; 2y+x > 3.5 and 2y+x ≤ 3.5 likewise)
+// and implications (x > 5 entails x ≥ 5). Atoms are normalised by the
+// coefficient of their lexicographically smallest variable, so any pair of
+// exactly proportional linear forms lands in the same bucket. The returned
+// clauses are theory-valid, so adding them to the skeleton prunes Boolean
+// models that every theory check would reject anyway. Variable bounds
+// participate: any binding (linear or not) decided by interval evaluation
+// over the bounds box yields a unit clause.
 func GroundPairLemmas(p *Problem) [][]int {
 	type uni struct {
 		v     int // 0-based Boolean variable
 		op    expr.CmpOp
 		bound float64
 	}
-	byVar := map[string][]uni{}
+	byForm := map[string][]uni{}
 	var lemmas [][]int
-	for v, a := range p.Bindings {
-		la, ok := expr.LinearizeAtom(a)
-		if !ok || len(la.Form.Coeffs) != 1 {
+	// Deterministic variable order: lemma order becomes skeleton clause
+	// order, which steers the Boolean search — map iteration here would
+	// make seeded runs irreproducible.
+	bvars := make([]int, 0, len(p.Bindings))
+	for v := range p.Bindings {
+		bvars = append(bvars, v)
+	}
+	sort.Ints(bvars)
+	for _, v := range bvars {
+		a := p.Bindings[v]
+		// Bounds-based unit lemmas: interval evaluation is sound for every
+		// atom shape (missing variables range over the whole line).
+		switch a.IntervalHolds(p.Bounds) {
+		case expr.True:
+			lemmas = append(lemmas, []int{v + 1})
+		case expr.False:
+			lemmas = append(lemmas, []int{-(v + 1)})
+		}
+		if la, ok := expr.LinearizeAtom(a); ok {
+			if key, op, bound, ok := normalizeLinear(la); ok {
+				byForm[key] = append(byForm[key], uni{v: v, op: op, bound: bound})
+			}
 			continue
 		}
-		for name, c := range la.Form.Coeffs {
-			if c == 0 {
-				continue
-			}
-			op := la.Op
-			if c < 0 {
-				op = flipCmp(op)
-			}
-			bound := la.Bound / c
-			byVar[name] = append(byVar[name], uni{v: v, op: op, bound: bound})
-			// Bounds-based unit lemmas.
-			if iv, okB := p.Bounds[name]; okB {
-				a1 := expr.NewAtom(expr.V(name), op, expr.C(bound), a.Domain)
-				switch a1.IntervalHolds(expr.Box{name: iv}) {
-				case expr.True:
-					lemmas = append(lemmas, []int{v + 1})
-				case expr.False:
-					lemmas = append(lemmas, []int{-(v + 1)})
-				}
-			}
-		}
+		// Nonlinear atoms: group by the exact rendered LHS/RHS. Identical
+		// strings denote identical expressions, so two such atoms compare
+		// like unit atoms with an equal bound (complement pairs such as
+		// sin(x) ≥ c vs sin(x) < c become exclusions).
+		key := "nl|" + strconv.Itoa(int(a.Domain)) + "|" + expr.String(a.LHS) + "|" + expr.String(a.RHS)
+		byForm[key] = append(byForm[key], uni{v: v, op: a.Op, bound: 0})
 	}
-	for _, atoms := range byVar {
+	keys := make([]string, 0, len(byForm))
+	for key := range byForm {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		atoms := byForm[key]
 		for i := 0; i < len(atoms); i++ {
 			for j := i + 1; j < len(atoms); j++ {
 				a, b := atoms[i], atoms[j]
@@ -62,6 +79,39 @@ func GroundPairLemmas(p *Problem) [][]int {
 		}
 	}
 	return lemmas
+}
+
+// normalizeLinear canonicalises a linear atom Σ cᵢxᵢ op b by dividing
+// through by the coefficient of the lexicographically smallest variable:
+// the returned key identifies the normalised left-hand side exactly
+// (coefficients rendered in hex float, so no decimal rounding can merge
+// distinct forms), and op/bound are adjusted for the sign of the divisor.
+// Atoms with identical keys constrain the same linear form and are
+// comparable by PairRelation.
+func normalizeLinear(la expr.LinearAtom) (key string, op expr.CmpOp, bound float64, ok bool) {
+	names := make([]string, 0, len(la.Form.Coeffs))
+	for n, c := range la.Form.Coeffs {
+		if c != 0 {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return "", 0, 0, false
+	}
+	sort.Strings(names)
+	s := la.Form.Coeffs[names[0]]
+	op = la.Op
+	if s < 0 {
+		op = flipCmp(op)
+	}
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(n)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(la.Form.Coeffs[n]/s, 'x', -1, 64))
+		b.WriteByte(',')
+	}
+	return b.String(), op, la.Bound / s, true
 }
 
 func flipCmp(op expr.CmpOp) expr.CmpOp {

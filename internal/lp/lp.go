@@ -124,10 +124,17 @@ func (c Constraint) String() string {
 }
 
 // Eval computes the row's left-hand side under x (absent variables count 0).
+// Terms are summed in sorted variable order so borderline tolerance checks
+// (Satisfied, Verify) cannot flip with map iteration order.
 func (c Constraint) Eval(x map[string]float64) float64 {
+	vars := make([]string, 0, len(c.Coeffs))
+	for v := range c.Coeffs {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
 	s := 0.0
-	for v, a := range c.Coeffs {
-		s += a * x[v]
+	for _, v := range vars {
+		s += c.Coeffs[v] * x[v]
 	}
 	return s
 }

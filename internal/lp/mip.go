@@ -3,6 +3,7 @@ package lp
 import (
 	"context"
 	"math"
+	"sort"
 )
 
 // MIPResult extends Result with branch-and-bound statistics.
@@ -45,6 +46,15 @@ func (p *Problem) SolveMIPContext(ctx context.Context, maxNodes int) MIPResult {
 		}
 		return c
 	}
+
+	// Branch-variable candidates in sorted order: iterating the Integer
+	// map directly would break ties nondeterministically, making the
+	// search tree (and with it the returned witness) vary run to run.
+	intVars := make([]string, 0, len(p.Integer))
+	for v := range p.Integer {
+		intVars = append(intVars, v)
+	}
+	sort.Strings(intVars)
 
 	stack := []node{{lower: copyBounds(p.Lower), upper: copyBounds(p.Upper)}}
 	nodes := 0
@@ -91,7 +101,7 @@ func (p *Problem) SolveMIPContext(ctx context.Context, maxNodes int) MIPResult {
 		// Find the most fractional integer variable.
 		branchVar := ""
 		worst := intTol
-		for v := range p.Integer {
+		for _, v := range intVars {
 			f := r.X[v]
 			frac := math.Abs(f - math.Round(f))
 			if frac > worst {
@@ -119,7 +129,7 @@ func (p *Problem) SolveMIPContext(ctx context.Context, maxNodes int) MIPResult {
 				// ε-strict row can leave an integer variable at k+1e-6 —
 				// within intTol yet genuinely fractional, so branching on
 				// it makes real progress (k and k+1 are different boxes).
-				for v := range p.Integer {
+				for _, v := range intVars {
 					frac := math.Abs(r.X[v] - math.Round(r.X[v]))
 					if frac > 1e-9 && (branchVar == "" || frac > worst) {
 						worst = frac

@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // propagateBounds performs iterated bound propagation over the rows: for
 // every row Σ aᵢxᵢ ? b and every variable xⱼ in it, the bounds of the
@@ -29,9 +32,21 @@ func propagateBounds(rows []Constraint, lower, upper map[string]float64, rounds 
 		return def
 	}
 	const tol = 1e-9
+	// Per-row variables in sorted order: the tightening sequence and the
+	// restLo/restHi floating-point sums must not depend on map iteration
+	// order, or propagation results vary run to run on borderline systems.
+	rowVars := make([][]string, len(rows))
+	for i, r := range rows {
+		vs := make([]string, 0, len(r.Coeffs))
+		for v := range r.Coeffs {
+			vs = append(vs, v)
+		}
+		sort.Strings(vs)
+		rowVars[i] = vs
+	}
 	for round := 0; round < rounds; round++ {
 		changed := false
-		for _, r := range rows {
+		for ri, r := range rows {
 			// Row as Σ aᵢxᵢ ≤ bU and/or Σ aᵢxᵢ ≥ bL.
 			var bU, bL float64
 			var hasU, hasL bool
@@ -43,13 +58,15 @@ func propagateBounds(rows []Constraint, lower, upper map[string]float64, rounds 
 			case EQ:
 				bU, bL, hasU, hasL = r.RHS, r.RHS, true, true
 			}
-			for v, a := range r.Coeffs {
+			for _, v := range rowVars[ri] {
+				a := r.Coeffs[v]
 				if a == 0 {
 					continue
 				}
 				// Bounds on Σ_{w≠v} a_w x_w.
 				restLo, restHi := 0.0, 0.0
-				for w, aw := range r.Coeffs {
+				for _, w := range rowVars[ri] {
+					aw := r.Coeffs[w]
 					if w == v || aw == 0 {
 						continue
 					}

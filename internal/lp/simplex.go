@@ -3,6 +3,7 @@ package lp
 import (
 	"context"
 	"math"
+	"sort"
 )
 
 // cancelPollEvery is the pivot cadence of cooperative cancellation checks:
@@ -100,7 +101,16 @@ func newTableau(p *Problem) *tableau {
 	var rows []stdRow
 	addRow := func(coeffs map[string]float64, rel Rel, b float64) {
 		a := make([]float64, nVarCols)
-		for v, c := range coeffs {
+		// Sorted iteration: the b -= c*shift accumulation below is a
+		// floating-point sum, and map order would make the tableau RHS
+		// (hence pivots and the witness) vary between runs.
+		names := make([]string, 0, len(coeffs))
+		for v := range coeffs {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		for _, v := range names {
+			c := coeffs[v]
 			if c == 0 {
 				continue
 			}

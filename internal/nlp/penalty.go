@@ -3,6 +3,7 @@ package nlp
 import (
 	"context"
 	"math"
+	"sort"
 
 	"absolver/internal/expr"
 )
@@ -153,9 +154,17 @@ func descend(ctx context.Context, p *penalty, x0 expr.Env, box expr.Box, opt Opt
 			return x, evals
 		}
 		g := p.grad(x)
+		// Sum in sorted key order: map iteration order would otherwise
+		// perturb the floating-point total between runs, making the whole
+		// descent trajectory (and hence the witness) nondeterministic.
+		names := make([]string, 0, len(g))
+		for k := range g {
+			names = append(names, k)
+		}
+		sort.Strings(names)
 		norm2 := 0.0
-		for _, d := range g {
-			norm2 += d * d
+		for _, k := range names {
+			norm2 += g[k] * g[k]
 		}
 		if norm2 < 1e-24 {
 			return x, evals // stationary (possibly a local minimum > 0)

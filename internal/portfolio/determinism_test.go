@@ -1,0 +1,61 @@
+package portfolio
+
+import (
+	"context"
+	"testing"
+
+	"absolver/internal/core"
+	"absolver/internal/nlp"
+	"absolver/internal/testkit"
+)
+
+// zeroDurations clears the wall-clock fields of s, leaving only the
+// deterministic work counters for comparison.
+func zeroDurations(s core.Stats) core.Stats {
+	s.BoolTime, s.LinearTime, s.NonlinearTime, s.WallTime = 0, 0, 0, 0
+	return s
+}
+
+// TestSingleStrategyDeterminism pins the whole solving stack: a portfolio
+// of exactly one strategy with a fixed nonlinear seed must produce the
+// identical verdict AND identical work counters (iterations, theory
+// checks, conflict clauses, splits) on every one of 20 repeated runs.
+// Any divergence means hidden nondeterminism — map-iteration order in a
+// solver, an unseeded random source, or a data race — and breaks seeded
+// reproduction of failures, which the differential harness depends on.
+func TestSingleStrategyDeterminism(t *testing.T) {
+	strategies := []Strategy{{
+		Name: "pinned",
+		Config: core.Config{
+			RecordLemmas: true,
+			Nonlinear:    &core.PenaltySolver{Options: nlp.Options{Seed: 42}},
+		},
+	}}
+	for frag := testkit.Fragment(0); frag < testkit.NumFragments; frag++ {
+		frag := frag
+		t.Run(frag.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 10; seed++ {
+				p := testkit.Generate(seed, frag)
+				var firstStatus core.Status
+				var firstStats core.Stats
+				for run := 0; run < 20; run++ {
+					out := Solve(context.Background(), p.Clone(), strategies)
+					stats := zeroDurations(out.Stats)
+					if run == 0 {
+						firstStatus, firstStats = out.Result.Status, stats
+						continue
+					}
+					if out.Result.Status != firstStatus {
+						t.Fatalf("seed=%d frag=%v run=%d: status %v, run 0 gave %v",
+							seed, frag, run, out.Result.Status, firstStatus)
+					}
+					if stats != firstStats {
+						t.Fatalf("seed=%d frag=%v run=%d: stats diverged\nrun 0: %+v\nrun %d: %+v",
+							seed, frag, run, firstStats, run, stats)
+					}
+				}
+			}
+		})
+	}
+}

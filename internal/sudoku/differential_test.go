@@ -1,0 +1,62 @@
+package sudoku
+
+import (
+	"testing"
+
+	"absolver/internal/core"
+)
+
+// TestMixedVsCNFAllInstances solves every benchmark puzzle through both
+// encodings — the mixed AB form (Boolean selectors bound to integer cell
+// constraints) and the pure CNF form — with model certificates enabled,
+// and cross-checks the decoded grids. Both must be valid completions of
+// the puzzle; when the puzzle has a unique solution the two grids must
+// agree cell for cell, which pins the encodings to the same solution
+// space rather than merely to "some" solution each.
+func TestMixedVsCNFAllInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, inst := range Puzzles() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			t.Parallel()
+			solve := func(p *core.Problem) *core.Model {
+				res, err := core.NewEngine(p, core.Config{CheckModels: true}).Solve()
+				if err != nil {
+					t.Fatalf("Solve: %v", err)
+				}
+				if res.Status != core.StatusSat {
+					t.Fatalf("status = %v, want sat", res.Status)
+				}
+				return res.Model
+			}
+
+			mixed := solve(EncodeMixed(&inst.Puzzle))
+			gm, err := DecodeMixed(mixed)
+			if err != nil {
+				t.Fatalf("DecodeMixed: %v", err)
+			}
+			if err := Verify(&inst.Puzzle, gm); err != nil {
+				t.Fatalf("mixed solution invalid: %v", err)
+			}
+
+			cnf := solve(EncodeCNF(&inst.Puzzle))
+			gc, err := DecodeCNF(cnf.Bool)
+			if err != nil {
+				t.Fatalf("DecodeCNF: %v", err)
+			}
+			if err := Verify(&inst.Puzzle, gc); err != nil {
+				t.Fatalf("CNF solution invalid: %v", err)
+			}
+
+			n, err := CountSolutions(&inst.Puzzle, 2)
+			if err != nil {
+				t.Fatalf("CountSolutions: %v", err)
+			}
+			if n == 1 && *gm != *gc {
+				t.Errorf("unique-solution puzzle: encodings disagree\nmixed:\n%s\ncnf:\n%s", gm, gc)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+
+	"absolver/internal/core"
+)
+
+// DiffReport summarises one differential run for aggregate assertions
+// (how many instances the oracle decided, how the verdicts distribute).
+type DiffReport struct {
+	Seed     int64
+	Fragment Fragment
+	// Oracle is the reference verdict.
+	Oracle Verdict
+	// Engine is the engine verdict (StatusUnknown when the engine erred or
+	// could not decide).
+	Engine core.Status
+	// Lemmas is the number of learned clauses that were audited.
+	Lemmas int
+}
+
+// RunDifferential is one full differential check: generate the (seed,
+// fragment) instance, decide it with the reference oracle, solve it with
+// the engine under Config.CheckModels and Config.RecordLemmas, and
+// cross-examine the outcome:
+//
+//   - definitive engine verdict vs definitive oracle verdict must agree;
+//   - every SAT model passed the engine's own certificate check (a
+//     rejection surfaces as ErrModelRejected and fails the run);
+//   - every conflict/ground lemma the engine learned is replayed against
+//     the oracle (AuditLemmas) — on UNSAT runs this audits the clauses
+//     that closed the search space.
+//
+// A nil oracle uses defaults. The returned error, when non-nil, describes
+// a genuine soundness disagreement reproducible from (seed, fragment).
+func RunDifferential(seed int64, frag Fragment, o *Oracle) (DiffReport, error) {
+	rep := DiffReport{Seed: seed, Fragment: frag}
+	p := Generate(seed, frag)
+
+	ov, err := o.Decide(p)
+	if err != nil {
+		return rep, fmt.Errorf("oracle: seed=%d frag=%v: %v", seed, frag, err)
+	}
+	rep.Oracle = ov
+
+	eng := core.NewEngine(p.Clone(), core.Config{
+		CheckModels:  true,
+		RecordLemmas: true,
+	})
+	res, err := eng.Solve()
+	if err != nil {
+		if errors.Is(err, core.ErrModelRejected) {
+			return rep, fmt.Errorf("certificate: seed=%d frag=%v: %v", seed, frag, err)
+		}
+		if errors.Is(err, core.ErrIterationLimit) {
+			// Budget exhaustion is an inconclusive engine answer, not a bug.
+			rep.Engine = core.StatusUnknown
+			return rep, nil
+		}
+		return rep, fmt.Errorf("engine: seed=%d frag=%v: %v", seed, frag, err)
+	}
+	rep.Engine = res.Status
+
+	lemmas := eng.Lemmas()
+	rep.Lemmas = len(lemmas)
+	if err := o.AuditLemmas(p, lemmas); err != nil {
+		return rep, fmt.Errorf("audit: seed=%d frag=%v engine=%v: %v", seed, frag, res.Status, err)
+	}
+
+	switch {
+	case res.Status == core.StatusSat && ov == Unsat:
+		return rep, fmt.Errorf("disagreement: seed=%d frag=%v: engine sat, oracle unsat", seed, frag)
+	case res.Status == core.StatusUnsat && ov == Sat:
+		return rep, fmt.Errorf("disagreement: seed=%d frag=%v: engine unsat, oracle sat", seed, frag)
+	}
+	return rep, nil
+}

@@ -1,0 +1,64 @@
+package testkit
+
+import (
+	"testing"
+
+	"absolver/internal/core"
+)
+
+// FuzzDifferential lets the fuzzer drive the full differential harness:
+// any (seed, fragment) pair that makes the engine disagree with the
+// oracle, fail its own model certificate, or learn an unsound lemma is a
+// crasher. The interesting search space is the generator's seed space, so
+// coverage-guided mutation of the seed explores problem shapes directly.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		for frag := uint8(0); frag < uint8(NumFragments); frag++ {
+			f.Add(seed, frag)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64, frag uint8) {
+		fr := Fragment(int(frag) % int(NumFragments))
+		if _, err := RunDifferential(seed, fr, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzMetamorphic fuzzes the metamorphic properties: a seeded transform
+// (renaming, shuffling, or an injected contradiction) must never flip a
+// definitive verdict, and the contradiction variant must never be SAT.
+func FuzzMetamorphic(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		for frag := uint8(0); frag < uint8(NumFragments); frag++ {
+			f.Add(seed, frag, uint8(seed)%3)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64, frag, xform uint8) {
+		fr := Fragment(int(frag) % int(NumFragments))
+		p := Generate(seed, fr)
+		solve := func(q *core.Problem) core.Status {
+			res, err := core.NewEngine(q, core.Config{CheckModels: true}).Solve()
+			if err != nil {
+				return core.StatusUnknown
+			}
+			return res.Status
+		}
+		switch xform % 3 {
+		case 0:
+			a, b := solve(p.Clone()), solve(PermuteVars(p, seed+1))
+			if contradictory(a, b) {
+				t.Fatalf("seed=%d frag=%v: renaming flipped %v to %v", seed, fr, a, b)
+			}
+		case 1:
+			a, b := solve(p.Clone()), solve(ShuffleClauses(p, seed+1))
+			if contradictory(a, b) {
+				t.Fatalf("seed=%d frag=%v: shuffling flipped %v to %v", seed, fr, a, b)
+			}
+		default:
+			if got := solve(WithContradiction(p)); got == core.StatusSat {
+				t.Fatalf("seed=%d frag=%v: sat for unsat-by-construction variant", seed, fr)
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"absolver/internal/core"
+)
+
+// solveChecked solves p with certificates enabled and returns the status;
+// iteration-limit exhaustion maps to unknown, any other error fails t. The
+// ctx string identifies the instance (seed/fragment/transform) on failure.
+func solveChecked(t *testing.T, ctx string, p *core.Problem) core.Status {
+	t.Helper()
+	res, err := core.NewEngine(p, core.Config{CheckModels: true, RecordLemmas: true}).Solve()
+	if err != nil {
+		if errors.Is(err, core.ErrIterationLimit) {
+			return core.StatusUnknown
+		}
+		t.Fatalf("%s: Solve: %v", ctx, err)
+	}
+	return res.Status
+}
+
+// metamorphicSeeds sizes each metamorphic sweep (per fragment).
+const metamorphicSeeds = 250
+
+// TestMetamorphicPermutation: renaming Boolean variables and arithmetic
+// variables must not change the verdict. For decidable fragments the
+// statuses must match exactly; for the nonlinear fragment a definitive
+// verdict must never flip (the incomplete solver may legitimately trade
+// sat for unknown when its search landscape is relabelled).
+func TestMetamorphicPermutation(t *testing.T) {
+	for frag := Fragment(0); frag < NumFragments; frag++ {
+		frag := frag
+		t.Run(frag.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < metamorphicSeeds; seed++ {
+				p := Generate(seed, frag)
+				q := PermuteVars(p, seed+1)
+				ctx := fmt.Sprintf("seed=%d frag=%v", seed, frag)
+				a := solveChecked(t, ctx, p.Clone())
+				b := solveChecked(t, ctx+" (renamed)", q)
+				if contradictory(a, b) {
+					t.Fatalf("seed=%d frag=%v: verdict flipped under renaming: %v vs %v", seed, frag, a, b)
+				}
+				if frag != FragNonlinear && a != b {
+					t.Fatalf("seed=%d frag=%v: verdict changed under renaming: %v vs %v", seed, frag, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicShuffle: clause order and literal order are semantically
+// irrelevant; same assertions as for renaming.
+func TestMetamorphicShuffle(t *testing.T) {
+	for frag := Fragment(0); frag < NumFragments; frag++ {
+		frag := frag
+		t.Run(frag.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < metamorphicSeeds; seed++ {
+				p := Generate(seed, frag)
+				q := ShuffleClauses(p, seed+1)
+				ctx := fmt.Sprintf("seed=%d frag=%v", seed, frag)
+				a := solveChecked(t, ctx, p.Clone())
+				b := solveChecked(t, ctx+" (shuffled)", q)
+				if contradictory(a, b) {
+					t.Fatalf("seed=%d frag=%v: verdict flipped under shuffle: %v vs %v", seed, frag, a, b)
+				}
+				if frag != FragNonlinear && a != b {
+					t.Fatalf("seed=%d frag=%v: verdict changed under shuffle: %v vs %v", seed, frag, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicContradiction: conjoining p ∧ ¬p (an atom and its
+// complement, both forced) makes any instance unsatisfiable by
+// construction. No solver may report SAT; the complete fragments must
+// prove UNSAT outright.
+func TestMetamorphicContradiction(t *testing.T) {
+	for frag := Fragment(0); frag < NumFragments; frag++ {
+		frag := frag
+		t.Run(frag.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < metamorphicSeeds; seed++ {
+				q := WithContradiction(Generate(seed, frag))
+				got := solveChecked(t, fmt.Sprintf("seed=%d frag=%v (contradiction)", seed, frag), q)
+				if got == core.StatusSat {
+					t.Fatalf("seed=%d frag=%v: sat verdict for unsat-by-construction problem", seed, frag)
+				}
+				if frag != FragNonlinear && got != core.StatusUnsat {
+					t.Fatalf("seed=%d frag=%v: verdict %v for unsat-by-construction problem, want unsat", seed, frag, got)
+				}
+			}
+		})
+	}
+}
+
+// contradictory reports a sat/unsat flip (the one outcome no metamorphic
+// variant may ever produce).
+func contradictory(a, b core.Status) bool {
+	return (a == core.StatusSat && b == core.StatusUnsat) ||
+		(a == core.StatusUnsat && b == core.StatusSat)
+}
+
+// TestPermuteVarsPreservesOracleVerdict pins the transform itself: the
+// oracle must never contradict itself across the renaming (guards against
+// the transform accidentally changing semantics, which would silently
+// weaken every metamorphic assertion above). Inconclusive may drift to a
+// definitive verdict or back — the branch-and-prune budget is spent in
+// variable-name order, so a renaming can move the bisection frontier —
+// but a Sat↔Unsat flip is always a bug.
+func TestPermuteVarsPreservesOracleVerdict(t *testing.T) {
+	for frag := Fragment(0); frag < NumFragments; frag++ {
+		for seed := int64(0); seed < 100; seed++ {
+			p := Generate(seed, frag)
+			q := PermuteVars(p, seed+1)
+			a, err := (&Oracle{}).Decide(p)
+			if err != nil {
+				t.Fatalf("seed=%d frag=%v: %v", seed, frag, err)
+			}
+			b, err := (&Oracle{}).Decide(q)
+			if err != nil {
+				t.Fatalf("seed=%d frag=%v (permuted): %v", seed, frag, err)
+			}
+			if (a == Sat && b == Unsat) || (a == Unsat && b == Sat) {
+				t.Fatalf("seed=%d frag=%v: oracle verdict %v became %v under renaming", seed, frag, a, b)
+			}
+		}
+	}
+}

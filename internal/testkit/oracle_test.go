@@ -1,0 +1,232 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"absolver/internal/core"
+	"absolver/internal/expr"
+)
+
+func mustAtom(t *testing.T, src string, dom expr.Domain) expr.Atom {
+	t.Helper()
+	a, err := expr.ParseAtom(src, dom)
+	if err != nil {
+		t.Fatalf("ParseAtom(%q): %v", src, err)
+	}
+	return a
+}
+
+// decide is a test helper running the default oracle.
+func decide(t *testing.T, p *core.Problem) Verdict {
+	t.Helper()
+	v, err := (&Oracle{}).Decide(p)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	return v
+}
+
+func TestOracleKnownVerdicts(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *core.Problem
+		want  Verdict
+	}{
+		{"bool-sat", func() *core.Problem {
+			p := core.NewProblem()
+			p.AddClause(1, 2)
+			p.AddClause(-1, 2)
+			return p
+		}, Sat},
+		{"bool-unsat", func() *core.Problem {
+			p := core.NewProblem()
+			p.AddClause(1)
+			p.AddClause(-1)
+			return p
+		}, Unsat},
+		{"linear-sat", func() *core.Problem {
+			p := core.NewProblem()
+			p.SetBounds("x", -4, 4)
+			p.Bind(0, mustAtom(t, "x >= 1", expr.Real))
+			p.Bind(1, mustAtom(t, "x <= 2", expr.Real))
+			p.AddClause(1)
+			p.AddClause(2)
+			return p
+		}, Sat},
+		{"linear-unsat", func() *core.Problem {
+			p := core.NewProblem()
+			p.SetBounds("x", -4, 4)
+			p.Bind(0, mustAtom(t, "x >= 1", expr.Real))
+			p.Bind(1, mustAtom(t, "x <= 0", expr.Real))
+			p.AddClause(1)
+			p.AddClause(2)
+			return p
+		}, Unsat},
+		{"bounds-unsat", func() *core.Problem {
+			// The only clause forces x >= 5, impossible within bounds.
+			p := core.NewProblem()
+			p.SetBounds("x", -4, 4)
+			p.Bind(0, mustAtom(t, "x >= 5", expr.Real))
+			p.AddClause(1)
+			return p
+		}, Unsat},
+		{"negated-binding-sat", func() *core.Problem {
+			// Clause forces variable 1 false: atom negation x < 1 must hold.
+			p := core.NewProblem()
+			p.SetBounds("x", -4, 4)
+			p.Bind(0, mustAtom(t, "x >= 1", expr.Real))
+			p.AddClause(-1)
+			return p
+		}, Sat},
+		{"int-ne-sat", func() *core.Problem {
+			p := core.NewProblem()
+			p.SetBounds("m", 0, 4)
+			p.SetBounds("n", 0, 4)
+			p.Bind(0, mustAtom(t, "m != n", expr.Int))
+			p.Bind(1, mustAtom(t, "m + n = 4", expr.Int))
+			p.AddClause(1)
+			p.AddClause(2)
+			return p
+		}, Sat},
+		{"int-ne-unsat", func() *core.Problem {
+			// m != m is unsatisfiable whatever the grid.
+			p := core.NewProblem()
+			p.SetBounds("m", 0, 4)
+			p.Bind(0, mustAtom(t, "m + m = 3", expr.Int))
+			p.AddClause(1)
+			return p
+		}, Unsat},
+		{"nonlinear-sat", func() *core.Problem {
+			p := core.NewProblem()
+			p.SetBounds("x", -2, 2)
+			p.Bind(0, mustAtom(t, "sin(x) >= 0", expr.Real))
+			p.Bind(1, mustAtom(t, "x <= 0.5", expr.Real))
+			p.AddClause(1)
+			p.AddClause(2)
+			return p
+		}, Sat},
+		{"nonlinear-unsat", func() *core.Problem {
+			// sin ranges in [-1, 1]: sin(x) >= 1.25 is interval-refutable.
+			p := core.NewProblem()
+			p.SetBounds("x", -2, 2)
+			p.Bind(0, mustAtom(t, "sin(x) >= 1.25", expr.Real))
+			p.AddClause(1)
+			return p
+		}, Unsat},
+		{"product-unsat", func() *core.Problem {
+			// x*x >= 0 always; clause forces its negation.
+			p := core.NewProblem()
+			p.SetBounds("x", -2, 2)
+			p.Bind(0, mustAtom(t, "x * x >= 0", expr.Real))
+			p.AddClause(-1)
+			return p
+		}, Unsat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := decide(t, tc.build()); got != tc.want {
+				t.Fatalf("oracle verdict = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOracleRefusesUnboundedUnsat(t *testing.T) {
+	// x >= 100 with no bounds: the clipped default box excludes the witness,
+	// so the oracle must refuse to answer Unsat.
+	p := core.NewProblem()
+	p.Bind(0, mustAtom(t, "x >= 100", expr.Real))
+	p.AddClause(1)
+	if got := decide(t, p); got != Inconclusive {
+		t.Fatalf("unbounded problem: verdict = %v, want inconclusive", got)
+	}
+}
+
+func TestOracleBoolVarLimit(t *testing.T) {
+	p := core.NewProblem()
+	p.NumVars = 40
+	p.AddClause(40)
+	if _, err := (&Oracle{}).Decide(p); err == nil {
+		t.Fatal("Decide accepted 40 Boolean variables; want limit error")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for frag := Fragment(0); frag < NumFragments; frag++ {
+		for seed := int64(0); seed < 50; seed++ {
+			a := Generate(seed, frag)
+			b := Generate(seed, frag)
+			if err := problemsEqual(a, b); err != nil {
+				t.Fatalf("Generate(%d, %v) not deterministic: %v", seed, frag, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorWellFormed(t *testing.T) {
+	for frag := Fragment(0); frag < NumFragments; frag++ {
+		for seed := int64(0); seed < 200; seed++ {
+			p := Generate(seed, frag)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Generate(%d, %v): invalid problem: %v", seed, frag, err)
+			}
+			// Every arithmetic variable must be bounded — the oracle's
+			// Unsat answers depend on it.
+			for _, v := range p.ArithVars() {
+				if _, ok := p.Bounds[v]; !ok {
+					t.Fatalf("Generate(%d, %v): variable %s unbounded", seed, frag, v)
+				}
+			}
+			if frag == FragBool && len(p.Bindings) != 0 {
+				t.Fatalf("Generate(%d, bool): has bindings", seed)
+			}
+			if frag != FragBool && len(p.Bindings) == 0 {
+				t.Fatalf("Generate(%d, %v): no bindings", seed, frag)
+			}
+		}
+	}
+}
+
+// problemsEqual compares problems structurally (atoms via their rendered
+// form, which is parseable and canonical for generator output).
+func problemsEqual(a, b *core.Problem) error {
+	if a.NumVars != b.NumVars {
+		return errf("NumVars %d vs %d", a.NumVars, b.NumVars)
+	}
+	if len(a.Clauses) != len(b.Clauses) {
+		return errf("clause count %d vs %d", len(a.Clauses), len(b.Clauses))
+	}
+	for i := range a.Clauses {
+		if len(a.Clauses[i]) != len(b.Clauses[i]) {
+			return errf("clause %d length", i)
+		}
+		for j := range a.Clauses[i] {
+			if a.Clauses[i][j] != b.Clauses[i][j] {
+				return errf("clause %d literal %d", i, j)
+			}
+		}
+	}
+	if len(a.Bindings) != len(b.Bindings) {
+		return errf("binding count %d vs %d", len(a.Bindings), len(b.Bindings))
+	}
+	for v, aa := range a.Bindings {
+		ba, ok := b.Bindings[v]
+		if !ok || aa.String() != ba.String() || aa.Domain != ba.Domain || aa.Op != ba.Op {
+			return errf("binding %d: %v vs %v", v, aa, ba)
+		}
+	}
+	if len(a.Bounds) != len(b.Bounds) {
+		return errf("bounds count")
+	}
+	for v, iv := range a.Bounds {
+		if b.Bounds[v] != iv {
+			return errf("bounds for %s", v)
+		}
+	}
+	return nil
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,355 @@
+// Package testkit is ABsolver's differential verification harness: a
+// seeded, reproducible random AB-problem generator spanning four fragments
+// (pure Boolean, linear-real, mixed-integer with disequalities, nonlinear
+// with sin/cos/exp and products), a brute-force reference oracle yielding
+// ground-truth SAT/UNSAT for generator-sized instances, metamorphic
+// transforms, and an UNSAT audit that replays the engine's learned lemmas
+// against the oracle.
+//
+// The lazy SAT+LP+NLP combination is exactly where soundness bugs hide — a
+// wrong blocking clause or a bad IIS ships silently as "unsat" — so every
+// verdict the engine produces on testkit instances is cross-checked against
+// an independent decision procedure that shares no code with the solving
+// loop: exhaustive Boolean enumeration over the (small) skeleton, with
+// exact point evaluation, interval refutation and branch-and-prune
+// bisection deciding the induced arithmetic conjunctions.
+//
+// Everything is keyed by an int64 seed: a failing instance is reproduced by
+// re-running Generate with the seed and fragment a test failure reports
+// (see docs/testing.md).
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"absolver/internal/core"
+	"absolver/internal/expr"
+)
+
+// Fragment selects the constraint language of a generated problem.
+type Fragment int
+
+// Generator fragments, in increasing theory difficulty.
+const (
+	// FragBool generates pure CNF: no bindings, no arithmetic.
+	FragBool Fragment = iota
+	// FragLinear generates linear-real atoms over bounded variables.
+	FragLinear
+	// FragMixedInt generates linear integer atoms including disequalities
+	// and equalities — the paper's Sudoku-flavoured weak spot of lazy
+	// solvers. All-integer domains keep the oracle exact.
+	FragMixedInt
+	// FragNonlinear generates sin/cos/exp atoms and variable products over
+	// small real boxes.
+	FragNonlinear
+	// NumFragments is the number of fragments.
+	NumFragments
+)
+
+// String returns the fragment name.
+func (f Fragment) String() string {
+	switch f {
+	case FragBool:
+		return "bool"
+	case FragLinear:
+		return "linear"
+	case FragMixedInt:
+		return "mixed-int"
+	case FragNonlinear:
+		return "nonlinear"
+	}
+	return fmt.Sprintf("Fragment(%d)", int(f))
+}
+
+// coeffs are the generator's linear coefficients: powers of two keep every
+// derived LP quantity exactly representable, so engine/oracle disagreements
+// are never floating-point artifacts.
+var coeffs = []float64{-2, -1, 1, 2}
+
+// Generate builds a small random AB problem for the fragment,
+// deterministically from the seed: same (seed, frag) always yields the
+// same problem. Instances are sized for the reference oracle — at most a
+// handful of Boolean variables and two or three arithmetic variables, all
+// bounded — while still exercising every engine stage the fragment names.
+func Generate(seed int64, frag Fragment) *core.Problem {
+	// Mix the fragment into the stream so Generate(s, FragLinear) and
+	// Generate(s, FragMixedInt) are unrelated problems.
+	rng := rand.New(rand.NewSource(seed ^ (int64(frag)+1)*0x5851F42D4C957F2D))
+	switch frag {
+	case FragLinear:
+		return genLinear(rng)
+	case FragMixedInt:
+		return genMixedInt(rng)
+	case FragNonlinear:
+		return genNonlinear(rng)
+	default:
+		return genBool(rng)
+	}
+}
+
+// genBool generates pure CNF: 3–6 variables, 4–11 clauses of 1–3 literals.
+func genBool(rng *rand.Rand) *core.Problem {
+	p := core.NewProblem()
+	nVars := 3 + rng.Intn(4)
+	p.NumVars = nVars
+	addClauses(rng, p, nVars, 4+rng.Intn(8))
+	return p
+}
+
+// genLinear generates 2–4 linear-real atoms over 2–3 variables bounded in
+// [-4, 4], with 0–2 free Boolean variables and a random skeleton.
+func genLinear(rng *rand.Rand) *core.Problem {
+	p := core.NewProblem()
+	vars := pickVars(rng, []string{"x", "y", "z"}, 2)
+	for _, v := range vars {
+		p.SetBounds(v, -4, 4)
+	}
+	nAtoms := 2 + rng.Intn(3)
+	nFree := rng.Intn(3)
+	p.NumVars = nAtoms + nFree
+	ops := []expr.CmpOp{
+		expr.CmpLE, expr.CmpLE, expr.CmpGE, expr.CmpGE,
+		expr.CmpLT, expr.CmpGT, expr.CmpEQ,
+	}
+	for i := 0; i < nAtoms; i++ {
+		bound := float64(rng.Intn(25)-12) / 2 // half-integer grid in [-6, 6]
+		p.Bind(i, linearAtom(rng, vars, expr.Real, ops, bound))
+	}
+	addClauses(rng, p, p.NumVars, 3+rng.Intn(5))
+	return p
+}
+
+// genMixedInt generates 2–4 integer atoms — disequalities, equalities and
+// inequalities — over 2–3 variables bounded in [0, 4].
+func genMixedInt(rng *rand.Rand) *core.Problem {
+	p := core.NewProblem()
+	vars := pickVars(rng, []string{"m", "n", "k"}, 2)
+	for _, v := range vars {
+		p.SetBounds(v, 0, 4)
+	}
+	nAtoms := 2 + rng.Intn(3)
+	nFree := rng.Intn(2)
+	p.NumVars = nAtoms + nFree
+	ops := []expr.CmpOp{
+		expr.CmpNE, expr.CmpNE, expr.CmpNE,
+		expr.CmpEQ, expr.CmpEQ,
+		expr.CmpLE, expr.CmpGE, expr.CmpLT, expr.CmpGT,
+	}
+	for i := 0; i < nAtoms; i++ {
+		bound := float64(rng.Intn(13) - 4) // integer grid in [-4, 8]
+		p.Bind(i, linearAtom(rng, vars, expr.Int, ops, bound))
+	}
+	addClauses(rng, p, p.NumVars, 3+rng.Intn(5))
+	return p
+}
+
+// genNonlinear generates 2–3 atoms over sin/cos/exp and products of 1–2
+// real variables bounded in [-2, 2], plus an occasional linear atom so the
+// joint linear+nonlinear path is exercised.
+func genNonlinear(rng *rand.Rand) *core.Problem {
+	p := core.NewProblem()
+	vars := pickVars(rng, []string{"x", "y"}, 2)
+	for _, v := range vars {
+		p.SetBounds(v, -2, 2)
+	}
+	nAtoms := 2 + rng.Intn(2)
+	nFree := rng.Intn(2)
+	p.NumVars = nAtoms + nFree
+	ops := []expr.CmpOp{expr.CmpLE, expr.CmpGE, expr.CmpLT, expr.CmpGT}
+	for i := 0; i < nAtoms; i++ {
+		p.Bind(i, nonlinearAtom(rng, vars, ops))
+	}
+	addClauses(rng, p, p.NumVars, 2+rng.Intn(5))
+	return p
+}
+
+// nonlinearAtom draws one atom from the fragment's template set.
+func nonlinearAtom(rng *rand.Rand, vars []string, ops []expr.CmpOp) expr.Atom {
+	op := ops[rng.Intn(len(ops))]
+	quarter := func(lo, hi int) expr.Expr { // quarter-integer grid constant
+		return expr.C(float64(lo+rng.Intn(hi-lo+1)) / 4)
+	}
+	v := expr.V(vars[rng.Intn(len(vars))])
+	w := expr.V(vars[rng.Intn(len(vars))])
+	var lhs, rhs expr.Expr
+	switch rng.Intn(6) {
+	case 0:
+		lhs, rhs = expr.Sin(v), quarter(-5, 5)
+	case 1:
+		lhs, rhs = expr.Cos(v), quarter(-5, 5)
+	case 2:
+		lhs, rhs = expr.Exp(v), quarter(1, 28)
+	case 3:
+		lhs, rhs = expr.Mul(v, w), quarter(-16, 16)
+	case 4:
+		lhs, rhs = expr.Add(expr.Mul(v, v), expr.Mul(w, w)), quarter(1, 32)
+	default:
+		c := coeffs[rng.Intn(len(coeffs))]
+		lhs, rhs = expr.Add(expr.Mul(expr.C(c), v), expr.Sin(w)), quarter(-8, 8)
+	}
+	return expr.NewAtom(lhs, op, rhs, expr.Real)
+}
+
+// linearAtom builds a 1–2 term linear atom over distinct variables.
+func linearAtom(rng *rand.Rand, vars []string, dom expr.Domain, ops []expr.CmpOp, bound float64) expr.Atom {
+	k := 1 + rng.Intn(2)
+	if k > len(vars) {
+		k = len(vars)
+	}
+	perm := rng.Perm(len(vars))
+	terms := make([]expr.Expr, k)
+	for i := 0; i < k; i++ {
+		c := coeffs[rng.Intn(len(coeffs))]
+		terms[i] = expr.Mul(expr.C(c), expr.V(vars[perm[i]]))
+	}
+	op := ops[rng.Intn(len(ops))]
+	return expr.NewAtom(expr.Sum(terms...), op, expr.C(bound), dom)
+}
+
+// pickVars selects minN or minN+1 names from the pool, in pool order.
+func pickVars(rng *rand.Rand, pool []string, minN int) []string {
+	n := minN + rng.Intn(len(pool)-minN+1)
+	return pool[:n]
+}
+
+// addClauses appends random clauses of 1–3 distinct literals over nVars
+// variables.
+func addClauses(rng *rand.Rand, p *core.Problem, nVars, nClauses int) {
+	for i := 0; i < nClauses; i++ {
+		k := 1 + rng.Intn(3)
+		if k > nVars {
+			k = nVars
+		}
+		seen := map[int]bool{}
+		cl := make([]int, 0, k)
+		for len(cl) < k {
+			v := 1 + rng.Intn(nVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if rng.Intn(2) == 0 {
+				cl = append(cl, -v)
+			} else {
+				cl = append(cl, v)
+			}
+		}
+		p.AddClause(cl...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic transforms.
+
+// PermuteVars returns a semantically equivalent problem with Boolean
+// variables permuted and arithmetic variables renamed (seeded, so the
+// transform itself is reproducible). Verdicts must be invariant under it.
+func PermuteVars(p *core.Problem, seed int64) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	n := p.NumVars
+	perm := rng.Perm(n) // 0-based old → new
+	q := core.NewProblem()
+	q.NumVars = n
+	for _, cl := range p.Clauses {
+		ncl := make([]int, len(cl))
+		for i, l := range cl {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			nv := perm[v-1] + 1
+			if l < 0 {
+				nv = -nv
+			}
+			ncl[i] = nv
+		}
+		q.Clauses = append(q.Clauses, ncl)
+	}
+	names := p.ArithVars()
+	ren := make(map[string]string, len(names))
+	nperm := rng.Perm(len(names))
+	for i, name := range names {
+		ren[name] = fmt.Sprintf("w%d", nperm[i])
+	}
+	for v, a := range p.Bindings {
+		q.Bindings[perm[v]] = renameAtom(a, ren)
+	}
+	for name, iv := range p.Bounds {
+		q.Bounds[ren[name]] = iv
+	}
+	return q
+}
+
+// ShuffleClauses returns an equivalent problem with clause order and
+// in-clause literal order shuffled. Verdicts must be invariant under it.
+func ShuffleClauses(p *core.Problem, seed int64) *core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	q := p.Clone()
+	rng.Shuffle(len(q.Clauses), func(i, j int) {
+		q.Clauses[i], q.Clauses[j] = q.Clauses[j], q.Clauses[i]
+	})
+	for _, cl := range q.Clauses {
+		rng.Shuffle(len(cl), func(i, j int) { cl[i], cl[j] = cl[j], cl[i] })
+	}
+	return q
+}
+
+// WithContradiction conjoins p ∧ ¬p onto the problem: two fresh variables
+// bound to an existing atom and its complement, each forced by a unit
+// clause (for a pure-Boolean problem, a fresh variable forced both ways).
+// The result is unsatisfiable by construction, so no solver may ever
+// report SAT for it.
+func WithContradiction(p *core.Problem) *core.Problem {
+	q := p.Clone()
+	if len(q.Bindings) == 0 {
+		v := q.NumVars + 1
+		q.AddClause(v)
+		q.AddClause(-v)
+		return q
+	}
+	// Deterministic pick: the lowest bound variable's atom.
+	minV := -1
+	for v := range q.Bindings {
+		if minV < 0 || v < minV {
+			minV = v
+		}
+	}
+	a := q.Bindings[minV]
+	v1, v2 := q.NumVars+1, q.NumVars+2
+	q.Bind(v1-1, a)
+	q.Bind(v2-1, a.Negate())
+	q.AddClause(v1)
+	q.AddClause(v2)
+	return q
+}
+
+// renameAtom applies a variable renaming to both sides of an atom.
+func renameAtom(a expr.Atom, ren map[string]string) expr.Atom {
+	return expr.Atom{
+		LHS:    renameExpr(a.LHS, ren),
+		Op:     a.Op,
+		RHS:    renameExpr(a.RHS, ren),
+		Domain: a.Domain,
+	}
+}
+
+// renameExpr rebuilds an expression with variables renamed.
+func renameExpr(e expr.Expr, ren map[string]string) expr.Expr {
+	switch x := e.(type) {
+	case expr.Const:
+		return x
+	case expr.Var:
+		if n, ok := ren[x.Name]; ok {
+			return expr.V(n)
+		}
+		return x
+	case expr.Neg:
+		return expr.Neg{X: renameExpr(x.X, ren)}
+	case expr.Bin:
+		return expr.Bin{Op: x.Op, L: renameExpr(x.L, ren), R: renameExpr(x.R, ren)}
+	case expr.Call:
+		return expr.Call{Fn: x.Fn, Arg: renameExpr(x.Arg, ren)}
+	}
+	return e
+}
