@@ -125,7 +125,13 @@ const (
 	LemmaConflict   = core.LemmaConflict
 	LemmaLossy      = core.LemmaLossy
 	LemmaModelBlock = core.LemmaModelBlock
+	LemmaImported   = core.LemmaImported
 )
+
+// LemmaExchange is the engine hook for cross-engine lemma sharing
+// (Config.Exchange); portfolio races wire internal/exchange clients
+// through it.
+type LemmaExchange = core.LemmaExchange
 
 // CertifyModel independently re-validates a SAT model against p: every
 // clause, binding, bound and integrality constraint is replayed through
@@ -215,6 +221,9 @@ type (
 	PortfolioOutcome = portfolio.Outcome
 	// PortfolioEngineResult is one engine's individual outcome in a race.
 	PortfolioEngineResult = portfolio.EngineResult
+	// PortfolioOptions tunes a race beyond the strategy list (lemma
+	// sharing on/off, exchange sizing).
+	PortfolioOptions = portfolio.Options
 )
 
 // DefaultStrategies returns n distinct engine configurations suitable for
@@ -223,11 +232,19 @@ func DefaultStrategies(n int) []Strategy { return portfolio.DefaultStrategies(n)
 
 // PortfolioSolve races one engine per strategy over clones of p; the first
 // definitive SAT/UNSAT verdict wins and the losers are cancelled and
-// drained before the call returns. Which engine wins is nondeterministic
-// when several finish close together — the verdict is always sound, but the
-// winner's identity and the reported model may vary between runs.
+// drained before the call returns. Members share learned theory-conflict
+// clauses through a lemma exchange (PortfolioSolveWith can turn that off).
+// Which engine wins is nondeterministic when several finish close together
+// — the verdict is always sound, but the winner's identity and the
+// reported model may vary between runs.
 func PortfolioSolve(ctx context.Context, p *Problem, strategies []Strategy) PortfolioOutcome {
 	return portfolio.Solve(ctx, p, strategies)
+}
+
+// PortfolioSolveWith is PortfolioSolve with explicit options (e.g. NoShare
+// to disable the cross-member lemma exchange).
+func PortfolioSolveWith(ctx context.Context, p *Problem, strategies []Strategy, opts PortfolioOptions) PortfolioOutcome {
+	return portfolio.SolveWith(ctx, p, strategies, opts)
 }
 
 // ParseAtom parses an arithmetic comparison such as

@@ -18,6 +18,8 @@ package absolver_test
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -450,6 +452,133 @@ func BenchmarkPortfolio(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAblationLemmaSharing quantifies cross-engine lemma exchange on
+// two conflict-rich UNSAT workloads:
+//
+//   - pairs: n variables each pin x to a different value while the
+//     skeleton forces at least two of them true, so the race must refute
+//     every pair — C(n,2) distinct theory conflicts;
+//   - fischer6-shallow: FISCHER6 unrolled one step short of the depth at
+//     which the critical section is reachable, so the race must refute
+//     every timed path.
+//
+// Grounding is off so each conflict costs a simplex call. Compare
+// theory-checks/op between the shared/no-share sub-benchmarks: with
+// sharing, a conflict any member finds is imported by the others instead
+// of being rediscovered, so the total simplex work across the portfolio
+// drops (lemmas-imported/op shows the traffic); with -no-share every
+// member pays for the full refutation alone.
+func BenchmarkAblationLemmaSharing(b *testing.B) {
+	// The comparison needs the members to actually interleave: with a
+	// single P the first goroutine can sprint through a short refutation
+	// before its siblings run, and both variants degenerate to one
+	// engine's work. Pin GOMAXPROCS to at least the portfolio width.
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	buildPairs := func() *core.Problem {
+		const n = 16
+		p := core.NewProblem()
+		p.NumVars = n
+		// At-least-two-true: for each i, the clause over all vars but i.
+		for i := 1; i <= n; i++ {
+			var cl []int
+			for j := 1; j <= n; j++ {
+				if j != i {
+					cl = append(cl, j)
+				}
+			}
+			p.AddClause(cl...)
+		}
+		for i := 1; i <= n; i++ {
+			a, err := absolver.ParseAtom(fmt.Sprintf("x = %d", i), absolver.Real)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Bind(i-1, a)
+		}
+		return p
+	}
+	buildFischer := func() *core.Problem {
+		return fischer.Generate(fischer.Params{N: 6, Steps: 3}).Problem
+	}
+	strategies := func() []portfolio.Strategy {
+		ss := portfolio.DefaultStrategies(4)
+		for i := range ss {
+			ss[i].Config.NoGroundLemmas = true
+			ss[i].Config.NoIIS = false // full-assignment blocking never terminates here
+		}
+		return ss
+	}
+	run := func(b *testing.B, build func() *core.Problem, opts portfolio.Options) {
+		var checks, imported float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := build()
+			ss := strategies()
+			b.StartTimer()
+			out := portfolio.SolveWith(context.Background(), p, ss, opts)
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+			if out.Result.Status != core.StatusUnsat {
+				b.Fatalf("status = %v, want %v", out.Result.Status, core.StatusUnsat)
+			}
+			checks += float64(out.Stats.LinearChecks)
+			imported += float64(out.Stats.LemmasImported)
+		}
+		b.ReportMetric(checks/float64(b.N), "theory-checks/op")
+		b.ReportMetric(imported/float64(b.N), "lemmas-imported/op")
+	}
+	for _, w := range []struct {
+		name  string
+		build func() *core.Problem
+	}{
+		{"pairs", buildPairs},
+		{"fischer6-shallow", buildFischer},
+	} {
+		w := w
+		b.Run(w.name+"/shared", func(b *testing.B) { run(b, w.build, portfolio.Options{}) })
+		b.Run(w.name+"/no-share", func(b *testing.B) { run(b, w.build, portfolio.Options{NoShare: true}) })
+	}
+}
+
+// BenchmarkAblationTheoryCache measures the theory-verdict cache during
+// all-models enumeration: models differing only on unbound Boolean
+// variables project onto the same asserted-atom set, so all but the first
+// theory check per projection are served from the cache. Compare
+// linear-checks/op between the sub-benchmarks.
+func BenchmarkAblationTheoryCache(b *testing.B) {
+	run := func(b *testing.B, cfg core.Config) {
+		var checks float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := core.NewProblem()
+			p.AddClause(1)
+			p.NumVars = 10 // v1 forced, 9 free vars: 512 models, 1 projection
+			a, err := absolver.ParseAtom("x >= 1", absolver.Real)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Bind(0, a)
+			e := core.NewEngine(p, cfg)
+			b.StartTimer()
+			n, _, err := e.AllModels(nil, 0, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != 512 {
+				b.Fatalf("models = %d, want 512", n)
+			}
+			checks += float64(e.Stats().LinearChecks)
+		}
+		b.ReportMetric(checks/float64(b.N), "linear-checks/op")
+	}
+	b.Run("cached", func(b *testing.B) { run(b, core.Config{}) })
+	b.Run("uncached", func(b *testing.B) { run(b, core.Config{NoTheoryCache: true}) })
 }
 
 // BenchmarkAllModelsEnumeration measures the LSAT-style all-solutions mode

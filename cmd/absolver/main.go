@@ -16,14 +16,20 @@
 //	-portfolio N    race N differently-configured engines; first
 //	                definitive verdict wins (see docs/exit-codes.md for
 //	                the nondeterminism caveats)
+//	-no-share       disable cross-engine lemma sharing in a portfolio race
 //	-timeout D      give up after duration D (e.g. 30s), exit 20
 //	-restart        restart the Boolean solver on every iteration (the
 //	                paper's external-combination mode)
 //	-no-iis         disable smallest-conflicting-subset refinement
 //	-no-lemmas      disable static theory-lemma grounding
+//	-no-cache       disable the theory-verdict cache
 //	-stats          print engine statistics
 //	-q              verdict only
 //	-v              trace engine iterations to stderr
+//
+// The per-engine knobs (-restart, -no-iis, -no-lemmas, -no-cache) compose
+// with -portfolio: each is applied on top of every racing strategy's own
+// configuration. -all does not compose with -portfolio and is rejected.
 //
 // Exit codes (stable, documented in docs/exit-codes.md): 0 satisfiable,
 // 10 unsatisfiable, 20 unknown or timeout, 2 usage or input error,
@@ -35,12 +41,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
 	"absolver"
 	"absolver/internal/core"
+	"absolver/internal/portfolio"
 )
 
 // Stable exit codes; keep in sync with docs/exit-codes.md.
@@ -53,36 +61,48 @@ const (
 )
 
 func main() {
-	all := flag.Bool("all", false, "enumerate all models")
-	max := flag.Int("max", 0, "bound the number of enumerated models (0 = unbounded)")
-	nPortfolio := flag.Int("portfolio", 0, "race N engine configurations; first definitive verdict wins (0 = single engine)")
-	timeout := flag.Duration("timeout", 0, "give up after this long (0 = none)")
-	restart := flag.Bool("restart", false, "restart the Boolean solver per iteration")
-	noIIS := flag.Bool("no-iis", false, "disable conflict-set minimisation")
-	noLemmas := flag.Bool("no-lemmas", false, "disable theory-lemma grounding")
-	stats := flag.Bool("stats", false, "print statistics")
-	quiet := flag.Bool("q", false, "print the verdict only")
-	verbose := flag.Bool("v", false, "trace engine iterations")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	in := os.Stdin
-	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "absolver: at most one input file")
-		os.Exit(exitUsage)
+// run is the whole tool behind a testable seam: flags and input in, exit
+// code out, all output on the given writers.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("absolver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	all := fs.Bool("all", false, "enumerate all models")
+	max := fs.Int("max", 0, "bound the number of enumerated models (0 = unbounded)")
+	nPortfolio := fs.Int("portfolio", 0, "race N engine configurations; first definitive verdict wins (0 = single engine)")
+	noShare := fs.Bool("no-share", false, "disable cross-engine lemma sharing in a portfolio race")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = none)")
+	restart := fs.Bool("restart", false, "restart the Boolean solver per iteration")
+	noIIS := fs.Bool("no-iis", false, "disable conflict-set minimisation")
+	noLemmas := fs.Bool("no-lemmas", false, "disable theory-lemma grounding")
+	noCache := fs.Bool("no-cache", false, "disable the theory-verdict cache")
+	stats := fs.Bool("stats", false, "print statistics")
+	quiet := fs.Bool("q", false, "print the verdict only")
+	verbose := fs.Bool("v", false, "trace engine iterations")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	in := stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "absolver: at most one input file")
+		return exitUsage
 	}
 	if *nPortfolio < 0 {
-		fmt.Fprintln(os.Stderr, "absolver: -portfolio must be >= 0")
-		os.Exit(exitUsage)
+		fmt.Fprintln(stderr, "absolver: -portfolio must be >= 0")
+		return exitUsage
 	}
 	if *nPortfolio > 0 && *all {
-		fmt.Fprintln(os.Stderr, "absolver: -portfolio and -all are mutually exclusive")
-		os.Exit(exitUsage)
+		fmt.Fprintln(stderr, "absolver: -portfolio and -all are mutually exclusive")
+		return exitUsage
 	}
-	if flag.NArg() == 1 {
-		f, err := os.Open(flag.Arg(0))
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "absolver:", err)
-			os.Exit(exitUsage)
+			fmt.Fprintln(stderr, "absolver:", err)
+			return exitUsage
 		}
 		defer f.Close()
 		in = f
@@ -90,63 +110,79 @@ func main() {
 
 	p, err := absolver.ParseDIMACS(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "absolver:", err)
-		os.Exit(exitUsage)
+		fmt.Fprintln(stderr, "absolver:", err)
+		return exitUsage
 	}
 
 	cfg := absolver.Config{
 		RestartBoolean: *restart,
 		NoIIS:          *noIIS,
 		NoGroundLemmas: *noLemmas,
+		NoTheoryCache:  *noCache,
 		Timeout:        *timeout,
 	}
 	if *verbose {
-		cfg.Trace = absolver.WriterTrace(os.Stderr)
+		cfg.Trace = absolver.WriterTrace(stderr)
 	}
 
 	if *nPortfolio > 0 {
-		os.Exit(runPortfolio(p, cfg, *nPortfolio, *timeout, *quiet, *stats))
+		return runPortfolio(p, cfg, *nPortfolio, *timeout, *noShare, *quiet, *stats, stdout, stderr)
 	}
 
 	eng := absolver.NewEngine(p, cfg)
 	exit := exitUnknown
 	if *all {
 		n, status, err := eng.AllModels(nil, *max, func(m absolver.Model) error {
-			printModel(m, *quiet)
+			printModel(stdout, m, *quiet)
 			return nil
 		})
 		if err != nil && !errors.Is(err, absolver.ErrTimeout) {
-			fmt.Fprintln(os.Stderr, "absolver:", err)
-			os.Exit(exitInternal)
+			fmt.Fprintln(stderr, "absolver:", err)
+			return exitInternal
 		}
-		fmt.Printf("c %d model(s); final status %s\n", n, status)
+		fmt.Fprintf(stdout, "c %d model(s); final status %s\n", n, status)
 		switch {
 		case err != nil: // timeout mid-enumeration: the count is a lower bound
-			fmt.Println("s UNKNOWN")
+			fmt.Fprintln(stdout, "s UNKNOWN")
 			exit = exitUnknown
 		case n == 0:
-			fmt.Println("s UNSATISFIABLE")
+			fmt.Fprintln(stdout, "s UNSATISFIABLE")
 			exit = exitUnsat
 		default:
-			fmt.Println("s SATISFIABLE")
+			fmt.Fprintln(stdout, "s SATISFIABLE")
 			exit = exitSat
 		}
 	} else {
 		res, err := eng.Solve()
 		if err != nil && !errors.Is(err, absolver.ErrTimeout) {
-			fmt.Fprintln(os.Stderr, "absolver:", err)
-			os.Exit(exitInternal)
+			fmt.Fprintln(stderr, "absolver:", err)
+			return exitInternal
 		}
-		exit = printVerdict(res, *quiet)
+		exit = printVerdict(stdout, res, *quiet)
 	}
 	if *stats {
-		printStats(eng.Stats())
+		printStats(stdout, eng.Stats())
 	}
-	os.Exit(exit)
+	return exit
+}
+
+// composeStrategies applies the command line's per-engine knobs on top of
+// every strategy's own configuration. Each knob only ever *adds* its
+// restriction (logical OR): a strategy that already restarts, skips IIS,
+// or skips grounding keeps doing so even when the corresponding flag is
+// absent — assigning the flag value outright would silently strip the
+// "restart" strategy of its defining behaviour.
+func composeStrategies(strategies []absolver.Strategy, base absolver.Config) {
+	for i := range strategies {
+		strategies[i].Config.RestartBoolean = strategies[i].Config.RestartBoolean || base.RestartBoolean
+		strategies[i].Config.NoIIS = strategies[i].Config.NoIIS || base.NoIIS
+		strategies[i].Config.NoGroundLemmas = strategies[i].Config.NoGroundLemmas || base.NoGroundLemmas
+		strategies[i].Config.NoTheoryCache = strategies[i].Config.NoTheoryCache || base.NoTheoryCache
+	}
 }
 
 // runPortfolio races n default strategies and reports the adopted verdict.
-func runPortfolio(p *absolver.Problem, base absolver.Config, n int, timeout time.Duration, quiet, stats bool) int {
+func runPortfolio(p *absolver.Problem, base absolver.Config, n int, timeout time.Duration, noShare, quiet, stats bool, stdout, stderr io.Writer) int {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -154,68 +190,67 @@ func runPortfolio(p *absolver.Problem, base absolver.Config, n int, timeout time
 		defer cancel()
 	}
 	strategies := absolver.DefaultStrategies(n)
-	for i := range strategies {
-		// Per-engine knobs from the command line compose with the
-		// strategy's own; the trace stays on the single engine path (N
-		// interleaved engine traces are not readable).
-		strategies[i].Config.RestartBoolean = base.RestartBoolean
-		strategies[i].Config.NoIIS = strategies[i].Config.NoIIS || base.NoIIS
-		strategies[i].Config.NoGroundLemmas = strategies[i].Config.NoGroundLemmas || base.NoGroundLemmas
-	}
-	out := absolver.PortfolioSolve(ctx, p, strategies)
+	// The trace stays on the single-engine path (N interleaved engine
+	// traces are not readable); every other per-engine knob composes.
+	composeStrategies(strategies, base)
+	out := absolver.PortfolioSolveWith(ctx, p, strategies, portfolio.Options{NoShare: noShare})
 	if out.Err != nil && !errors.Is(out.Err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "absolver:", out.Err)
+		fmt.Fprintln(stderr, "absolver:", out.Err)
 		return exitInternal
 	}
 	if out.Winner != "" {
-		fmt.Printf("c portfolio winner: %s (%d engines)\n", out.Winner, len(out.Engines))
+		fmt.Fprintf(stdout, "c portfolio winner: %s (%d engines)\n", out.Winner, len(out.Engines))
 	}
-	exit := printVerdict(out.Result, quiet)
+	exit := printVerdict(stdout, out.Result, quiet)
 	if stats {
-		printStats(out.Stats)
+		printStats(stdout, out.Stats)
 	}
 	return exit
 }
 
 // printVerdict prints the solution line (and model when satisfiable) and
 // returns the matching exit code.
-func printVerdict(res absolver.Result, quiet bool) int {
+func printVerdict(w io.Writer, res absolver.Result, quiet bool) int {
 	switch res.Status {
 	case absolver.StatusSat:
-		fmt.Println("s SATISFIABLE")
+		fmt.Fprintln(w, "s SATISFIABLE")
 		if res.Model != nil {
-			printModel(*res.Model, quiet)
+			printModel(w, *res.Model, quiet)
 		}
 		return exitSat
 	case absolver.StatusUnsat:
-		fmt.Println("s UNSATISFIABLE")
+		fmt.Fprintln(w, "s UNSATISFIABLE")
 		return exitUnsat
 	default:
-		fmt.Println("s UNKNOWN")
+		fmt.Fprintln(w, "s UNKNOWN")
 		return exitUnknown
 	}
 }
 
-func printStats(st core.Stats) {
-	fmt.Printf("c iterations=%d linear-checks=%d nonlinear-checks=%d conflicts=%d ne-splits=%d\n",
+func printStats(w io.Writer, st core.Stats) {
+	fmt.Fprintf(w, "c iterations=%d linear-checks=%d nonlinear-checks=%d conflicts=%d ne-splits=%d\n",
 		st.Iterations, st.LinearChecks, st.NonlinearChecks, st.ConflictClauses, st.NESplits)
-	fmt.Printf("c time: bool=%v linear=%v nonlinear=%v wall=%v\n",
+	fmt.Fprintf(w, "c lemmas: published=%d imported=%d deduped=%d\n",
+		st.LemmasPublished, st.LemmasImported, st.LemmasDeduped)
+	fmt.Fprintf(w, "c theory-cache: hits=%d misses=%d\n",
+		st.TheoryCacheHits, st.TheoryCacheMisses)
+	fmt.Fprintf(w, "c time: bool=%v linear=%v nonlinear=%v wall=%v\n",
 		st.BoolTime, st.LinearTime, st.NonlinearTime, st.WallTime)
 }
 
-func printModel(m absolver.Model, quiet bool) {
+func printModel(w io.Writer, m absolver.Model, quiet bool) {
 	if quiet {
 		return
 	}
-	fmt.Print("v")
+	fmt.Fprint(w, "v")
 	for i, b := range m.Bool {
 		if b {
-			fmt.Printf(" %d", i+1)
+			fmt.Fprintf(w, " %d", i+1)
 		} else {
-			fmt.Printf(" %d", -(i + 1))
+			fmt.Fprintf(w, " %d", -(i + 1))
 		}
 	}
-	fmt.Println(" 0")
+	fmt.Fprintln(w, " 0")
 	if len(m.Real) > 0 {
 		names := make([]string, 0, len(m.Real))
 		for n := range m.Real {
@@ -223,7 +258,7 @@ func printModel(m absolver.Model, quiet bool) {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Printf("c value %s = %g\n", n, m.Real[n])
+			fmt.Fprintf(w, "c value %s = %g\n", n, m.Real[n])
 		}
 	}
 }

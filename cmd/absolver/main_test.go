@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"absolver"
+)
+
+// satInput: (v1 ∨ v2) with v1 bound to x >= 1 — satisfiable.
+const satInput = `p cnf 2 1
+1 2 0
+c def real 1 x >= 1
+`
+
+// unsatInput: v1 ∧ v2 with contradictory bindings — theory-unsat.
+const unsatInput = `p cnf 2 2
+1 0
+2 0
+c def real 1 x + y >= 5
+c def real 2 x + y <= 4
+`
+
+func runCLI(t *testing.T, input string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, strings.NewReader(input), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestCLIVerdictsAndExitCodes(t *testing.T) {
+	code, out, _ := runCLI(t, satInput)
+	if code != exitSat || !strings.Contains(out, "s SATISFIABLE") {
+		t.Fatalf("sat input: code=%d out=%q", code, out)
+	}
+	code, out, _ = runCLI(t, unsatInput)
+	if code != exitUnsat || !strings.Contains(out, "s UNSATISFIABLE") {
+		t.Fatalf("unsat input: code=%d out=%q", code, out)
+	}
+}
+
+// TestCLIPortfolioRejectsAll pins the usage error: -all (model
+// enumeration) cannot race, so the combination exits 2 with a diagnostic.
+func TestCLIPortfolioRejectsAll(t *testing.T) {
+	code, _, errOut := runCLI(t, satInput, "-portfolio", "2", "-all")
+	if code != exitUsage {
+		t.Fatalf("-portfolio -all: code=%d, want %d", code, exitUsage)
+	}
+	if !strings.Contains(errOut, "mutually exclusive") {
+		t.Fatalf("-portfolio -all: stderr %q lacks a diagnostic", errOut)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, satInput, "-portfolio", "-1"); code != exitUsage {
+		t.Fatalf("-portfolio -1: code=%d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, satInput, "-bogus-flag"); code != exitUsage {
+		t.Fatalf("unknown flag: code=%d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "p cnf zzz", ""); code != exitUsage {
+		t.Fatalf("parse error: code=%d, want %d", code, exitUsage)
+	}
+}
+
+// TestCLIPortfolioRuns exercises the race end to end through the CLI,
+// including the stats lines for the new exchange and cache counters.
+func TestCLIPortfolioRuns(t *testing.T) {
+	code, out, errOut := runCLI(t, unsatInput, "-portfolio", "3", "-stats")
+	if code != exitUnsat {
+		t.Fatalf("portfolio unsat: code=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"s UNSATISFIABLE", "c portfolio winner:", "c lemmas: published=", "c theory-cache: hits="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("portfolio output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The ablation flags must be accepted alongside -portfolio (the old
+	// binary silently mis-applied them; rejecting them would also fail here).
+	code, _, errOut = runCLI(t, unsatInput, "-portfolio", "2", "-restart", "-no-iis", "-no-lemmas", "-no-cache", "-no-share")
+	if code != exitUnsat {
+		t.Fatalf("portfolio with ablation flags: code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestComposeStrategiesOR is the regression test for the flag-composition
+// bug: plain assignment of the -restart flag value used to CLOBBER the
+// "restart" strategy's defining RestartBoolean=true when the flag was
+// absent. Composition must be a logical OR per knob.
+func TestComposeStrategiesOR(t *testing.T) {
+	strategies := absolver.DefaultStrategies(6)
+	var restartIdx, noIISIdx int = -1, -1
+	for i, s := range strategies {
+		if s.Name == "restart" {
+			restartIdx = i
+		}
+		if s.Name == "no-iis" {
+			noIISIdx = i
+		}
+	}
+	if restartIdx < 0 || noIISIdx < 0 {
+		t.Fatal("DefaultStrategies(6) lacks the restart/no-iis strategies (test premise broken)")
+	}
+
+	// No flags set: every strategy keeps its own configuration.
+	composeStrategies(strategies, absolver.Config{})
+	if !strategies[restartIdx].Config.RestartBoolean {
+		t.Fatal("composition with zero base stripped the restart strategy's RestartBoolean")
+	}
+	if !strategies[noIISIdx].Config.NoIIS {
+		t.Fatal("composition with zero base stripped the no-iis strategy's NoIIS")
+	}
+
+	// All flags set: every strategy gains every restriction, keeping its own.
+	composeStrategies(strategies, absolver.Config{
+		RestartBoolean: true, NoIIS: true, NoGroundLemmas: true, NoTheoryCache: true,
+	})
+	for _, s := range strategies {
+		if !s.Config.RestartBoolean || !s.Config.NoIIS || !s.Config.NoGroundLemmas || !s.Config.NoTheoryCache {
+			t.Fatalf("strategy %q did not receive all composed knobs: %+v", s.Name, s.Config)
+		}
+	}
+}
+
+// TestCLISingleEngineFlagsAndStats covers the non-portfolio path with every
+// ablation knob plus -stats and -q.
+func TestCLISingleEngineFlagsAndStats(t *testing.T) {
+	code, out, _ := runCLI(t, unsatInput, "-restart", "-no-iis", "-no-lemmas", "-no-cache", "-stats", "-q")
+	if code != exitUnsat {
+		t.Fatalf("single engine ablations: code=%d", code)
+	}
+	if !strings.Contains(out, "c iterations=") {
+		t.Fatalf("-stats output missing iteration counters:\n%s", out)
+	}
+	if strings.Contains(out, "c value ") {
+		t.Fatalf("-q still printed witness values:\n%s", out)
+	}
+}
+
+// TestCLIAllModels pins LSAT-mode enumeration and its exit code.
+func TestCLIAllModels(t *testing.T) {
+	code, out, _ := runCLI(t, satInput, "-all", "-q")
+	if code != exitSat {
+		t.Fatalf("-all: code=%d", code)
+	}
+	if !strings.Contains(out, "model(s); final status") {
+		t.Fatalf("-all output missing the enumeration summary:\n%s", out)
+	}
+}

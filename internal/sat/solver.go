@@ -451,7 +451,10 @@ func (s *Solver) reduceDB() {
 	if len(s.learnts) == 0 {
 		return
 	}
-	// Partial selection: median activity via copy.
+	// Partial selection over a private copy: quickSelectMedian reorders
+	// its input in place, so it must never see the live activity data —
+	// feeding it a slice aliased with clause state would silently shuffle
+	// activities between clauses and corrupt every later reduction.
 	acts := make([]float64, len(s.learnts))
 	for i, c := range s.learnts {
 		acts[i] = c.activity
@@ -475,6 +478,9 @@ func (s *Solver) isReason(c *clause) bool {
 	return s.assigns[v] != LUndef && s.reason[v] == c
 }
 
+// quickSelectMedian returns the k-th smallest element of a for k=len(a)/2
+// by Hoare quickselect. It partially sorts a IN PLACE — callers must pass
+// a slice they own (reduceDB copies activities first).
 func quickSelectMedian(a []float64) float64 {
 	if len(a) == 0 {
 		return 0

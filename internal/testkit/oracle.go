@@ -157,8 +157,9 @@ func (o *Oracle) ConjFeasible(atoms []expr.Atom, box expr.Box, ints map[string]b
 	return o.norm().conjFeasible(atoms, box, ints)
 }
 
-// AuditLemmas replays the soundness obligation of every recorded conflict
-// and ground lemma against the oracle: a learned clause ¬l₁ ∨ … ∨ ¬lₙ is
+// AuditLemmas replays the soundness obligation of every recorded conflict,
+// ground, and exchange-imported lemma against the oracle: a learned clause
+// ¬l₁ ∨ … ∨ ¬lₙ is
 // only sound if the conjunction of the atoms asserted by l₁ … lₙ is
 // infeasible under the problem's bounds. A lemma whose blocked conjunction
 // the oracle can exhibit as feasible is an engine soundness bug — the audit
@@ -169,7 +170,7 @@ func (o *Oracle) AuditLemmas(p *core.Problem, lemmas []core.Lemma) error {
 	box, _ := oracleBox(p, cfg.DefaultRange)
 	ints := p.IntVars()
 	for i, l := range lemmas {
-		if l.Kind != core.LemmaConflict && l.Kind != core.LemmaGround {
+		if l.Kind != core.LemmaConflict && l.Kind != core.LemmaGround && l.Kind != core.LemmaImported {
 			continue
 		}
 		if len(l.Clause) == 0 {
