@@ -4,6 +4,12 @@
 //	abbench -table 2 -maxn 11   # SMT-LIB / Fischer benchmarks (Table 2)
 //	abbench -table 3            # Sudoku puzzles (Table 3)
 //	abbench -table all
+//	abbench -table all -json    # machine-readable rows (CI artifact)
+//
+// With -json the selected tables are emitted as a single JSON array of
+// per-solver rows (instance, verdict, wall time, theory checks) instead of
+// the human-readable layout; table 2's progress lines move to stderr so
+// stdout stays valid JSON. CI archives this output as BENCH_5.json.
 //
 // Absolute times will differ from the 2006 publication (different hardware
 // and reimplemented solvers); the shapes — who wins, who rejects, who runs
@@ -24,6 +30,7 @@ func main() {
 	maxN := flag.Int("maxn", 11, "largest Fischer instance for table 2")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-solver timeout per instance")
 	cvcMem := flag.Int64("cvc-mem", 32<<20, "CVCLiteLike proof-memory budget in bytes (table 3)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -31,20 +38,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	var jsonRows []bench.JSONRow
+
 	run1 := func() {
 		rows, err := bench.RunTable1(*timeout)
 		if err != nil {
 			fail(err)
 		}
+		if *jsonOut {
+			jsonRows = append(jsonRows, bench.JSONTable1(rows)...)
+			return
+		}
 		fmt.Println(bench.FormatTable1(rows))
 	}
 	run2 := func() {
+		progress := os.Stdout
+		if *jsonOut {
+			progress = os.Stderr
+		}
 		rows, err := bench.RunTable2(*maxN, *timeout, func(r bench.Table2Row) {
-			fmt.Printf("# %-24s absolver=%-16s cvclite=%-16s mathsat=%-16s\n",
+			fmt.Fprintf(progress, "# %-24s absolver=%-16s cvclite=%-16s mathsat=%-16s\n",
 				r.Name, r.ABsolver, r.CVCLite, r.MathSAT)
 		})
 		if err != nil {
 			fail(err)
+		}
+		if *jsonOut {
+			jsonRows = append(jsonRows, bench.JSONTable2(rows)...)
+			return
 		}
 		fmt.Println(bench.FormatTable2(rows))
 	}
@@ -52,6 +73,10 @@ func main() {
 		rows, err := bench.RunTable3(bench.Table3Options{Timeout: *timeout, CVCMemory: *cvcMem})
 		if err != nil {
 			fail(err)
+		}
+		if *jsonOut {
+			jsonRows = append(jsonRows, bench.JSONTable3(rows)...)
+			return
 		}
 		fmt.Println(bench.FormatTable3(rows))
 	}
@@ -70,5 +95,11 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3 or all")
 		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := bench.WriteJSON(os.Stdout, jsonRows); err != nil {
+			fail(err)
+		}
 	}
 }

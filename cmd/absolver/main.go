@@ -9,6 +9,9 @@
 //
 //	absolver [flags] [problem.cnf]
 //
+// With no file argument — or with "-" as the argument, the conventional
+// spelling in a pipeline — the problem is read from standard input.
+//
 // Flags:
 //
 //	-all            enumerate all models (LSAT mode) instead of one
@@ -98,7 +101,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "absolver: -portfolio and -all are mutually exclusive")
 		return exitUsage
 	}
-	if fs.NArg() == 1 {
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
 		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			fmt.Fprintln(stderr, "absolver:", err)

@@ -149,3 +149,21 @@ func TestCLIAllModels(t *testing.T) {
 		t.Fatalf("-all output missing the enumeration summary:\n%s", out)
 	}
 }
+
+// TestCLIDashReadsStdin pins "-" as the conventional stdin spelling: the
+// argument must select standard input, not a file named "-".
+func TestCLIDashReadsStdin(t *testing.T) {
+	code, out, _ := runCLI(t, satInput, "-q", "-")
+	if code != exitSat || !strings.Contains(out, "s SATISFIABLE") {
+		t.Fatalf("dash input: code=%d out=%q", code, out)
+	}
+	// Knobs still parse in front of the dash.
+	code, out, _ = runCLI(t, unsatInput, "-stats", "-")
+	if code != exitUnsat || !strings.Contains(out, "c iterations=") {
+		t.Fatalf("dash with -stats: code=%d out=%q", code, out)
+	}
+	// A second path next to "-" is still a usage error.
+	if code, _, _ := runCLI(t, satInput, "-", "extra.cnf"); code != exitUsage {
+		t.Fatalf("dash plus file: code=%d, want %d", code, exitUsage)
+	}
+}

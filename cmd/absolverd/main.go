@@ -1,0 +1,132 @@
+// Command absolverd serves the solver over HTTP — the paper's back-end role
+// in a Simulink/LUSTRE analysis tool-chain, run as a long-lived service
+// instead of a one-shot process.
+//
+// Usage:
+//
+//	absolverd [flags]
+//
+// Flags:
+//
+//	-addr A             listen address (default :8753)
+//	-workers N          fixed solver pool size (default GOMAXPROCS)
+//	-queue N            bounded queue depth beyond busy workers (default 64)
+//	-max-body N         request body cap in bytes (default 8 MiB)
+//	-default-timeout D  per-request timeout when the request names none
+//	-max-timeout D      clamp for requested timeouts
+//	-max-portfolio N    clamp for the portfolio parameter
+//	-drain-timeout D    how long SIGTERM waits for admitted jobs
+//	-solve-delay D      artificial pre-solve delay (load testing)
+//	-v                  log one line per job and lifecycle transition
+//
+// Endpoints: POST /v1/solve (extended DIMACS or SMT-LIB body; knobs as
+// query parameters; NDJSON streaming with ?stream=1), GET /metrics,
+// GET /healthz, GET /readyz. See docs/server.md.
+//
+// SIGTERM/SIGINT trigger graceful shutdown: the daemon stops admitting
+// (503), drains every admitted job, then exits 0. Exit 1 means the
+// listener or the drain failed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"absolver/internal/server"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sigs, nil))
+}
+
+// run is the daemon behind a testable seam: flags in, exit code out, all
+// output on the given writers. A received signal starts the graceful
+// drain. When ready is non-nil it receives the bound listen address once
+// the server is accepting (tests listen on :0).
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready chan<- string) int {
+	fs := flag.NewFlagSet("absolverd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8753", "listen address")
+	workers := fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "queue depth beyond busy workers (0 = 64)")
+	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "timeout when the request names none (0 = 30s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "clamp for requested timeouts (0 = 5m)")
+	maxPortfolio := fs.Int("max-portfolio", 0, "clamp for the portfolio parameter (0 = 8)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for admitted jobs")
+	solveDelay := fs.Duration("solve-delay", 0, "artificial pre-solve delay (load testing)")
+	verbose := fs.Bool("v", false, "log jobs and lifecycle transitions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "absolverd: unexpected arguments (the problem arrives over HTTP)")
+		return 2
+	}
+
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxPortfolio:   *maxPortfolio,
+		SolveDelay:     *solveDelay,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	srv := server.New(cfg)
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "absolverd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stderr, "absolverd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stderr, "absolverd: %v received, draining\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "absolverd:", err)
+		return 1
+	}
+
+	// Graceful shutdown: stop admitting and drain every admitted job
+	// first (new requests get 503 while the listener still answers), then
+	// close the listener and wait for the in-flight HTTP responses.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "absolverd: drain failed:", err)
+		httpSrv.Close()
+		return 1
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "absolverd: http shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "absolverd: drained, bye")
+	return 0
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"absolver/internal/server/api"
+	"absolver/internal/server/client"
+)
+
+const satDIMACS = "p cnf 2 1\n1 2 0\nc def real 1 x >= 1\n"
+
+// startDaemon runs the daemon on a random port and returns a client plus
+// the channels to signal and join it.
+func startDaemon(t *testing.T, extraArgs ...string) (*client.Client, chan<- os.Signal, <-chan int, *bytes.Buffer) {
+	t.Helper()
+	sigs := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(args, &stdout, &stderr, sigs, ready) }()
+	select {
+	case addr := <-ready:
+		return client.New("http://" + addr), sigs, done, &stdout
+	case code := <-done:
+		t.Fatalf("daemon exited early with %d: %s", code, stderr.String())
+		return nil, nil, nil, nil
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+		return nil, nil, nil, nil
+	}
+}
+
+// TestSigtermDrainsUnderLoad sends SIGTERM while jobs are queued behind a
+// slowed single worker and requires every admitted solve to complete
+// before the daemon exits 0.
+func TestSigtermDrainsUnderLoad(t *testing.T) {
+	c, sigs, done, stdout := startDaemon(t,
+		"-workers", "1", "-queue", "4", "-solve-delay", "50ms")
+	ctx := context.Background()
+
+	const jobs = 5 // workers + queue
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.Solve(ctx, satDIMACS, api.SolveParams{Timeout: time.Minute})
+			if err == nil && resp.Status != "sat" {
+				err = fmt.Errorf("verdict %s", resp.Status)
+			}
+			if err != nil {
+				errs <- fmt.Errorf("job %d: %w", i, err)
+			}
+		}(i)
+	}
+	// Wait until the full load is admitted (busy worker + full queue),
+	// then pull the plug.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m, err := c.Metrics(ctx)
+		if err == nil && m["absolverd_workers_busy"]+m["absolverd_queue_depth"] == jobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("load never fully admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sigs <- syscall.SIGTERM
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after drain")
+	}
+	if !strings.Contains(stdout.String(), "drained, bye") {
+		t.Fatalf("missing drain farewell in stdout: %q", stdout.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr, nil, nil); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"positional"}, &stdout, &stderr, nil, nil); code != 2 {
+		t.Fatalf("positional arg: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unexpected arguments") {
+		t.Fatalf("missing diagnostic: %q", stderr.String())
+	}
+	if code := run([]string{"-addr", "256.0.0.1:0"}, &stdout, &stderr, nil, nil); code != 1 {
+		t.Fatalf("bad listen address: exit %d, want 1", code)
+	}
+}

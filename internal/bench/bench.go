@@ -121,6 +121,10 @@ type Cell struct {
 	// Note marks abnormal outcomes: "rejected" (nonlinear), "timeout",
 	// "OOM", or an error string.
 	Note string
+	// Checks counts theory-solver invocations (linear + nonlinear for
+	// ABsolver, the baseline's own theory checks otherwise) — the work
+	// measure behind the wall time in machine-readable output.
+	Checks int
 }
 
 // String renders the cell in the paper's m'ss.mmm's style.
@@ -164,7 +168,10 @@ func RunTable1(timeout time.Duration) ([]Table1Row, error) {
 		}
 		start := time.Now()
 		res, err := core.NewEngine(p, core.Config{Timeout: timeout}).Solve()
-		cell := Cell{Time: time.Since(start), Status: res.Status}
+		cell := Cell{
+			Time: time.Since(start), Status: res.Status,
+			Checks: res.Stats.LinearChecks + res.Stats.NonlinearChecks,
+		}
 		if err != nil {
 			if err == core.ErrTimeout {
 				cell.Note = "timeout"
@@ -188,7 +195,7 @@ type baselineSolver interface {
 func runBaseline(s baselineSolver, p *core.Problem) Cell {
 	start := time.Now()
 	r, err := s.Solve(p)
-	cell := Cell{Time: time.Since(start), Status: r.Status}
+	cell := Cell{Time: time.Since(start), Status: r.Status, Checks: r.Stats.TheoryChecks}
 	switch {
 	case err == nil:
 	case isErr(err, baseline.ErrNonlinear):
@@ -268,7 +275,10 @@ func RunTable2(maxN int, timeout time.Duration, progress ...func(Table2Row)) ([]
 			Bool:           core.NewExternalCDCLSolver(),
 			Timeout:        timeout,
 		}).Solve()
-		row.ABsolver = Cell{Time: time.Since(start), Status: resA.Status}
+		row.ABsolver = Cell{
+			Time: time.Since(start), Status: resA.Status,
+			Checks: resA.Stats.LinearChecks + resA.Stats.NonlinearChecks,
+		}
 		if errA == core.ErrTimeout {
 			row.ABsolver.Note = "timeout"
 		} else if errA != nil {
@@ -338,7 +348,10 @@ func RunTable3(opt Table3Options) ([]Table3Row, error) {
 		mixed := sudoku.EncodeMixed(&inst.Puzzle)
 		start := time.Now()
 		res, err := core.NewEngine(mixed, core.Config{Timeout: opt.Timeout}).Solve()
-		row.ABsolver = Cell{Time: time.Since(start), Status: res.Status}
+		row.ABsolver = Cell{
+			Time: time.Since(start), Status: res.Status,
+			Checks: res.Stats.LinearChecks + res.Stats.NonlinearChecks,
+		}
 		if err == core.ErrTimeout {
 			row.ABsolver.Note = "timeout"
 		} else if err != nil {

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONRow is one solver-on-instance measurement in the machine-readable
+// output of abbench -json: which table, which instance, which solver, the
+// verdict, the wall time, and the theory-check count behind it. The field
+// names are part of the tool's output contract — CI archives these files
+// (BENCH_5.json) and downstream tooling diffs them across revisions.
+type JSONRow struct {
+	Table    int    `json:"table"`
+	Instance string `json:"instance"`
+	Solver   string `json:"solver"`
+	Verdict  string `json:"verdict"`
+	// Note carries the abnormal-outcome marker ("rejected", "timeout",
+	// "OOM", or an error string); empty for a clean run.
+	Note        string  `json:"note,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// TheoryChecks counts theory-solver invocations (see Cell.Checks).
+	TheoryChecks int `json:"theory_checks"`
+}
+
+func jsonRow(table int, instance, solver string, c Cell) JSONRow {
+	return JSONRow{
+		Table: table, Instance: instance, Solver: solver,
+		Verdict: c.Status.String(), Note: c.Note,
+		WallSeconds: c.Time.Seconds(), TheoryChecks: c.Checks,
+	}
+}
+
+func solverRows(table int, instance string, absolver, cvclite, mathsat Cell) []JSONRow {
+	return []JSONRow{
+		jsonRow(table, instance, "absolver", absolver),
+		jsonRow(table, instance, "cvclite", cvclite),
+		jsonRow(table, instance, "mathsat", mathsat),
+	}
+}
+
+// JSONTable1 flattens Table 1 rows into one JSONRow per solver and instance.
+func JSONTable1(rows []Table1Row) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out, solverRows(1, r.Instance.Name, r.ABsolver, r.CVCLite, r.MathSAT)...)
+	}
+	return out
+}
+
+// JSONTable2 flattens Table 2 rows into one JSONRow per solver and instance.
+func JSONTable2(rows []Table2Row) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out, solverRows(2, r.Name, r.ABsolver, r.CVCLite, r.MathSAT)...)
+	}
+	return out
+}
+
+// JSONTable3 flattens Table 3 rows into one JSONRow per solver and instance.
+func JSONTable3(rows []Table3Row) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out, solverRows(3, r.Name, r.ABsolver, r.CVCLite, r.MathSAT)...)
+	}
+	return out
+}
+
+// WriteJSON writes the rows as an indented JSON array with a trailing
+// newline (the committed-artifact format of BENCH_5.json).
+func WriteJSON(w io.Writer, rows []JSONRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

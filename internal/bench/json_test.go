@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"absolver/internal/core"
+)
+
+// TestJSONRows pins the machine-readable output contract: one row per
+// solver per instance, stable field names, notes only on abnormal
+// outcomes, and a decodable stream.
+func TestJSONRows(t *testing.T) {
+	rows := JSONTable1([]Table1Row{{
+		Instance: Table1Instance{Name: "nonlinear_unsat"},
+		ABsolver: Cell{Time: 1500 * time.Millisecond, Status: core.StatusUnsat, Checks: 7},
+		CVCLite:  Cell{Time: time.Millisecond, Status: core.StatusUnknown, Note: "rejected"},
+		MathSAT:  Cell{Time: time.Millisecond, Status: core.StatusUnknown, Note: "rejected"},
+	}})
+	rows = append(rows, JSONTable3([]Table3Row{{
+		Name:     "easy_1",
+		ABsolver: Cell{Time: 80 * time.Millisecond, Status: core.StatusSat, Checks: 3},
+		CVCLite:  Cell{Time: 10 * time.Millisecond, Status: core.StatusUnknown, Note: "OOM"},
+		MathSAT:  Cell{Time: 5 * time.Second, Status: core.StatusUnknown, Note: "timeout", Checks: 42},
+	}})...)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 solvers x 2 instances)", len(rows))
+	}
+	first := rows[0]
+	if first.Table != 1 || first.Instance != "nonlinear_unsat" || first.Solver != "absolver" ||
+		first.Verdict != "unsat" || first.Note != "" || first.WallSeconds != 1.5 || first.TheoryChecks != 7 {
+		t.Fatalf("absolver row: %+v", first)
+	}
+
+	var sb strings.Builder
+	if err := WriteJSON(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []JSONRow
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back) != len(rows) || back[5].Note != "timeout" || back[5].Table != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// The field names are the contract: downstream tooling diffs these.
+	for _, key := range []string{`"table"`, `"instance"`, `"solver"`, `"verdict"`, `"wall_seconds"`, `"theory_checks"`} {
+		if !strings.Contains(sb.String(), key) {
+			t.Errorf("output lacks field %s", key)
+		}
+	}
+}

@@ -219,8 +219,8 @@ type Stats struct {
 	// populated the cache.
 	TheoryCacheMisses int
 	BoolTime          time.Duration
-	LinearTime      time.Duration
-	NonlinearTime   time.Duration
+	LinearTime        time.Duration
+	NonlinearTime     time.Duration
 	// WallTime is the engine's total wall-clock time inside Solve /
 	// SolveContext. In a portfolio run each engine reports its own
 	// WallTime; merged Stats carry the sum over engines (total work),
@@ -250,6 +250,28 @@ func (s *Stats) Merge(o Stats) {
 	s.LinearTime += o.LinearTime
 	s.NonlinearTime += o.NonlinearTime
 	s.WallTime += o.WallTime
+}
+
+// Counters returns the stats' integer counters keyed by stable snake_case
+// names — the aggregation hook for exporters (the absolverd /metrics
+// endpoint renders these as Prometheus counters). The key set is fixed:
+// every counter appears even when zero, so exporters emit a stable series
+// set. Durations are excluded; exporters derive timing series from the
+// *Time fields directly.
+func (s Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		"iterations":          int64(s.Iterations),
+		"linear_checks":       int64(s.LinearChecks),
+		"nonlinear_checks":    int64(s.NonlinearChecks),
+		"conflict_clauses":    int64(s.ConflictClauses),
+		"lossy_blocks":        int64(s.LossyBlocks),
+		"ne_splits":           int64(s.NESplits),
+		"lemmas_published":    int64(s.LemmasPublished),
+		"lemmas_imported":     int64(s.LemmasImported),
+		"lemmas_deduped":      int64(s.LemmasDeduped),
+		"theory_cache_hits":   int64(s.TheoryCacheHits),
+		"theory_cache_misses": int64(s.TheoryCacheMisses),
+	}
 }
 
 // Result is the outcome of Solve.

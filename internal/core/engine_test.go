@@ -484,3 +484,29 @@ func TestManyDisjointChoices(t *testing.T) {
 	}
 	requireSat(t, p, Config{})
 }
+
+// TestStatsCounters pins the exporter contract: a fixed, stable key set
+// whose values track the corresponding Stats fields, Merge-compatible.
+func TestStatsCounters(t *testing.T) {
+	keys := []string{
+		"iterations", "linear_checks", "nonlinear_checks", "conflict_clauses",
+		"lossy_blocks", "ne_splits", "lemmas_published", "lemmas_imported",
+		"lemmas_deduped", "theory_cache_hits", "theory_cache_misses",
+	}
+	zero := Stats{}.Counters()
+	if len(zero) != len(keys) {
+		t.Fatalf("Counters() has %d keys, want %d", len(zero), len(keys))
+	}
+	for _, k := range keys {
+		if v, ok := zero[k]; !ok || v != 0 {
+			t.Fatalf("zero Stats: key %q = %d, present=%v", k, v, ok)
+		}
+	}
+	a := Stats{Iterations: 3, LinearChecks: 2, TheoryCacheHits: 5}
+	b := Stats{Iterations: 4, LemmasImported: 1}
+	a.Merge(b)
+	c := a.Counters()
+	if c["iterations"] != 7 || c["linear_checks"] != 2 || c["theory_cache_hits"] != 5 || c["lemmas_imported"] != 1 {
+		t.Fatalf("merged counters wrong: %v", c)
+	}
+}

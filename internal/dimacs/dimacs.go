@@ -31,11 +31,31 @@ import (
 	"absolver/internal/expr"
 )
 
-// Parse reads an extended DIMACS problem.
+// Parse reads an extended DIMACS problem. It is ParseLimited under the
+// package's default (generous) resource caps.
 func Parse(r io.Reader) (*core.Problem, error) {
+	return ParseLimited(r, Limits{})
+}
+
+// ParseLimited reads an extended DIMACS problem from untrusted input under
+// explicit resource caps (zero fields select the package defaults).
+// Exceeding a cap returns an error matching the corresponding typed
+// sentinel (ErrInputTooLarge, ErrLineTooLong, ErrTooManyClauses,
+// ErrTooManyVars) via errors.Is.
+func ParseLimited(r io.Reader, lim Limits) (*core.Problem, error) {
+	lim = lim.withDefaults()
 	p := core.NewProblem()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	// One byte beyond the cap distinguishes "exactly at the limit" from
+	// "over it": the reader runs dry with lr.N == 0 only in the latter case.
+	lr := &io.LimitedReader{R: r, N: lim.MaxBytes + 1}
+	sc := bufio.NewScanner(lr)
+	// The scanner's token cap is max(cap(buf), limit), so the initial
+	// buffer must not exceed the configured line limit.
+	initial := 1 << 16
+	if initial > lim.MaxLineBytes {
+		initial = lim.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, 0, initial), lim.MaxLineBytes)
 
 	sawHeader := false
 	declaredVars := 0
@@ -53,6 +73,15 @@ func Parse(r io.Reader) (*core.Problem, error) {
 		case strings.HasPrefix(line, "c"):
 			rest := strings.TrimSpace(strings.TrimPrefix(line, "c"))
 			fields := strings.Fields(rest)
+			// A "def" or "bound" keyword with the wrong arity is a truncated
+			// or malformed extension line, not a free comment: treating it as
+			// the latter would silently drop a binding or a bound.
+			if len(fields) > 0 && fields[0] == "def" && len(fields) < 3 {
+				return nil, fmt.Errorf("dimacs: line %d: truncated def line", lineNo)
+			}
+			if len(fields) > 0 && fields[0] == "bound" && len(fields) != 4 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed bound line (want: bound <name> <lo> <hi>)", lineNo)
+			}
 			if len(fields) >= 3 && fields[0] == "def" {
 				dom := expr.Real
 				switch fields[1] {
@@ -66,6 +95,9 @@ func Parse(r io.Reader) (*core.Problem, error) {
 				v, err := strconv.Atoi(fields[2])
 				if err != nil || v <= 0 {
 					return nil, fmt.Errorf("dimacs: line %d: bad def variable %q", lineNo, fields[2])
+				}
+				if v > lim.MaxVars {
+					return nil, fmt.Errorf("dimacs: line %d: def variable %d: %w", lineNo, v, ErrTooManyVars)
 				}
 				atomSrc := strings.TrimSpace(rest[strings.Index(rest, fields[2])+len(fields[2]):])
 				a, err := expr.ParseAtom(atomSrc, dom)
@@ -100,6 +132,9 @@ func Parse(r io.Reader) (*core.Problem, error) {
 			if err != nil || nv < 0 {
 				return nil, fmt.Errorf("dimacs: line %d: bad variable count", lineNo)
 			}
+			if nv > lim.MaxVars {
+				return nil, fmt.Errorf("dimacs: line %d: %d variables: %w", lineNo, nv, ErrTooManyVars)
+			}
 			declaredVars = nv
 			if nv > p.NumVars {
 				p.NumVars = nv
@@ -116,18 +151,33 @@ func Parse(r io.Reader) (*core.Problem, error) {
 					if len(pending) == 0 {
 						return nil, fmt.Errorf("dimacs: line %d: empty clause", lineNo)
 					}
+					if len(p.Clauses) >= lim.MaxClauses {
+						return nil, fmt.Errorf("dimacs: line %d: %w", lineNo, ErrTooManyClauses)
+					}
 					p.AddClause(pending...)
 					pending = nil
 					continue
+				}
+				if n > lim.MaxVars || -n > lim.MaxVars {
+					return nil, fmt.Errorf("dimacs: line %d: literal %d: %w", lineNo, n, ErrTooManyVars)
 				}
 				pending = append(pending, n)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("dimacs: line %d: %w", lineNo+1, ErrLineTooLong)
+		}
 		return nil, err
 	}
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("dimacs: after %d bytes: %w", lim.MaxBytes, ErrInputTooLarge)
+	}
 	if len(pending) > 0 {
+		if len(p.Clauses) >= lim.MaxClauses {
+			return nil, fmt.Errorf("dimacs: line %d: %w", lineNo, ErrTooManyClauses)
+		}
 		p.AddClause(pending...)
 	}
 	if !sawHeader {

@@ -1,0 +1,63 @@
+package dimacs
+
+import "errors"
+
+// Default resource caps for ParseLimited. They are deliberately generous —
+// far beyond anything the paper's workloads need — so that Parse (which
+// uses them) stays a drop-in for trusted files while still bounding what a
+// hostile network peer can make the parser allocate.
+const (
+	DefaultMaxBytes     = 64 << 20 // 64 MiB of input text
+	DefaultMaxLineBytes = 1 << 20  // 1 MiB per line
+	DefaultMaxClauses   = 1 << 22  // ~4M clauses
+	DefaultMaxVars      = 1 << 22  // ~4M Boolean variables
+)
+
+// Typed parse-resource errors. They are wrapped with positional context;
+// match with errors.Is.
+var (
+	// ErrInputTooLarge reports that the input exceeded Limits.MaxBytes.
+	ErrInputTooLarge = errors.New("dimacs: input exceeds byte limit")
+	// ErrLineTooLong reports a single line exceeding Limits.MaxLineBytes.
+	ErrLineTooLong = errors.New("dimacs: line exceeds length limit")
+	// ErrTooManyClauses reports that the clause count exceeded
+	// Limits.MaxClauses.
+	ErrTooManyClauses = errors.New("dimacs: clause count exceeds limit")
+	// ErrTooManyVars reports a variable index (header count, def target, or
+	// clause literal) exceeding Limits.MaxVars.
+	ErrTooManyVars = errors.New("dimacs: variable index exceeds limit")
+)
+
+// Limits bounds the resources a single parse may consume, so the extended
+// DIMACS reader can face untrusted network input (the absolverd service)
+// without an adversarial body driving memory allocation: every cap turns
+// into a typed error instead of an unbounded allocation. A zero field
+// selects the package default above.
+type Limits struct {
+	// MaxBytes caps the total input size in bytes.
+	MaxBytes int64
+	// MaxLineBytes caps the length of a single line.
+	MaxLineBytes int
+	// MaxClauses caps the number of parsed clauses.
+	MaxClauses int
+	// MaxVars caps every variable index: the header's declared count, def
+	// targets, and clause literals. Without it a single literal like
+	// 2000000000 would grow the problem's variable space to match.
+	MaxVars int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBytes == 0 {
+		l.MaxBytes = DefaultMaxBytes
+	}
+	if l.MaxLineBytes == 0 {
+		l.MaxLineBytes = DefaultMaxLineBytes
+	}
+	if l.MaxClauses == 0 {
+		l.MaxClauses = DefaultMaxClauses
+	}
+	if l.MaxVars == 0 {
+		l.MaxVars = DefaultMaxVars
+	}
+	return l
+}

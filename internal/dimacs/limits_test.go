@@ -1,0 +1,103 @@
+package dimacs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const limitsValidInput = `c a tiny mixed problem
+p cnf 2 2
+1 2 0
+-1 2 0
+c def real 1 x >= 1
+c bound x -10 10
+`
+
+// TestParseLimitedDefaultsAcceptValidInput pins that Parse (= default
+// limits) still accepts ordinary trusted files.
+func TestParseLimitedDefaultsAcceptValidInput(t *testing.T) {
+	p, err := ParseLimited(strings.NewReader(limitsValidInput), Limits{})
+	if err != nil {
+		t.Fatalf("ParseLimited(defaults): %v", err)
+	}
+	if len(p.Clauses) != 2 || p.NumVars != 2 {
+		t.Fatalf("got %d clauses / %d vars, want 2 / 2", len(p.Clauses), p.NumVars)
+	}
+}
+
+func TestParseLimitedOversizedInput(t *testing.T) {
+	// A long tail of comment lines pushes the input over a tiny byte cap.
+	src := limitsValidInput + strings.Repeat("c padding padding padding\n", 64)
+	_, err := ParseLimited(strings.NewReader(src), Limits{MaxBytes: 128})
+	if !errors.Is(err, ErrInputTooLarge) {
+		t.Fatalf("err = %v, want ErrInputTooLarge", err)
+	}
+	// Exactly at the cap is fine.
+	if _, err := ParseLimited(strings.NewReader(limitsValidInput), Limits{MaxBytes: int64(len(limitsValidInput))}); err != nil {
+		t.Fatalf("input exactly at MaxBytes rejected: %v", err)
+	}
+}
+
+func TestParseLimitedLineTooLong(t *testing.T) {
+	src := "p cnf 1 1\n1 " + strings.Repeat(" 1", 4000) + " 0\n"
+	_, err := ParseLimited(strings.NewReader(src), Limits{MaxLineBytes: 256})
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestParseLimitedTooManyClauses(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("p cnf 2 8\n")
+	for i := 0; i < 8; i++ {
+		sb.WriteString("1 2 0\n")
+	}
+	_, err := ParseLimited(strings.NewReader(sb.String()), Limits{MaxClauses: 4})
+	if !errors.Is(err, ErrTooManyClauses) {
+		t.Fatalf("err = %v, want ErrTooManyClauses", err)
+	}
+	// A final unterminated clause counts against the cap too.
+	_, err = ParseLimited(strings.NewReader("p cnf 1 2\n1 0\n1"), Limits{MaxClauses: 1})
+	if !errors.Is(err, ErrTooManyClauses) {
+		t.Fatalf("unterminated clause: err = %v, want ErrTooManyClauses", err)
+	}
+}
+
+// TestParseLimitedTooManyVars covers the three places a variable index can
+// blow up the problem's variable space: the header, a clause literal, and
+// a def target.
+func TestParseLimitedTooManyVars(t *testing.T) {
+	cases := []string{
+		"p cnf 2000000000 1\n1 0\n",
+		"p cnf 1 1\n2000000000 0\n",
+		"p cnf 1 1\n-2000000000 0\n",
+		"p cnf 1 1\n1 0\nc def real 2000000000 x >= 1\n",
+	}
+	for _, src := range cases {
+		if _, err := ParseLimited(strings.NewReader(src), Limits{MaxVars: 1 << 10}); !errors.Is(err, ErrTooManyVars) {
+			t.Errorf("%q: err = %v, want ErrTooManyVars", src, err)
+		}
+	}
+}
+
+// TestParseLimitedTruncatedAndGarbage feeds inputs cut mid-construct and
+// plain binary noise: every one must return an error (never panic, never a
+// silently wrong problem).
+func TestParseLimitedTruncatedAndGarbage(t *testing.T) {
+	cases := []string{
+		"p cn",                                 // header cut mid-token
+		"p cnf 2",                              // header cut mid-fields
+		"p cnf 2 1\n1 2 0\nc def real",         // def line cut before the atom
+		"p cnf 2 1\n1 2 0\nc def real 1 x >",   // def atom cut mid-operator
+		"p cnf 1 1\n1 0\nc bound x 0",          // bound cut before hi
+		"\x00\x01\x02\xff binary garbage \xfe", // not DIMACS at all
+		"1 2 0\n",                              // clauses with no header
+	}
+	for _, src := range cases {
+		p, err := ParseLimited(strings.NewReader(src), Limits{})
+		if err == nil {
+			t.Errorf("%q: parsed without error (%d clauses)", src, len(p.Clauses))
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package api defines the wire types of the absolverd HTTP service — the
+// solve request parameters, the JSON response and stream-event envelopes,
+// and the stable HTTP↔exit-code mapping — shared by the server and the Go
+// client so neither depends on the other's internals.
+package api
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"time"
+
+	"absolver/internal/core"
+)
+
+// Problem body formats accepted by POST /v1/solve.
+const (
+	// FormatDIMACS is ABsolver's extended DIMACS input language (default).
+	FormatDIMACS = "dimacs"
+	// FormatSMTLIB is the SMT-LIB 1.2 benchmark subset.
+	FormatSMTLIB = "smtlib"
+)
+
+// SolveParams are the engine knobs of one solve request. On the wire they
+// travel as query parameters of POST /v1/solve (the body carries the
+// problem text); Values/ParseParams convert both ways.
+type SolveParams struct {
+	// Format is the problem body's language: FormatDIMACS (default) or
+	// FormatSMTLIB.
+	Format string
+	// Portfolio races N differently-configured engines; 0 = single engine.
+	Portfolio int
+	// NoShare disables cross-engine lemma sharing in a portfolio race.
+	NoShare bool
+	// Restart re-creates the Boolean solver per iteration.
+	Restart bool
+	// NoIIS disables smallest-conflicting-subset refinement.
+	NoIIS bool
+	// NoLemmas disables static theory-lemma grounding.
+	NoLemmas bool
+	// NoCache disables the theory-verdict cache.
+	NoCache bool
+	// CheckModels independently re-certifies every SAT model.
+	CheckModels bool
+	// Timeout bounds queue wait + solve for this request; 0 selects the
+	// server's default, values above the server's maximum are clamped.
+	Timeout time.Duration
+	// Stream requests NDJSON trace streaming instead of a single JSON
+	// response.
+	Stream bool
+}
+
+// Values renders the parameters as URL query values (zero fields are
+// omitted).
+func (p SolveParams) Values() url.Values {
+	v := url.Values{}
+	if p.Format != "" && p.Format != FormatDIMACS {
+		v.Set("format", p.Format)
+	}
+	if p.Portfolio > 0 {
+		v.Set("portfolio", strconv.Itoa(p.Portfolio))
+	}
+	setBool := func(key string, b bool) {
+		if b {
+			v.Set(key, "true")
+		}
+	}
+	setBool("no_share", p.NoShare)
+	setBool("restart", p.Restart)
+	setBool("no_iis", p.NoIIS)
+	setBool("no_lemmas", p.NoLemmas)
+	setBool("no_cache", p.NoCache)
+	setBool("check_models", p.CheckModels)
+	setBool("stream", p.Stream)
+	if p.Timeout > 0 {
+		v.Set("timeout", p.Timeout.String())
+	}
+	return v
+}
+
+// ParseParams reads solve parameters from URL query values, rejecting
+// unknown formats and malformed numbers/durations/booleans.
+func ParseParams(v url.Values) (SolveParams, error) {
+	var p SolveParams
+	p.Format = v.Get("format")
+	switch p.Format {
+	case "":
+		p.Format = FormatDIMACS
+	case FormatDIMACS, FormatSMTLIB:
+	default:
+		return p, fmt.Errorf("unknown format %q (want %q or %q)", p.Format, FormatDIMACS, FormatSMTLIB)
+	}
+	if s := v.Get("portfolio"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad portfolio %q: want a non-negative integer", s)
+		}
+		p.Portfolio = n
+	}
+	getBool := func(key string, dst *bool) error {
+		s := v.Get(key)
+		if s == "" {
+			if _, present := v[key]; present {
+				// Bare "?restart" (no value) means true.
+				*dst = true
+			}
+			return nil
+		}
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return fmt.Errorf("bad %s %q: want a boolean", key, s)
+		}
+		*dst = b
+		return nil
+	}
+	for key, dst := range map[string]*bool{
+		"no_share": &p.NoShare, "restart": &p.Restart, "no_iis": &p.NoIIS,
+		"no_lemmas": &p.NoLemmas, "no_cache": &p.NoCache,
+		"check_models": &p.CheckModels, "stream": &p.Stream,
+	} {
+		if err := getBool(key, dst); err != nil {
+			return p, err
+		}
+	}
+	if s := v.Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			return p, fmt.Errorf("bad timeout %q: want a Go duration", s)
+		}
+		p.Timeout = d
+	}
+	return p, nil
+}
+
+// Stats is the JSON rendering of core.Stats (wall-clock fields in
+// milliseconds).
+type Stats struct {
+	Iterations        int     `json:"iterations"`
+	LinearChecks      int     `json:"linear_checks"`
+	NonlinearChecks   int     `json:"nonlinear_checks"`
+	ConflictClauses   int     `json:"conflict_clauses"`
+	LossyBlocks       int     `json:"lossy_blocks"`
+	NESplits          int     `json:"ne_splits"`
+	LemmasPublished   int     `json:"lemmas_published"`
+	LemmasImported    int     `json:"lemmas_imported"`
+	LemmasDeduped     int     `json:"lemmas_deduped"`
+	TheoryCacheHits   int     `json:"theory_cache_hits"`
+	TheoryCacheMisses int     `json:"theory_cache_misses"`
+	BoolMS            float64 `json:"bool_ms"`
+	LinearMS          float64 `json:"linear_ms"`
+	NonlinearMS       float64 `json:"nonlinear_ms"`
+	WallMS            float64 `json:"wall_ms"`
+}
+
+// StatsFrom converts engine statistics to the wire form.
+func StatsFrom(s core.Stats) Stats {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Stats{
+		Iterations:        s.Iterations,
+		LinearChecks:      s.LinearChecks,
+		NonlinearChecks:   s.NonlinearChecks,
+		ConflictClauses:   s.ConflictClauses,
+		LossyBlocks:       s.LossyBlocks,
+		NESplits:          s.NESplits,
+		LemmasPublished:   s.LemmasPublished,
+		LemmasImported:    s.LemmasImported,
+		LemmasDeduped:     s.LemmasDeduped,
+		TheoryCacheHits:   s.TheoryCacheHits,
+		TheoryCacheMisses: s.TheoryCacheMisses,
+		BoolMS:            ms(s.BoolTime),
+		LinearMS:          ms(s.LinearTime),
+		NonlinearMS:       ms(s.NonlinearTime),
+		WallMS:            ms(s.WallTime),
+	}
+}
+
+// Model is the JSON rendering of a satisfying valuation.
+type Model struct {
+	// Bool is the Boolean assignment, index i holding variable i+1.
+	Bool []bool `json:"bool"`
+	// Real is the arithmetic witness by variable name.
+	Real map[string]float64 `json:"real,omitempty"`
+}
+
+// ModelFrom converts an engine model to the wire form.
+func ModelFrom(m core.Model) *Model {
+	out := &Model{Bool: m.Bool}
+	if len(m.Real) > 0 {
+		out.Real = m.Real
+	}
+	return out
+}
+
+// SolveResponse is the JSON body of a completed solve (HTTP 200) and the
+// payload of the final "result" stream event.
+type SolveResponse struct {
+	// Status is the verdict: "sat", "unsat", or "unknown".
+	Status string `json:"status"`
+	// ExitCode is the stand-alone tool's exit code for this verdict
+	// (0 sat / 10 unsat / 20 unknown), keeping scripted clients of the CLI
+	// and of the service in one vocabulary.
+	ExitCode int `json:"exit_code"`
+	// Reason classifies a non-definitive verdict: "timeout", "canceled",
+	// or an engine diagnostic. Empty on sat/unsat.
+	Reason string `json:"reason,omitempty"`
+	// Model is the satisfying valuation (sat only).
+	Model *Model `json:"model,omitempty"`
+	// Winner names the winning portfolio strategy (portfolio runs only).
+	Winner string `json:"winner,omitempty"`
+	// Stats carries the engine counters of this solve (portfolio runs:
+	// summed over members).
+	Stats Stats `json:"stats"`
+}
+
+// ErrorResponse is the JSON body of every non-200 response.
+type ErrorResponse struct {
+	// Error is the human-readable diagnostic.
+	Error string `json:"error"`
+	// ExitCode is the stand-alone tool's exit code for this failure class
+	// (2 usage/input error, 20 transient/unknown, 1 internal).
+	ExitCode int `json:"exit_code"`
+}
+
+// Stream event types (the "type" field of each NDJSON line).
+const (
+	// EventTrace is one engine iteration report.
+	EventTrace = "trace"
+	// EventResult is the final event carrying the SolveResponse.
+	EventResult = "result"
+	// EventError is the final event of a failed solve.
+	EventError = "error"
+)
+
+// StreamEvent is one NDJSON line of a streaming solve.
+type StreamEvent struct {
+	Type string `json:"type"`
+	// Trace fields (Type == EventTrace), mirroring core.Event.
+	Iteration int    `json:"iteration,omitempty"`
+	Kind      string `json:"kind,omitempty"`
+	ClauseLen int    `json:"clause_len,omitempty"`
+	Imported  int    `json:"imported,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	// Result is the final verdict (Type == EventResult).
+	Result *SolveResponse `json:"result,omitempty"`
+	// Error is the failure diagnostic (Type == EventError).
+	Error string `json:"error,omitempty"`
+}
+
+// TraceEvent converts an engine trace event to its stream form.
+func TraceEvent(ev core.Event) StreamEvent {
+	return StreamEvent{
+		Type:      EventTrace,
+		Iteration: ev.Iteration,
+		Kind:      ev.Kind.String(),
+		ClauseLen: ev.ClauseLen,
+		Imported:  ev.Imported,
+		CacheHit:  ev.CacheHit,
+	}
+}
+
+// Exit codes shared with the stand-alone tool (docs/exit-codes.md).
+const (
+	ExitSat      = 0
+	ExitInternal = 1
+	ExitUsage    = 2
+	ExitUnsat    = 10
+	ExitUnknown  = 20
+)
+
+// ExitCode maps an engine verdict to the stand-alone tool's exit code.
+func ExitCode(s core.Status) int {
+	switch s {
+	case core.StatusSat:
+		return ExitSat
+	case core.StatusUnsat:
+		return ExitUnsat
+	}
+	return ExitUnknown
+}

@@ -1,0 +1,77 @@
+package api
+
+import (
+	"net/url"
+	"testing"
+	"time"
+
+	"absolver/internal/core"
+)
+
+// TestParamsRoundTrip pins the wire format: Values and ParseParams must
+// invert each other for every field.
+func TestParamsRoundTrip(t *testing.T) {
+	want := SolveParams{
+		Format: FormatSMTLIB, Portfolio: 4, NoShare: true, Restart: true,
+		NoIIS: true, NoLemmas: true, NoCache: true, CheckModels: true,
+		Timeout: 90 * time.Second, Stream: true,
+	}
+	got, err := ParseParams(want.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Zero value round-trips to the defaulted format.
+	got, err = ParseParams(SolveParams{}.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (SolveParams{Format: FormatDIMACS}) {
+		t.Fatalf("zero round trip: %+v", got)
+	}
+}
+
+func TestParseParamsForgiving(t *testing.T) {
+	// Bare boolean keys (curl's ?restart) mean true.
+	v, _ := url.ParseQuery("restart&no_cache=1&timeout=5s")
+	p, err := ParseParams(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Restart || !p.NoCache || p.Timeout != 5*time.Second {
+		t.Fatalf("bare keys: %+v", p)
+	}
+}
+
+func TestParseParamsRejects(t *testing.T) {
+	for _, raw := range []string{
+		"format=tptp", "portfolio=-1", "portfolio=two",
+		"restart=maybe", "timeout=fast", "timeout=-3s",
+	} {
+		v, _ := url.ParseQuery(raw)
+		if _, err := ParseParams(v); err == nil {
+			t.Errorf("%q accepted, want error", raw)
+		}
+	}
+}
+
+// TestExitCodes pins the HTTP body's exit_code field to the CLI contract
+// (docs/exit-codes.md).
+func TestExitCodes(t *testing.T) {
+	cases := map[core.Status]int{
+		core.StatusSat:     ExitSat,
+		core.StatusUnsat:   ExitUnsat,
+		core.StatusUnknown: ExitUnknown,
+	}
+	for status, want := range cases {
+		if got := ExitCode(status); got != want {
+			t.Errorf("ExitCode(%v) = %d, want %d", status, got, want)
+		}
+	}
+	if ExitSat != 0 || ExitInternal != 1 || ExitUsage != 2 || ExitUnsat != 10 || ExitUnknown != 20 {
+		t.Error("exit code constants drifted from docs/exit-codes.md")
+	}
+}

@@ -1,0 +1,237 @@
+// Package client is the Go client of the absolverd HTTP service: plain and
+// streaming solves, metrics scraping, and health probes. The load and
+// robustness suite drives the daemon through it, and service tooling can
+// embed it to pipe problems into a running absolverd.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"absolver/internal/server/api"
+)
+
+// Client talks to one absolverd instance.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8753".
+	BaseURL string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Error is a non-200 service answer.
+type Error struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// ExitCode is the stand-alone tool's exit code for this failure class.
+	ExitCode int
+	// Message is the service diagnostic.
+	Message string
+	// RetryAfter is the server's backoff hint (429/503 responses).
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("absolverd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// IsQueueFull reports whether err is the service's admission-control
+// rejection (HTTP 429).
+func IsQueueFull(err error) bool {
+	var se *Error
+	return asError(err, &se) && se.StatusCode == http.StatusTooManyRequests
+}
+
+func asError(err error, target **Error) bool {
+	for err != nil {
+		if se, ok := err.(*Error); ok {
+			*target = se
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// errorFromResponse decodes a non-200 body into *Error.
+func errorFromResponse(resp *http.Response) error {
+	e := &Error{StatusCode: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	var body api.ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil {
+		e.Message = body.Error
+		e.ExitCode = body.ExitCode
+	} else {
+		e.Message = resp.Status
+	}
+	return e
+}
+
+func (c *Client) solveURL(params api.SolveParams) string {
+	u := c.BaseURL + "/v1/solve"
+	if q := params.Values().Encode(); q != "" {
+		u += "?" + q
+	}
+	return u
+}
+
+// Solve submits a problem body and waits for the verdict. A non-200 answer
+// (bad input, queue full, draining, internal failure) is returned as *Error.
+func (c *Client) Solve(ctx context.Context, problem string, params api.SolveParams) (*api.SolveResponse, error) {
+	params.Stream = false
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.solveURL(params), strings.NewReader(problem))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFromResponse(resp)
+	}
+	var out api.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("absolverd: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// SolveStream submits a problem and watches the lazy loop live: onEvent
+// receives every trace event as it streams in; the final verdict is
+// returned. A non-nil error from onEvent aborts the request (closing the
+// connection, which cancels the in-flight solve server-side) and is
+// returned verbatim.
+func (c *Client) SolveStream(ctx context.Context, problem string, params api.SolveParams, onEvent func(api.StreamEvent) error) (*api.SolveResponse, error) {
+	params.Stream = true
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.solveURL(params), strings.NewReader(problem))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFromResponse(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev api.StreamEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("absolverd: bad stream line %q: %w", line, err)
+		}
+		switch ev.Type {
+		case api.EventResult:
+			return ev.Result, nil
+		case api.EventError:
+			return nil, &Error{StatusCode: http.StatusOK, ExitCode: api.ExitInternal, Message: ev.Error}
+		default:
+			if onEvent != nil {
+				if err := onEvent(ev); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("absolverd: stream ended without a result event")
+}
+
+// Metrics scrapes GET /metrics into a flat map keyed by series name
+// including labels, e.g. `absolverd_solves_total{verdict="sat"}`.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFromResponse(resp)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("absolverd: bad metric line %q: %w", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}
+
+// Healthz probes GET /healthz (nil = healthy).
+func (c *Client) Healthz(ctx context.Context) error { return c.probe(ctx, "/healthz") }
+
+// Readyz probes GET /readyz (nil = admitting; *Error with 503 while
+// draining).
+func (c *Client) Readyz(ctx context.Context) error { return c.probe(ctx, "/readyz") }
+
+func (c *Client) probe(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusOK {
+		return &Error{StatusCode: resp.StatusCode, Message: http.StatusText(resp.StatusCode)}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"absolver/internal/core"
+	"absolver/internal/dimacs"
+	"absolver/internal/server"
+	"absolver/internal/server/api"
+	"absolver/internal/server/client"
+	"absolver/internal/testkit"
+)
+
+// gatedSolve returns a SolveFunc that signals admission-to-worker handoff
+// on started and then parks until release closes (returning sat) or the
+// job context ends (returning the context error) — deterministic timing
+// for the queue-contract tests, no sleeps.
+func gatedSolve(started chan<- struct{}, release <-chan struct{}) server.SolveFunc {
+	return func(ctx context.Context, _ *core.Problem, _ api.SolveParams, _ core.TraceFunc) (server.Outcome, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return server.Outcome{Result: core.Result{
+				Status: core.StatusSat,
+				Model:  &core.Model{Bool: []bool{true, false}},
+			}}, nil
+		case <-ctx.Done():
+			return server.Outcome{Result: core.Result{Status: core.StatusUnknown}}, ctx.Err()
+		}
+	}
+}
+
+func metric(t *testing.T, c *client.Client, key string) float64 {
+	t.Helper()
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	return m[key]
+}
+
+// TestAdmissionControlContract proves the serving contract: with W workers
+// and queue depth Q, W+Q concurrent solves are all admitted and complete,
+// and the (W+Q+1)-th is rejected with 429 + Retry-After.
+func TestAdmissionControlContract(t *testing.T) {
+	const W, Q = 2, 3
+	started := make(chan struct{}, W+Q)
+	release := make(chan struct{})
+	_, c := newTestServer(t, server.Config{
+		Workers: W, QueueDepth: Q,
+		SolveFunc: gatedSolve(started, release),
+	})
+	ctx := context.Background()
+
+	type answer struct {
+		resp *api.SolveResponse
+		err  error
+	}
+	answers := make(chan answer, W+Q)
+	solve := func() {
+		resp, err := c.Solve(ctx, satDIMACS, api.SolveParams{Timeout: time.Minute})
+		answers <- answer{resp, err}
+	}
+
+	// Fill the workers and wait until every one is inside its solve.
+	for i := 0; i < W; i++ {
+		go solve()
+	}
+	for i := 0; i < W; i++ {
+		<-started
+	}
+	// Fill the queue behind them.
+	for i := 0; i < Q; i++ {
+		go solve()
+	}
+	waitFor(t, "queue to fill", func() bool {
+		return metric(t, c, "absolverd_queue_depth") == Q
+	})
+
+	// The (W+Q+1)-th concurrent request must be bounced, with a backoff hint.
+	_, err := c.Solve(ctx, satDIMACS, api.SolveParams{})
+	if !client.IsQueueFull(err) {
+		t.Fatalf("overload request: err = %v, want queue-full", err)
+	}
+	var ce *client.Error
+	if errors.As(err, &ce); ce.RetryAfter <= 0 {
+		t.Fatalf("429 without Retry-After hint: %+v", ce)
+	}
+
+	// Release the gate: every admitted solve completes satisfiably.
+	close(release)
+	for i := 0; i < W+Q; i++ {
+		a := <-answers
+		if a.err != nil {
+			t.Fatalf("admitted solve %d failed: %v", i, a.err)
+		}
+		if a.resp.Status != "sat" {
+			t.Fatalf("admitted solve %d: %+v", i, a.resp)
+		}
+	}
+	if n := metric(t, c, `absolverd_rejected_total{reason="queue_full"}`); n != 1 {
+		t.Fatalf("queue_full rejections = %g, want 1", n)
+	}
+	if n := metric(t, c, `absolverd_solves_total{verdict="sat"}`); n != W+Q {
+		t.Fatalf("sat solves = %g, want %d", n, W+Q)
+	}
+}
+
+// TestClientDisconnectCancelsSolve streams a long-running solve, watches a
+// few trace events arrive live, then drops the connection — the in-flight
+// solve must be cancelled through the request context, observed as a
+// "canceled" job in /metrics and a freed worker.
+func TestClientDisconnectCancelsSolve(t *testing.T) {
+	// The solve emits a trace event every few milliseconds until its
+	// context dies; it can only end by cancellation.
+	tickingSolve := func(ctx context.Context, _ *core.Problem, _ api.SolveParams, trace core.TraceFunc) (server.Outcome, error) {
+		for i := 1; ; i++ {
+			select {
+			case <-ctx.Done():
+				return server.Outcome{Result: core.Result{Status: core.StatusUnknown}}, ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+				if trace != nil {
+					trace(core.Event{Iteration: i, Kind: core.EventConflict, ClauseLen: 2})
+				}
+			}
+		}
+	}
+	_, c := newTestServer(t, server.Config{Workers: 1, QueueDepth: 1, SolveFunc: tickingSolve})
+
+	errAbort := errors.New("client walks away")
+	seen := 0
+	_, err := c.SolveStream(context.Background(), satDIMACS, api.SolveParams{Timeout: time.Minute},
+		func(ev api.StreamEvent) error {
+			if ev.Type != api.EventTrace || ev.Iteration == 0 {
+				return fmt.Errorf("bad event %+v", ev)
+			}
+			seen++
+			if seen == 3 {
+				return errAbort // closes the connection mid-solve
+			}
+			return nil
+		})
+	if !errors.Is(err, errAbort) {
+		t.Fatalf("stream err = %v, want errAbort", err)
+	}
+	if seen != 3 {
+		t.Fatalf("saw %d events, want 3", seen)
+	}
+
+	// The disconnect must cancel the solve: the job finishes as
+	// "canceled" and the single worker becomes free again.
+	waitFor(t, "in-flight solve to be canceled", func() bool {
+		return metric(t, c, `absolverd_solves_total{verdict="canceled"}`) == 1
+	})
+	waitFor(t, "worker to free up", func() bool {
+		return metric(t, c, "absolverd_workers_busy") == 0
+	})
+}
+
+// TestShutdownUnderLoadDrains proves graceful shutdown: with workers busy
+// and the queue non-empty, Shutdown stops admission (503 + not-ready) but
+// every already-admitted job runs to completion before Shutdown returns.
+func TestShutdownUnderLoadDrains(t *testing.T) {
+	const W, Q = 1, 2
+	started := make(chan struct{}, W+Q)
+	release := make(chan struct{})
+	srv, c := newTestServer(t, server.Config{
+		Workers: W, QueueDepth: Q,
+		SolveFunc: gatedSolve(started, release),
+	})
+	ctx := context.Background()
+
+	answers := make(chan error, W+Q)
+	for i := 0; i < W+Q; i++ {
+		go func() {
+			resp, err := c.Solve(ctx, satDIMACS, api.SolveParams{Timeout: time.Minute})
+			if err == nil && resp.Status != "sat" {
+				err = fmt.Errorf("verdict %s", resp.Status)
+			}
+			answers <- err
+		}()
+	}
+	<-started // the worker is mid-solve
+	waitFor(t, "queue to fill", func() bool {
+		return metric(t, c, "absolverd_queue_depth") == Q
+	})
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+
+	// Draining: not ready, new work refused with 503.
+	waitFor(t, "readyz to flip", func() bool { return c.Readyz(ctx) != nil })
+	_, err := c.Solve(ctx, satDIMACS, api.SolveParams{})
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.StatusCode != 503 {
+		t.Fatalf("solve while draining: %v, want 503", err)
+	}
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with jobs still gated", err)
+	default:
+	}
+
+	// Release: every admitted job completes, then Shutdown returns.
+	close(release)
+	for i := 0; i < W+Q; i++ {
+		if err := <-answers; err != nil {
+			t.Fatalf("admitted job %d dropped during drain: %v", i, err)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if n := metric(t, c, `absolverd_solves_total{verdict="sat"}`); n != W+Q {
+		t.Fatalf("drained solves = %g, want %d", n, W+Q)
+	}
+}
+
+// TestConcurrentMixedFragmentHammer drives the real engine through the
+// service with concurrent clients across all four testkit fragments —
+// plain, portfolio, and streaming requests, with malformed and oversized
+// payloads interleaved — and checks every verdict against a direct
+// engine run of the same problem. Run under -race in CI.
+func TestConcurrentMixedFragmentHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer test skipped in -short mode")
+	}
+	_, c := newTestServer(t, server.Config{Workers: 4, QueueDepth: 64, MaxBodyBytes: 1 << 16})
+	ctx := context.Background()
+
+	type workItem struct {
+		name    string
+		problem string
+		params  api.SolveParams
+		want    string
+	}
+	var work []workItem
+	const seeds = 8
+	for seed := int64(1); seed <= seeds; seed++ {
+		for frag := testkit.Fragment(0); frag < testkit.NumFragments; frag++ {
+			p := testkit.Generate(seed, frag)
+			text, err := dimacs.WriteString(p)
+			if err != nil {
+				t.Fatalf("rendering %v/%d: %v", frag, seed, err)
+			}
+			// The expected verdict comes from a direct single-engine run —
+			// deterministic since PR 2.
+			res, err := core.NewEngine(testkit.Generate(seed, frag), core.Config{}).Solve()
+			if err != nil {
+				t.Fatalf("direct solve %v/%d: %v", frag, seed, err)
+			}
+			item := workItem{
+				name:    fmt.Sprintf("%v/seed%d", frag, seed),
+				problem: text,
+				want:    res.Status.String(),
+				params:  api.SolveParams{Timeout: time.Minute},
+			}
+			// Definitive fragments also race a portfolio (sound and
+			// complete there, so the verdict must match); every third
+			// item streams.
+			if (frag == testkit.FragBool || frag == testkit.FragLinear) && seed%2 == 0 {
+				item.params.Portfolio = 2
+			}
+			if seed%3 == 0 {
+				item.params.Stream = true
+			}
+			work = append(work, item)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(work)+8)
+	for _, w := range work {
+		wg.Add(1)
+		go func(w workItem) {
+			defer wg.Done()
+			var resp *api.SolveResponse
+			var err error
+			if w.params.Stream {
+				resp, err = c.SolveStream(ctx, w.problem, w.params, nil)
+			} else {
+				resp, err = c.Solve(ctx, w.problem, w.params)
+			}
+			if err != nil {
+				errs <- fmt.Errorf("%s: %v", w.name, err)
+				return
+			}
+			if resp.Status != w.want {
+				errs <- fmt.Errorf("%s: verdict %s, want %s", w.name, resp.Status, w.want)
+			}
+		}(w)
+	}
+	// Hostile traffic rides along: malformed and oversized bodies.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var ce *client.Error
+			if _, err := c.Solve(ctx, "p cnf broken\x00", api.SolveParams{}); !errors.As(err, &ce) || ce.StatusCode != 400 {
+				errs <- fmt.Errorf("malformed %d: %v, want 400", i, err)
+			}
+			big := strings.Repeat("c padding line\n", 1<<13)
+			if _, err := c.Solve(ctx, big, api.SolveParams{}); !errors.As(err, &ce) || ce.StatusCode != 413 {
+				errs <- fmt.Errorf("oversized %d: %v, want 413", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Bookkeeping must balance: every well-formed request completed and
+	// was counted, every hostile one was rejected.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m[`absolverd_solves_total{verdict="sat"}`] +
+		m[`absolverd_solves_total{verdict="unsat"}`] +
+		m[`absolverd_solves_total{verdict="unknown"}`]
+	if total != float64(len(work)) {
+		t.Errorf("solves_total = %g, want %d", total, len(work))
+	}
+	if n := m[`absolverd_rejected_total{reason="bad_request"}`]; n != 4 {
+		t.Errorf("bad_request rejections = %g, want 4", n)
+	}
+	if n := m[`absolverd_rejected_total{reason="body_too_large"}`]; n != 4 {
+		t.Errorf("body_too_large rejections = %g, want 4", n)
+	}
+	if n := m["absolverd_engine_iterations_total"]; n <= 0 {
+		t.Errorf("engine iterations not aggregated: %g", n)
+	}
+}

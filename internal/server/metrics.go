@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"absolver/internal/core"
+)
+
+// Job outcome classes for the solves_total counter. Every admitted job
+// lands in exactly one class when it finishes.
+const (
+	verdictSat      = "sat"
+	verdictUnsat    = "unsat"
+	verdictUnknown  = "unknown"
+	verdictCanceled = "canceled" // client went away mid-solve
+	verdictError    = "error"    // engine / input failure after admission
+)
+
+// Admission rejection reasons for the rejected_total counter.
+const (
+	rejectQueueFull    = "queue_full"
+	rejectDraining     = "draining"
+	rejectBodyTooLarge = "body_too_large"
+	rejectBadRequest   = "bad_request"
+)
+
+// metrics aggregates service- and engine-level counters across all jobs.
+// Writes happen under one mutex — contention is negligible next to a
+// solve — and rendering takes a consistent snapshot under the same lock.
+type metrics struct {
+	mu       sync.Mutex
+	solves   map[string]int64 // by verdict class
+	rejected map[string]int64 // by admission rejection reason
+	engine   core.Stats       // summed over every finished job
+	waitTime time.Duration    // total admission→start queue wait
+}
+
+func newMetrics() *metrics {
+	m := &metrics{solves: map[string]int64{}, rejected: map[string]int64{}}
+	// Pre-seed every class so the /metrics series set is stable from the
+	// first scrape.
+	for _, v := range []string{verdictSat, verdictUnsat, verdictUnknown, verdictCanceled, verdictError} {
+		m.solves[v] = 0
+	}
+	for _, r := range []string{rejectQueueFull, rejectDraining, rejectBodyTooLarge, rejectBadRequest} {
+		m.rejected[r] = 0
+	}
+	return m
+}
+
+func (m *metrics) jobDone(verdict string, st core.Stats, wait time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solves[verdict]++
+	m.engine.Merge(st)
+	m.waitTime += wait
+}
+
+func (m *metrics) reject(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected[reason]++
+}
+
+func (m *metrics) rejectedCount(reason string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejected[reason]
+}
+
+// gauges are the point-in-time values rendered next to the counters.
+type gauges struct {
+	queueDepth    int
+	queueCapacity int
+	workers       int
+	workersBusy   int
+}
+
+// write renders the Prometheus text exposition format. Keys are emitted in
+// sorted order so scrapes (and tests) see deterministic output.
+func (m *metrics) write(w io.Writer, g gauges) {
+	m.mu.Lock()
+	solves := make(map[string]int64, len(m.solves))
+	for k, v := range m.solves {
+		solves[k] = v
+	}
+	rejected := make(map[string]int64, len(m.rejected))
+	for k, v := range m.rejected {
+		rejected[k] = v
+	}
+	engine := m.engine
+	wait := m.waitTime
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP absolverd_solves_total Completed solve jobs by outcome class.")
+	fmt.Fprintln(w, "# TYPE absolverd_solves_total counter")
+	for _, k := range sortedKeys(solves) {
+		fmt.Fprintf(w, "absolverd_solves_total{verdict=%q} %d\n", k, solves[k])
+	}
+	fmt.Fprintln(w, "# HELP absolverd_rejected_total Requests rejected before admission, by reason.")
+	fmt.Fprintln(w, "# TYPE absolverd_rejected_total counter")
+	for _, k := range sortedKeys(rejected) {
+		fmt.Fprintf(w, "absolverd_rejected_total{reason=%q} %d\n", k, rejected[k])
+	}
+
+	fmt.Fprintln(w, "# HELP absolverd_queue_depth Jobs admitted but not yet picked up by a worker.")
+	fmt.Fprintln(w, "# TYPE absolverd_queue_depth gauge")
+	fmt.Fprintf(w, "absolverd_queue_depth %d\n", g.queueDepth)
+	fmt.Fprintln(w, "# HELP absolverd_queue_capacity Bounded queue capacity (jobs beyond busy workers).")
+	fmt.Fprintln(w, "# TYPE absolverd_queue_capacity gauge")
+	fmt.Fprintf(w, "absolverd_queue_capacity %d\n", g.queueCapacity)
+	fmt.Fprintln(w, "# HELP absolverd_workers Size of the fixed worker pool.")
+	fmt.Fprintln(w, "# TYPE absolverd_workers gauge")
+	fmt.Fprintf(w, "absolverd_workers %d\n", g.workers)
+	fmt.Fprintln(w, "# HELP absolverd_workers_busy Workers currently running a solve.")
+	fmt.Fprintln(w, "# TYPE absolverd_workers_busy gauge")
+	fmt.Fprintf(w, "absolverd_workers_busy %d\n", g.workersBusy)
+
+	fmt.Fprintln(w, "# HELP absolverd_queue_wait_seconds_total Cumulative admission-to-start wait across jobs.")
+	fmt.Fprintln(w, "# TYPE absolverd_queue_wait_seconds_total counter")
+	fmt.Fprintf(w, "absolverd_queue_wait_seconds_total %g\n", wait.Seconds())
+
+	// Engine counters, via the core.Stats aggregation hook.
+	counters := engine.Counters()
+	fmt.Fprintln(w, "# HELP absolverd_engine_total Engine counters summed over all finished jobs (core.Stats).")
+	for _, k := range sortedKeys(counters) {
+		fmt.Fprintf(w, "# TYPE absolverd_engine_%s_total counter\n", k)
+		fmt.Fprintf(w, "absolverd_engine_%s_total %d\n", k, counters[k])
+	}
+	fmt.Fprintln(w, "# HELP absolverd_engine_wall_seconds_total Engine wall time summed over all finished jobs.")
+	fmt.Fprintln(w, "# TYPE absolverd_engine_wall_seconds_total counter")
+	fmt.Fprintf(w, "absolverd_engine_wall_seconds_total %g\n", engine.WallTime.Seconds())
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

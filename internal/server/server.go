@@ -1,0 +1,534 @@
+// Package server is the solver-as-a-service subsystem: it exposes the
+// engine over HTTP with a bounded job queue and a fixed worker pool
+// (admission control instead of unbounded goroutine fan-out), per-request
+// deadlines that flow into the engine's cooperative cancellation, NDJSON
+// streaming of the lazy loop's trace events, and a Prometheus-style
+// /metrics endpoint aggregating engine counters across all jobs.
+//
+// Serving contract:
+//
+//   - With queue depth Q and W workers, at most W+Q solves are admitted
+//     concurrently; further requests are rejected with 429 + Retry-After.
+//   - A request's timeout (query parameter, clamped to Config.MaxTimeout)
+//     covers queue wait plus solve; expiry yields verdict "unknown" with
+//     reason "timeout".
+//   - A client disconnect cancels its in-flight solve via the request
+//     context.
+//   - Shutdown stops admitting (503), drains every admitted job, then
+//     stops the workers — nothing admitted is ever dropped.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"absolver/internal/core"
+	"absolver/internal/dimacs"
+	"absolver/internal/portfolio"
+	"absolver/internal/server/api"
+	"absolver/internal/smtlib"
+)
+
+// Outcome is what a solve produced: the engine result (Stats merged over
+// members for a portfolio run) plus the winning strategy's name.
+type Outcome struct {
+	Result core.Result
+	Winner string
+}
+
+// SolveFunc decides one admitted job. The default (nil) runs the engine —
+// single or portfolio per the request's parameters; the load/robustness
+// suite substitutes gated functions to pin queue timing, and embedders can
+// route to custom backends. trace is nil unless the request streams.
+type SolveFunc func(ctx context.Context, p *core.Problem, params api.SolveParams, trace core.TraceFunc) (Outcome, error)
+
+// Config tunes the service. Zero fields select the documented defaults.
+type Config struct {
+	// Workers is the fixed solver pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs admitted beyond the busy workers (default 64).
+	QueueDepth int
+	// MaxBodyBytes caps a request body (default 8 MiB); larger bodies get 413.
+	MaxBodyBytes int64
+	// DefaultTimeout applies when a request names none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps the per-request timeout (default 5m).
+	MaxTimeout time.Duration
+	// MaxPortfolio caps the portfolio parameter (default 8); larger
+	// requests get 400.
+	MaxPortfolio int
+	// SolveDelay inserts an artificial pause before each solve — a load-
+	// testing and drain-rehearsal knob (cancellable by the job's context).
+	SolveDelay time.Duration
+	// DIMACSLimits / SMTLIBLimits bound problem parsing; zero fields take
+	// the parser packages' defaults. MaxBodyBytes already caps total size.
+	DIMACSLimits dimacs.Limits
+	SMTLIBLimits smtlib.Limits
+	// SolveFunc overrides how admitted jobs are decided (nil = engine).
+	SolveFunc SolveFunc
+	// Logf, when set, receives one line per completed job and per
+	// lifecycle transition.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxPortfolio <= 0 {
+		c.MaxPortfolio = 8
+	}
+	return c
+}
+
+// job is one admitted solve travelling from handler to worker and back.
+type job struct {
+	ctx      context.Context
+	problem  *core.Problem
+	params   api.SolveParams
+	admitted time.Time
+	// events carries trace events to the streaming handler (nil for
+	// plain requests); the worker closes it when the solve returns.
+	events chan core.Event
+	// done closes after outcome/err are set and events is closed.
+	done    chan struct{}
+	outcome Outcome
+	err     error
+}
+
+// Server owns the queue, the worker pool, and the HTTP handlers. Create
+// with New, call Start, serve Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	mux     *http.ServeMux
+	queue   chan *job
+
+	mu       sync.Mutex // guards draining and the admit-vs-shutdown race
+	draining bool
+	started  bool
+
+	jobs     sync.WaitGroup // admitted, not yet finished
+	workerWG sync.WaitGroup
+	busy     atomic.Int64
+}
+
+// New builds a server; Start must be called before it accepts jobs.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	return s
+}
+
+// Handler returns the HTTP handler serving /v1/solve, /metrics, /healthz,
+// and /readyz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.workerWG.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	s.logf("absolverd: %d workers, queue depth %d", s.cfg.Workers, s.cfg.QueueDepth)
+}
+
+// ErrAlreadyShutdown reports a second Shutdown call.
+var ErrAlreadyShutdown = errors.New("server: already shutting down")
+
+// Shutdown makes the server stop admitting (new solves get 503), waits for
+// every admitted job to finish, then stops the workers. If ctx expires
+// first the error is returned and jobs keep draining in the background;
+// admitted work is never cancelled by shutdown itself.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started || s.draining {
+		s.mu.Unlock()
+		return ErrAlreadyShutdown
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.logf("absolverd: draining")
+
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	close(s.queue)
+	s.workerWG.Wait()
+	s.logf("absolverd: drained")
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	defer s.jobs.Done()
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	wait := time.Since(j.admitted)
+
+	if d := s.cfg.SolveDelay; d > 0 {
+		select {
+		case <-time.After(d):
+		case <-j.ctx.Done():
+		}
+	}
+
+	var trace core.TraceFunc
+	if j.events != nil {
+		events, ctx := j.events, j.ctx
+		// Blocking send gives the stream natural backpressure; the job
+		// context unblocks it when the client goes away or the deadline
+		// fires, so a dead reader can never wedge a worker.
+		trace = func(ev core.Event) {
+			select {
+			case events <- ev:
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	start := time.Now()
+	j.outcome, j.err = s.solve(j.ctx, j.problem, j.params, trace)
+	if j.events != nil {
+		close(j.events)
+	}
+	close(j.done)
+
+	verdict := classify(j.outcome.Result.Status, j.err)
+	s.metrics.jobDone(verdict, j.outcome.Result.Stats, wait)
+	s.logf("absolverd: job done verdict=%s wait=%v solve=%v", verdict, wait, time.Since(start))
+}
+
+// classify buckets a finished job for the solves_total counter.
+func classify(status core.Status, err error) string {
+	switch {
+	case err == nil, errors.Is(err, core.ErrTimeout),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, core.ErrIterationLimit):
+		switch status {
+		case core.StatusSat:
+			return verdictSat
+		case core.StatusUnsat:
+			return verdictUnsat
+		}
+		return verdictUnknown
+	case errors.Is(err, context.Canceled):
+		return verdictCanceled
+	default:
+		return verdictError
+	}
+}
+
+// solve runs the configured SolveFunc, defaulting to the engine.
+func (s *Server) solve(ctx context.Context, p *core.Problem, params api.SolveParams, trace core.TraceFunc) (Outcome, error) {
+	if s.cfg.SolveFunc != nil {
+		return s.cfg.SolveFunc(ctx, p, params, trace)
+	}
+	base := core.Config{
+		RestartBoolean: params.Restart,
+		NoIIS:          params.NoIIS,
+		NoGroundLemmas: params.NoLemmas,
+		NoTheoryCache:  params.NoCache,
+		CheckModels:    params.CheckModels,
+	}
+	if params.Portfolio > 0 {
+		strategies := portfolio.DefaultStrategies(params.Portfolio)
+		// Knobs OR-compose onto every strategy's own configuration, as in
+		// the stand-alone tool: a strategy defined by a restriction keeps
+		// it even when the request doesn't ask for that restriction.
+		for i := range strategies {
+			c := &strategies[i].Config
+			c.RestartBoolean = c.RestartBoolean || base.RestartBoolean
+			c.NoIIS = c.NoIIS || base.NoIIS
+			c.NoGroundLemmas = c.NoGroundLemmas || base.NoGroundLemmas
+			c.NoTheoryCache = c.NoTheoryCache || base.NoTheoryCache
+			c.CheckModels = c.CheckModels || base.CheckModels
+		}
+		// N interleaved engine traces are not readable; streaming a
+		// portfolio run emits only the final result event.
+		out := portfolio.SolveWith(ctx, p, strategies, portfolio.Options{NoShare: params.NoShare})
+		res := out.Result
+		res.Stats = out.Stats // total work across members
+		return Outcome{Result: res, Winner: out.Winner}, out.Err
+	}
+	base.Trace = trace
+	res, err := core.NewEngine(p, base).SolveContext(ctx)
+	return Outcome{Result: res}, err
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers.
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, exitCode int, format string, args ...any) {
+	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...), ExitCode: exitCode})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ready := s.started && !s.draining
+	s.mu.Unlock()
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, gauges{
+		queueDepth:    len(s.queue),
+		queueCapacity: cap(s.queue),
+		workers:       s.cfg.Workers,
+		workersBusy:   int(s.busy.Load()),
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, api.ExitUsage, "POST a problem body to /v1/solve")
+		return
+	}
+	params, err := api.ParseParams(r.URL.Query())
+	if err != nil {
+		s.metrics.reject(rejectBadRequest)
+		writeError(w, http.StatusBadRequest, api.ExitUsage, "bad parameters: %v", err)
+		return
+	}
+	if params.Portfolio > s.cfg.MaxPortfolio {
+		s.metrics.reject(rejectBadRequest)
+		writeError(w, http.StatusBadRequest, api.ExitUsage,
+			"portfolio %d exceeds the server maximum %d", params.Portfolio, s.cfg.MaxPortfolio)
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var problem *core.Problem
+	switch params.Format {
+	case api.FormatSMTLIB:
+		b, perr := smtlib.ParseReader(body, s.cfg.SMTLIBLimits)
+		if perr == nil {
+			problem = b.ToProblem()
+		} else {
+			err = perr
+		}
+	default:
+		problem, err = dimacs.ParseLimited(body, s.cfg.DIMACSLimits)
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) || errors.Is(err, dimacs.ErrInputTooLarge) || errors.Is(err, smtlib.ErrInputTooLarge) {
+			s.metrics.reject(rejectBodyTooLarge)
+			writeError(w, http.StatusRequestEntityTooLarge, api.ExitUsage, "problem body too large: %v", err)
+			return
+		}
+		s.metrics.reject(rejectBadRequest)
+		writeError(w, http.StatusBadRequest, api.ExitUsage, "parse error: %v", err)
+		return
+	}
+	if err := problem.Validate(); err != nil {
+		s.metrics.reject(rejectBadRequest)
+		writeError(w, http.StatusBadRequest, api.ExitUsage, "invalid problem: %v", err)
+		return
+	}
+
+	timeout := params.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// The deadline starts at admission: it covers queue wait plus solve,
+	// and the request context ties the job to the client's connection —
+	// a disconnect cancels the solve.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	j := &job{
+		ctx:      ctx,
+		problem:  problem,
+		params:   params,
+		admitted: time.Now(),
+		done:     make(chan struct{}),
+	}
+	if params.Stream {
+		j.events = make(chan core.Event, 64)
+	}
+
+	// Admission: the mutex closes the race against Shutdown (no job is
+	// admitted after draining is set), the non-blocking send implements
+	// the bounded queue.
+	s.mu.Lock()
+	if !s.started || s.draining {
+		s.mu.Unlock()
+		s.metrics.reject(rejectDraining)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, api.ExitUnknown, "server is draining")
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.jobs.Add(1)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.metrics.reject(rejectQueueFull)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, api.ExitUnknown,
+			"queue full (%d workers busy, %d queued)", s.cfg.Workers, cap(s.queue))
+		return
+	}
+
+	if params.Stream {
+		s.streamResponse(w, j)
+		return
+	}
+	<-j.done
+	s.writeOutcome(w, j)
+}
+
+// buildResponse renders a finished job; a nil error response means HTTP 200.
+func buildResponse(j *job) (api.SolveResponse, *api.ErrorResponse) {
+	res := j.outcome.Result
+	resp := api.SolveResponse{
+		Status:   res.Status.String(),
+		ExitCode: api.ExitCode(res.Status),
+		Winner:   j.outcome.Winner,
+		Stats:    api.StatsFrom(res.Stats),
+	}
+	if res.Status == core.StatusSat && res.Model != nil {
+		resp.Model = api.ModelFrom(*res.Model)
+	}
+	switch err := j.err; {
+	case err == nil:
+	case errors.Is(err, core.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		resp.Reason = "timeout"
+	case errors.Is(err, context.Canceled):
+		resp.Reason = "canceled"
+	case errors.Is(err, core.ErrIterationLimit):
+		resp.Reason = err.Error()
+	default:
+		return resp, &api.ErrorResponse{Error: err.Error(), ExitCode: api.ExitInternal}
+	}
+	return resp, nil
+}
+
+func (s *Server) writeOutcome(w http.ResponseWriter, j *job) {
+	resp, errResp := buildResponse(j)
+	if errResp != nil {
+		writeJSON(w, http.StatusInternalServerError, errResp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamResponse forwards trace events as NDJSON lines while the solve
+// runs, then appends the final result (or error) event. The admission
+// outcome fixed the status code already: streaming bodies are always 200.
+func (s *Server) streamResponse(w http.ResponseWriter, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	flush()
+
+	enc := json.NewEncoder(w)
+	clientGone := false
+	for ev := range j.events {
+		if clientGone {
+			continue // keep draining so the worker's sends never park
+		}
+		if err := enc.Encode(api.TraceEvent(ev)); err != nil {
+			clientGone = true
+			continue
+		}
+		flush()
+	}
+	<-j.done
+	if clientGone {
+		return
+	}
+	resp, errResp := buildResponse(j)
+	var final api.StreamEvent
+	if errResp != nil {
+		final = api.StreamEvent{Type: api.EventError, Error: errResp.Error}
+	} else {
+		final = api.StreamEvent{Type: api.EventResult, Result: &resp}
+	}
+	_ = enc.Encode(final)
+	flush()
+}

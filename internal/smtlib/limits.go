@@ -1,0 +1,81 @@
+package smtlib
+
+import (
+	"errors"
+	"io"
+)
+
+// Default resource caps for ParseReader / ParseLimited. Generous for the
+// paper's workloads (the largest Fischer instance is well under a MiB),
+// tight enough that a hostile network body cannot drive unbounded token
+// allocation or recursion.
+const (
+	DefaultMaxBytes  = 64 << 20 // 64 MiB of benchmark text
+	DefaultMaxTokens = 1 << 22  // ~4M lexed tokens
+	DefaultMaxDepth  = 2000     // s-expression nesting depth
+)
+
+// Typed parse-resource errors; match with errors.Is.
+var (
+	// ErrInputTooLarge reports that the input exceeded Limits.MaxBytes.
+	ErrInputTooLarge = errors.New("smtlib: input exceeds byte limit")
+	// ErrTooManyTokens reports that lexing produced more than
+	// Limits.MaxTokens tokens.
+	ErrTooManyTokens = errors.New("smtlib: token count exceeds limit")
+	// ErrTooDeep reports s-expression nesting beyond Limits.MaxDepth. The
+	// cap also bounds the recursion of the circuit translation, which walks
+	// the same tree.
+	ErrTooDeep = errors.New("smtlib: nesting exceeds depth limit")
+)
+
+// Limits bounds the resources a single parse may consume when reading
+// untrusted input. A zero field selects the package default above.
+type Limits struct {
+	// MaxBytes caps the total input size in bytes.
+	MaxBytes int64
+	// MaxTokens caps the number of lexed tokens.
+	MaxTokens int
+	// MaxDepth caps s-expression nesting (and with it parser recursion).
+	MaxDepth int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBytes == 0 {
+		l.MaxBytes = DefaultMaxBytes
+	}
+	if l.MaxTokens == 0 {
+		l.MaxTokens = DefaultMaxTokens
+	}
+	if l.MaxDepth == 0 {
+		l.MaxDepth = DefaultMaxDepth
+	}
+	return l
+}
+
+// ParseReader reads an SMT-LIB 1.2 benchmark from untrusted input under
+// explicit resource caps (zero fields select the package defaults).
+// Exceeding a cap returns an error matching ErrInputTooLarge,
+// ErrTooManyTokens, or ErrTooDeep via errors.Is.
+func ParseReader(r io.Reader, lim Limits) (*Benchmark, error) {
+	lim = lim.withDefaults()
+	// One byte beyond the cap distinguishes "exactly at the limit" from
+	// "over it".
+	lr := &io.LimitedReader{R: r, N: lim.MaxBytes + 1}
+	data, err := io.ReadAll(lr)
+	if err != nil {
+		return nil, err
+	}
+	if lr.N <= 0 {
+		return nil, ErrInputTooLarge
+	}
+	return parseLimited(string(data), lim)
+}
+
+// ParseLimited is Parse under explicit resource caps.
+func ParseLimited(src string, lim Limits) (*Benchmark, error) {
+	lim = lim.withDefaults()
+	if int64(len(src)) > lim.MaxBytes {
+		return nil, ErrInputTooLarge
+	}
+	return parseLimited(src, lim)
+}

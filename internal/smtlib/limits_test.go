@@ -1,0 +1,80 @@
+package smtlib
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const limitsValidBenchmark = `(benchmark tiny
+  :logic QF_LRA
+  :extrafuns ((x Real))
+  :formula (>= x 1)
+)`
+
+func TestParseReaderAcceptsValidInput(t *testing.T) {
+	b, err := ParseReader(strings.NewReader(limitsValidBenchmark), Limits{})
+	if err != nil {
+		t.Fatalf("ParseReader: %v", err)
+	}
+	if b.Name != "tiny" || b.Formula == nil {
+		t.Fatalf("bad benchmark: name=%q formula=%v", b.Name, b.Formula)
+	}
+}
+
+func TestParseReaderOversizedInput(t *testing.T) {
+	src := limitsValidBenchmark + strings.Repeat("; padding\n", 64)
+	_, err := ParseReader(strings.NewReader(src), Limits{MaxBytes: 64})
+	if !errors.Is(err, ErrInputTooLarge) {
+		t.Fatalf("err = %v, want ErrInputTooLarge", err)
+	}
+	// Exactly at the cap is fine.
+	if _, err := ParseReader(strings.NewReader(limitsValidBenchmark), Limits{MaxBytes: int64(len(limitsValidBenchmark))}); err != nil {
+		t.Fatalf("input exactly at MaxBytes rejected: %v", err)
+	}
+}
+
+func TestParseLimitedTooDeep(t *testing.T) {
+	// (benchmark b :formula (not (not ... (>= x 1) ... )))
+	depth := 64
+	var sb strings.Builder
+	sb.WriteString("(benchmark deep :logic QF_LRA :extrafuns ((x Real)) :formula ")
+	sb.WriteString(strings.Repeat("(not ", depth))
+	sb.WriteString("(>= x 1)")
+	sb.WriteString(strings.Repeat(")", depth))
+	sb.WriteString(")")
+	if _, err := ParseLimited(sb.String(), Limits{MaxDepth: 16}); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("err = %v, want ErrTooDeep", err)
+	}
+	// The same input parses under a budget that covers it.
+	if _, err := ParseLimited(sb.String(), Limits{MaxDepth: depth + 8}); err != nil {
+		t.Fatalf("depth within budget rejected: %v", err)
+	}
+}
+
+func TestParseLimitedTooManyTokens(t *testing.T) {
+	src := "(benchmark toks :logic QF_LRA :extrafuns ((x Real)) :formula (and " +
+		strings.Repeat("(>= x 1) ", 64) + "))"
+	if _, err := ParseLimited(src, Limits{MaxTokens: 32}); !errors.Is(err, ErrTooManyTokens) {
+		t.Fatalf("err = %v, want ErrTooManyTokens", err)
+	}
+}
+
+// TestParseReaderTruncatedAndGarbage: inputs cut mid-construct and binary
+// noise must error, never panic or succeed.
+func TestParseReaderTruncatedAndGarbage(t *testing.T) {
+	cases := []string{
+		"(benchmark tiny :logic QF_LRA",                    // missing ')'
+		"(benchmark tiny :formula (>= x",                   // formula cut open
+		limitsValidBenchmark[:len(limitsValidBenchmark)/2], // arbitrary prefix
+		"\x00\x01\xfe\xff not smtlib",
+		")",
+		"(benchmark)",
+	}
+	for _, src := range cases {
+		b, err := ParseReader(strings.NewReader(src), Limits{})
+		if err == nil {
+			t.Errorf("%q: parsed without error (%v)", src, b.Name)
+		}
+	}
+}

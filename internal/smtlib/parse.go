@@ -31,13 +31,22 @@ type Benchmark struct {
 	Formula *circuit.Circuit
 }
 
-// Parse reads an SMT-LIB 1.2 benchmark file.
+// Parse reads an SMT-LIB 1.2 benchmark file. It is ParseLimited under the
+// package's default (generous) resource caps; use ParseReader /
+// ParseLimited with explicit Limits for untrusted network input.
 func Parse(src string) (*Benchmark, error) {
+	return ParseLimited(src, Limits{})
+}
+
+func parseLimited(src string, lim Limits) (*Benchmark, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	e, next, err := parseSExpr(toks, 0)
+	if len(toks) > lim.MaxTokens {
+		return nil, fmt.Errorf("smtlib: %d tokens: %w", len(toks), ErrTooManyTokens)
+	}
+	e, next, err := parseSExpr(toks, 0, lim.MaxDepth)
 	if err != nil {
 		return nil, err
 	}

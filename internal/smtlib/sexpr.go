@@ -111,14 +111,19 @@ func isDelim(c byte) bool {
 }
 
 // parseSExpr parses one s-expression from toks starting at i, returning the
-// expression and the next index.
-func parseSExpr(toks []string, i int) (*SExpr, int, error) {
+// expression and the next index. depth is the remaining nesting budget:
+// it caps the parser's recursion (and thereby the recursion of every later
+// walk over the tree) against adversarially deep input.
+func parseSExpr(toks []string, i, depth int) (*SExpr, int, error) {
 	if i >= len(toks) {
 		return nil, i, fmt.Errorf("smtlib: unexpected end of input")
 	}
 	t := toks[i]
 	switch t {
 	case "(":
+		if depth <= 0 {
+			return nil, i, ErrTooDeep
+		}
 		i++
 		e := &SExpr{}
 		for {
@@ -128,7 +133,7 @@ func parseSExpr(toks []string, i int) (*SExpr, int, error) {
 			if toks[i] == ")" {
 				return e, i + 1, nil
 			}
-			child, ni, err := parseSExpr(toks, i)
+			child, ni, err := parseSExpr(toks, i, depth-1)
 			if err != nil {
 				return nil, ni, err
 			}
