@@ -187,6 +187,30 @@ func GenerateTestVectors(p *Problem, cfg Config, max int) ([]TestVector, Status,
 	return core.GenerateTestVectors(p, cfg, max)
 }
 
+// Session is the incremental solving surface: one long-lived engine whose
+// learned clauses, theory-verdict cache, lemma log and exchange client
+// persist across a sequence of related queries. Push opens an assertion
+// frame, Assert/AssertClause add constraints to it, Solve answers under
+// the current stack, and Pop retracts the innermost frame without
+// discarding any still-sound learned knowledge. Sessions are
+// single-strategy (no portfolio, no RestartBoolean) and not safe for
+// concurrent use.
+//
+//	s, _ := absolver.NewSession(p, absolver.Config{})
+//	base, _ := s.Solve(ctx)          // warm up on the base problem
+//	s.Push()
+//	v, _ := s.Assert(atom)           // try an extra constraint...
+//	res, _ := s.Solve(ctx)           // ...reusing all prior search effort
+//	s.Pop()                          // retract it; lemmas are kept
+//	_ = base; _ = v; _ = res
+type Session = core.Session
+
+// NewSession prepares an incremental session for p (cloned; the caller's
+// copy is never mutated). Config.RestartBoolean and non-assumption-capable
+// Boolean solvers are rejected: a session exists to keep exactly the state
+// restart mode discards.
+func NewSession(p *Problem, cfg Config) (*Session, error) { return core.NewSession(p, cfg) }
+
 // NewSimplexSolver returns the default linear solver.
 func NewSimplexSolver() *core.SimplexSolver { return core.NewSimplexSolver() }
 
@@ -310,13 +334,19 @@ func ParseLustre(src string) (*Problem, error) {
 // (nil = all); max bounds the enumeration (0 = unbounded). The callback may
 // return core.ErrStopEnumeration to end early.
 func AllModels(p *Problem, cfg Config, projectVars []int, max int, report func(Model) error) (int, Status, error) {
-	return core.NewEngine(p, cfg).AllModels(projectVars, max, report)
+	return AllModelsContext(context.Background(), p, cfg, projectVars, max, report)
 }
 
 // AllModelsContext is AllModels under a caller context: cancellation stops
 // the enumeration promptly, returning the models reported so far with
-// StatusUnknown and ctx.Err().
+// StatusUnknown and ctx.Err(). The enumeration runs over one warm Session
+// (model-blocking clauses are frame-guarded and retracted at the end)
+// whenever the configuration permits; restart mode falls back to a plain
+// engine.
 func AllModelsContext(ctx context.Context, p *Problem, cfg Config, projectVars []int, max int, report func(Model) error) (int, Status, error) {
+	if s, err := core.NewSession(p, cfg); err == nil {
+		return s.AllModels(ctx, projectVars, max, report)
+	}
 	return core.NewEngine(p, cfg).AllModelsContext(ctx, projectVars, max, report)
 }
 

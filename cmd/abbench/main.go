@@ -3,6 +3,7 @@
 //	abbench -table 1            # nonlinear problems (Table 1)
 //	abbench -table 2 -maxn 11   # SMT-LIB / Fischer benchmarks (Table 2)
 //	abbench -table 3            # Sudoku puzzles (Table 3)
+//	abbench -table incr         # incremental-session ablation (PR 6)
 //	abbench -table all
 //	abbench -table all -json    # machine-readable rows (CI artifact)
 //
@@ -26,8 +27,9 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, incr, or all")
 	maxN := flag.Int("maxn", 11, "largest Fischer instance for table 2")
+	incrN := flag.Int("incr-n", 2, "Fischer process count for the incremental-session ablation")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-solver timeout per instance")
 	cvcMem := flag.Int64("cvc-mem", 32<<20, "CVCLiteLike proof-memory budget in bytes (table 3)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
@@ -81,6 +83,18 @@ func main() {
 		fmt.Println(bench.FormatTable3(rows))
 	}
 
+	runIncr := func() {
+		rows, err := bench.RunIncremental(*incrN, *timeout)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			jsonRows = append(jsonRows, bench.JSONIncremental(rows)...)
+			return
+		}
+		fmt.Println(bench.FormatIncremental(rows))
+	}
+
 	switch *table {
 	case "1":
 		run1()
@@ -88,12 +102,15 @@ func main() {
 		run2()
 	case "3":
 		run3()
+	case "incr":
+		runIncr()
 	case "all":
 		run1()
 		run2()
 		run3()
+		runIncr()
 	default:
-		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3 or all")
+		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr or all")
 		os.Exit(2)
 	}
 

@@ -16,6 +16,9 @@
 //
 //	-all            enumerate all models (LSAT mode) instead of one
 //	-max N          stop enumeration after N models
+//	-batch FILE     solve the NDJSON instance deltas in FILE incrementally
+//	                over one warm session against the base problem; each
+//	                line is {"id","clauses","assume"} (see docs/server.md)
 //	-portfolio N    race N differently-configured engines; first
 //	                definitive verdict wins (see docs/exit-codes.md for
 //	                the nondeterminism caveats)
@@ -33,6 +36,9 @@
 // The per-engine knobs (-restart, -no-iis, -no-lemmas, -no-cache) compose
 // with -portfolio: each is applied on top of every racing strategy's own
 // configuration. -all does not compose with -portfolio and is rejected.
+// -batch runs a single warm session and is single-strategy by design:
+// -portfolio, -all, and -restart are all rejected alongside it (a restart
+// or a race would discard exactly the state the session exists to keep).
 //
 // Exit codes (stable, documented in docs/exit-codes.md): 0 satisfiable,
 // 10 unsatisfiable, 20 unknown or timeout, 2 usage or input error,
@@ -40,13 +46,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"absolver"
@@ -74,6 +83,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	all := fs.Bool("all", false, "enumerate all models")
 	max := fs.Int("max", 0, "bound the number of enumerated models (0 = unbounded)")
+	batchFile := fs.String("batch", "", "solve NDJSON instance deltas from this file over one incremental session")
 	nPortfolio := fs.Int("portfolio", 0, "race N engine configurations; first definitive verdict wins (0 = single engine)")
 	noShare := fs.Bool("no-share", false, "disable cross-engine lemma sharing in a portfolio race")
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = none)")
@@ -100,6 +110,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *nPortfolio > 0 && *all {
 		fmt.Fprintln(stderr, "absolver: -portfolio and -all are mutually exclusive")
 		return exitUsage
+	}
+	if *batchFile != "" {
+		// A batch runs over one warm session and is single-strategy by
+		// design; anything that races engines, restarts the Boolean solver,
+		// or enumerates models would discard or fight the session state.
+		switch {
+		case *nPortfolio > 0:
+			fmt.Fprintln(stderr, "absolver: -batch and -portfolio are mutually exclusive (sessions are single-strategy)")
+			return exitUsage
+		case *all:
+			fmt.Fprintln(stderr, "absolver: -batch and -all are mutually exclusive")
+			return exitUsage
+		case *restart:
+			fmt.Fprintln(stderr, "absolver: -batch and -restart are mutually exclusive (a restart discards the session state)")
+			return exitUsage
+		}
 	}
 	if fs.NArg() == 1 && fs.Arg(0) != "-" {
 		f, err := os.Open(fs.Arg(0))
@@ -130,6 +156,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	if *nPortfolio > 0 {
 		return runPortfolio(p, cfg, *nPortfolio, *timeout, *noShare, *quiet, *stats, stdout, stderr)
+	}
+	if *batchFile != "" {
+		return runBatchFile(p, cfg, *batchFile, *quiet, *stats, stdout, stderr)
 	}
 
 	eng := absolver.NewEngine(p, cfg)
@@ -167,6 +196,102 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		printStats(stdout, eng.Stats())
 	}
 	return exit
+}
+
+// runBatchFile solves an NDJSON file of instance deltas incrementally over
+// one warm session: per instance, push a frame, assert the delta clauses,
+// solve under the instance's assumptions, pop. Learned clauses, theory
+// verdicts and solver heuristics carry over between instances.
+func runBatchFile(p *absolver.Problem, cfg absolver.Config, path string, quiet, stats bool, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "absolver:", err)
+		return exitUsage
+	}
+	defer f.Close()
+
+	sess, err := absolver.NewSession(p, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "absolver:", err)
+		return exitInternal
+	}
+
+	type instance struct {
+		ID      string  `json:"id"`
+		Clauses [][]int `json:"clauses"`
+		Assume  []int   `json:"assume"`
+	}
+	ctx := context.Background()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	idx, solved, unknowns, failures := 0, 0, 0, 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var inst instance
+		if err := json.Unmarshal([]byte(text), &inst); err != nil {
+			fmt.Fprintf(stderr, "absolver: %s:%d: %v\n", path, line, err)
+			return exitUsage
+		}
+		name := inst.ID
+		if name == "" {
+			name = fmt.Sprintf("#%d", idx)
+		}
+		fmt.Fprintf(stdout, "c instance %s\n", name)
+
+		sess.Push()
+		assertErr := error(nil)
+		for _, cl := range inst.Clauses {
+			if assertErr = sess.AssertClause(cl...); assertErr != nil {
+				break
+			}
+		}
+		if assertErr != nil {
+			_ = sess.Pop()
+			fmt.Fprintf(stderr, "absolver: instance %s: %v\n", name, assertErr)
+			failures++
+			idx++
+			continue
+		}
+		res, err := sess.SolveUnderAssumptions(ctx, inst.Assume)
+		if perr := sess.Pop(); perr != nil && err == nil {
+			err = perr
+		}
+		if err != nil && !errors.Is(err, absolver.ErrTimeout) {
+			fmt.Fprintf(stderr, "absolver: instance %s: %v\n", name, err)
+			failures++
+			idx++
+			continue
+		}
+		switch printVerdict(stdout, res, quiet) {
+		case exitSat, exitUnsat:
+			solved++
+		default:
+			unknowns++
+		}
+		idx++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(stderr, "absolver:", err)
+		return exitInternal
+	}
+	fmt.Fprintf(stdout, "c batch: %d instance(s), %d solved, %d unknown, %d failed\n",
+		idx, solved, unknowns, failures)
+	if stats {
+		printStats(stdout, sess.Stats())
+	}
+	switch {
+	case failures > 0:
+		return exitInternal
+	case unknowns > 0:
+		return exitUnknown
+	default:
+		return exitSat
+	}
 }
 
 // composeStrategies applies the command line's per-engine knobs on top of

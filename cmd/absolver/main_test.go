@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -165,5 +167,67 @@ func TestCLIDashReadsStdin(t *testing.T) {
 	// A second path next to "-" is still a usage error.
 	if code, _, _ := runCLI(t, satInput, "-", "extra.cnf"); code != exitUsage {
 		t.Fatalf("dash plus file: code=%d, want %d", code, exitUsage)
+	}
+}
+
+// TestCLIBatchRejectsMultiStrategyFlags pins the usage guard: -batch runs
+// one warm session and is single-strategy, mirroring the -portfolio/-all
+// exclusivity check.
+func TestCLIBatchRejectsMultiStrategyFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-batch", "x.ndjson", "-portfolio", "2"},
+		{"-batch", "x.ndjson", "-all"},
+		{"-batch", "x.ndjson", "-restart"},
+	} {
+		code, _, errOut := runCLI(t, satInput, args...)
+		if code != exitUsage {
+			t.Fatalf("%v: code=%d, want %d", args, code, exitUsage)
+		}
+		if !strings.Contains(errOut, "mutually exclusive") {
+			t.Fatalf("%v: stderr %q lacks a diagnostic", args, errOut)
+		}
+	}
+	// A missing batch file is a usage error too (after the guards).
+	if code, _, _ := runCLI(t, satInput, "-batch", "/nonexistent/file.ndjson"); code != exitUsage {
+		t.Fatal("missing batch file accepted")
+	}
+}
+
+func TestCLIBatchSolvesInstances(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batch.ndjson")
+	lines := []string{
+		`{"id": "plain"}`,
+		`{"id": "contradicted", "clauses": [[-1], [-2]]}`,
+		`# a comment line is skipped`,
+		`{"id": "assumed", "assume": [1]}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, satInput, "-batch", path, "-stats")
+	if code != exitSat {
+		t.Fatalf("code=%d stderr=%q out=%q", code, errOut, out)
+	}
+	for _, want := range []string{
+		"c instance plain", "c instance contradicted", "c instance assumed",
+		"s SATISFIABLE", "s UNSATISFIABLE",
+		"c batch: 3 instance(s), 3 solved, 0 unknown, 0 failed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+	// A bad delta clause fails its instance but not the ones after it.
+	bad := filepath.Join(dir, "bad.ndjson")
+	if err := os.WriteFile(bad, []byte(`{"id": "broken", "clauses": [[0]]}`+"\n"+`{"id": "fine"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut = runCLI(t, satInput, "-batch", bad)
+	if code != exitInternal {
+		t.Fatalf("bad clause batch: code=%d, want %d", code, exitInternal)
+	}
+	if !strings.Contains(errOut, "broken") || !strings.Contains(out, "1 solved, 0 unknown, 1 failed") {
+		t.Fatalf("bad clause batch: out=%q stderr=%q", out, errOut)
 	}
 }

@@ -15,13 +15,16 @@
 //	-default-timeout D  per-request timeout when the request names none
 //	-max-timeout D      clamp for requested timeouts
 //	-max-portfolio N    clamp for the portfolio parameter
+//	-cache N            verdict-cache entries (0 = 256, negative disables)
+//	-max-batch N        instance cap per /v1/batch request (0 = 1000)
 //	-drain-timeout D    how long SIGTERM waits for admitted jobs
 //	-solve-delay D      artificial pre-solve delay (load testing)
 //	-v                  log one line per job and lifecycle transition
 //
 // Endpoints: POST /v1/solve (extended DIMACS or SMT-LIB body; knobs as
-// query parameters; NDJSON streaming with ?stream=1), GET /metrics,
-// GET /healthz, GET /readyz. See docs/server.md.
+// query parameters; NDJSON streaming with ?stream=1), POST /v1/batch
+// (NDJSON base + instance deltas solved over one warm session),
+// GET /metrics, GET /healthz, GET /readyz. See docs/server.md.
 //
 // SIGTERM/SIGINT trigger graceful shutdown: the daemon stops admitting
 // (503), drains every admitted job, then exits 0. Exit 1 means the
@@ -63,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 	defaultTimeout := fs.Duration("default-timeout", 0, "timeout when the request names none (0 = 30s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "clamp for requested timeouts (0 = 5m)")
 	maxPortfolio := fs.Int("max-portfolio", 0, "clamp for the portfolio parameter (0 = 8)")
+	cacheSize := fs.Int("cache", 0, "verdict-cache entries (0 = 256, negative disables)")
+	maxBatch := fs.Int("max-batch", 0, "instance cap per /v1/batch request (0 = 1000)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for admitted jobs")
 	solveDelay := fs.Duration("solve-delay", 0, "artificial pre-solve delay (load testing)")
 	verbose := fs.Bool("v", false, "log jobs and lifecycle transitions")
@@ -75,13 +80,15 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 	}
 
 	cfg := server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxBodyBytes:   *maxBody,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxPortfolio:   *maxPortfolio,
-		SolveDelay:     *solveDelay,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxBodyBytes:      *maxBody,
+		DefaultTimeout:    *defaultTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxPortfolio:      *maxPortfolio,
+		CacheSize:         *cacheSize,
+		MaxBatchInstances: *maxBatch,
+		SolveDelay:        *solveDelay,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {

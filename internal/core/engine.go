@@ -218,9 +218,13 @@ type Stats struct {
 	// TheoryCacheMisses counts theory checks that ran the solvers and
 	// populated the cache.
 	TheoryCacheMisses int
-	BoolTime          time.Duration
-	LinearTime        time.Duration
-	NonlinearTime     time.Duration
+	// SessionSolves counts solve calls served through a Session (push/pop
+	// incremental solving). Session results carry per-call deltas, so each
+	// call contributes exactly 1 and merged stats count calls, not engines.
+	SessionSolves int
+	BoolTime      time.Duration
+	LinearTime    time.Duration
+	NonlinearTime time.Duration
 	// WallTime is the engine's total wall-clock time inside Solve /
 	// SolveContext. In a portfolio run each engine reports its own
 	// WallTime; merged Stats carry the sum over engines (total work),
@@ -246,6 +250,7 @@ func (s *Stats) Merge(o Stats) {
 	s.LemmasDeduped += o.LemmasDeduped
 	s.TheoryCacheHits += o.TheoryCacheHits
 	s.TheoryCacheMisses += o.TheoryCacheMisses
+	s.SessionSolves += o.SessionSolves
 	s.BoolTime += o.BoolTime
 	s.LinearTime += o.LinearTime
 	s.NonlinearTime += o.NonlinearTime
@@ -271,6 +276,7 @@ func (s Stats) Counters() map[string]int64 {
 		"lemmas_deduped":      int64(s.LemmasDeduped),
 		"theory_cache_hits":   int64(s.TheoryCacheHits),
 		"theory_cache_misses": int64(s.TheoryCacheMisses),
+		"session_solves":      int64(s.SessionSolves),
 	}
 }
 
@@ -312,6 +318,19 @@ type Engine struct {
 	importedCount int
 	// tcache memoises theory verdicts per asserted-atom projection.
 	tcache map[string]theoryVerdict
+	// assumps are assumption literals (DIMACS) applied to every Boolean
+	// query of the next solve — a Session sets them to its frame selectors
+	// plus the caller's literals. Requires an AssumingBoolSolver.
+	assumps []int
+	// failedAssumps is the assumption-failure core of the last unsat
+	// Boolean answer (subset of assumps sufficient for the refutation).
+	failedAssumps []int
+	// blockGuard, when non-zero, is a selector variable (1-based) prepended
+	// negated to every lossy/model-blocking clause, making those blocks
+	// retractable by a later unit (-blockGuard). Theory-conflict and ground
+	// lemmas are never guarded: they are facts about the bindings, valid
+	// forever.
+	blockGuard int
 }
 
 // NewEngine prepares an engine for p. The problem must not be mutated
@@ -380,6 +399,7 @@ func (e *Engine) solve(outer context.Context) (Result, error) {
 	if err := e.p.Validate(); err != nil {
 		return Result{}, err
 	}
+	e.failedAssumps = nil
 	ctx := outer
 	if e.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -551,8 +571,38 @@ func (e *Engine) nextBoolModel(ctx context.Context) ([]bool, bool, error) {
 		e.applyPolarityHints()
 		e.boolReady = true
 	}
+	if len(e.assumps) > 0 {
+		as, ok := e.cfg.Bool.(AssumingBoolSolver)
+		if !ok {
+			return nil, false, fmt.Errorf("core: Boolean solver %s does not support assumptions", e.cfg.Bool.Name())
+		}
+		model, sat, failed, err := as.SolveAssuming(ctx, e.assumps)
+		if err != nil {
+			return nil, false, err
+		}
+		if !sat {
+			e.failedAssumps = failed
+			return nil, false, nil
+		}
+		return e.padModel(model), true, nil
+	}
 	model, ok, err := e.cfg.Bool.Solve(ctx)
-	return model, ok, err
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return e.padModel(model), true, nil
+}
+
+// padModel grows a Boolean model to the problem's current variable count —
+// incremental sessions add variables after the solver was reset, so a
+// model may be shorter than NumVars (fresh variables default to false).
+func (e *Engine) padModel(model []bool) []bool {
+	if len(model) >= e.p.NumVars {
+		return model
+	}
+	grown := make([]bool, e.p.NumVars)
+	copy(grown, model)
+	return grown
 }
 
 // applyPolarityHints biases the Boolean search towards theory-cheap
@@ -579,6 +629,24 @@ func (e *Engine) applyPolarityHints() {
 // restart-mode accumulator, logging it under kind when Config.RecordLemmas
 // is set.
 func (e *Engine) block(clause []int, kind LemmaKind) error {
+	if e.blockGuard != 0 && (kind == LemmaLossy || kind == LemmaModelBlock) {
+		// Inside a session frame, lossy and model blocks hold only relative
+		// to the frame's assertions: guard them on the frame selector so a
+		// later Pop retracts them with one unit clause. An empty clause
+		// guards to the unit (-sel) — "this frame is closed" — instead of
+		// the permanent forced-unsat pair below.
+		guarded := make([]int, 0, len(clause)+1)
+		guarded = append(guarded, -e.blockGuard)
+		guarded = append(guarded, clause...)
+		e.recordLemma(guarded, kind)
+		e.noteOwnClause(guarded)
+		e.blocking = append(e.blocking, guarded)
+		e.st.ConflictClauses++
+		if !e.cfg.RestartBoolean {
+			return e.cfg.Bool.AddBlocking(guarded)
+		}
+		return nil
+	}
 	e.recordLemma(clause, kind)
 	e.noteOwnClause(clause)
 	if kind == LemmaConflict {

@@ -81,6 +81,64 @@ func GroundPairLemmas(p *Problem) [][]int {
 	return lemmas
 }
 
+// GroundLemmasFor derives the ground lemmas touching one freshly bound
+// variable v (0-based): its bounds-based unit lemma plus pair lemmas
+// against every earlier binding over a proportional linear form — the
+// incremental counterpart of GroundPairLemmas for Session.Assert. Pairs
+// are ordered (existing, new) to mirror the batch pass's sorted sweep.
+func GroundLemmasFor(p *Problem, v int) [][]int {
+	a, ok := p.Bindings[v]
+	if !ok {
+		return nil
+	}
+	var lemmas [][]int
+	switch a.IntervalHolds(p.Bounds) {
+	case expr.True:
+		lemmas = append(lemmas, []int{v + 1})
+	case expr.False:
+		lemmas = append(lemmas, []int{-(v + 1)})
+	}
+	key, op, bound := atomFormKey(a)
+	if key == "" {
+		return lemmas
+	}
+	others := make([]int, 0, len(p.Bindings))
+	for w := range p.Bindings {
+		if w != v {
+			others = append(others, w)
+		}
+	}
+	sort.Ints(others)
+	for _, w := range others {
+		okey, oop, obound := atomFormKey(p.Bindings[w])
+		if okey != key {
+			continue
+		}
+		switch PairRelation(oop, obound, op, bound) {
+		case RelExclusive:
+			lemmas = append(lemmas, []int{-(w + 1), -(v + 1)})
+		case RelAImpliesB:
+			lemmas = append(lemmas, []int{-(w + 1), v + 1})
+		case RelBImpliesA:
+			lemmas = append(lemmas, []int{-(v + 1), w + 1})
+		}
+	}
+	return lemmas
+}
+
+// atomFormKey computes the bucketing key GroundPairLemmas uses: the
+// normalised linear form for linear atoms, the rendered expression for
+// nonlinear ones, "" when the atom has no comparable form.
+func atomFormKey(a expr.Atom) (key string, op expr.CmpOp, bound float64) {
+	if la, ok := expr.LinearizeAtom(a); ok {
+		if k, o, b, ok := normalizeLinear(la); ok {
+			return k, o, b
+		}
+		return "", 0, 0
+	}
+	return "nl|" + strconv.Itoa(int(a.Domain)) + "|" + expr.String(a.LHS) + "|" + expr.String(a.RHS), a.Op, 0
+}
+
 // normalizeLinear canonicalises a linear atom Σ cᵢxᵢ op b by dividing
 // through by the coefficient of the lexicographically smallest variable:
 // the returned key identifies the normalised left-hand side exactly

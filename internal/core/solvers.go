@@ -28,6 +28,19 @@ type BoolSolver interface {
 	AddBlocking(clause []int) error
 }
 
+// AssumingBoolSolver is the optional extension a Boolean solver implements
+// to support solving under assumptions — the mechanism behind Session:
+// assumption literals steer one query without ever entering the clause
+// database, so a retracted assertion costs nothing to undo, while the
+// learned-clause database, variable activities and saved phases persist
+// across queries. On an unsatisfiable answer, failed reports the subset of
+// the assumptions the refutation actually used (the assumption-failure
+// core) in DIMACS convention.
+type AssumingBoolSolver interface {
+	BoolSolver
+	SolveAssuming(ctx context.Context, assumptions []int) (model []bool, satisfiable bool, failed []int, err error)
+}
+
 // LinearSolver is the plug-in interface for linear solvers — COIN's role.
 // Check decides the conjunction of rows under bounds; on infeasibility it
 // reports the indices of an irreducible conflicting subset. A cancelled
@@ -125,6 +138,45 @@ func (c *CDCLSolver) Solve(ctx context.Context) ([]bool, bool, error) {
 		model = grown
 	}
 	return model, true, nil
+}
+
+// SolveAssuming implements AssumingBoolSolver: one incremental query under
+// the given assumption literals. The underlying solver keeps its learnt
+// clauses, activities and phases between calls, so a sequence of related
+// queries shares all search effort.
+func (c *CDCLSolver) SolveAssuming(ctx context.Context, assumptions []int) ([]bool, bool, []int, error) {
+	if c.s == nil {
+		return nil, false, nil, fmt.Errorf("core: SolveAssuming before Reset")
+	}
+	lits := make([]sat.Lit, len(assumptions))
+	for i, n := range assumptions {
+		if n == 0 {
+			return nil, false, nil, fmt.Errorf("core: zero assumption literal")
+		}
+		lits[i] = sat.FromDIMACS(n)
+		if v := lits[i].Var() + 1; v > c.nv {
+			c.s.EnsureVars(v)
+			c.nv = v
+		}
+	}
+	model, res, err := c.s.SolveModelContext(ctx, lits...)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	if res != sat.LTrue {
+		conflict := c.s.ConflictAssumptions()
+		failed := make([]int, len(conflict))
+		for i, l := range conflict {
+			failed[i] = l.DIMACS()
+		}
+		return nil, false, failed, nil
+	}
+	if len(model) < c.nv {
+		grown := make([]bool, c.nv)
+		copy(grown, model)
+		model = grown
+	}
+	return model, true, nil, nil
 }
 
 // AddBlocking implements BoolSolver.

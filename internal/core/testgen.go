@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Test-case generation (Sec. 6 of the paper): "Since ABSOLVER, internally,
 // determines the solutions by computing all possible assignments, common
 // coverage metrics like path coverage can be obtained for free in this
@@ -36,8 +38,7 @@ func GenerateTestVectors(p *Problem, cfg Config, max int) ([]TestVector, Status,
 		proj = nil
 	}
 	var out []TestVector
-	e := NewEngine(p, cfg)
-	_, status, err := e.AllModels(proj, max, func(m Model) error {
+	collect := func(m Model) error {
 		tv := TestVector{Decisions: map[int]bool{}, Inputs: map[string]float64{}}
 		for v := range p.Bindings {
 			tv.Decisions[v] = m.Bool[v]
@@ -47,6 +48,16 @@ func GenerateTestVectors(p *Problem, cfg Config, max int) ([]TestVector, Status,
 		}
 		out = append(out, tv)
 		return nil
-	})
+	}
+	// One warm session enumerates all paths sharing learned clauses and
+	// cached theory verdicts between them, instead of the historical
+	// N-cold-engines behaviour; restart mode falls back to a plain engine
+	// (sessions need an incremental Boolean solver).
+	if s, err := NewSession(p, cfg); err == nil {
+		_, status, err := s.AllModels(context.Background(), proj, max, collect)
+		return out, status, err
+	}
+	e := NewEngine(p, cfg)
+	_, status, err := e.AllModels(proj, max, collect)
 	return out, status, err
 }

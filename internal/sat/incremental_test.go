@@ -1,0 +1,163 @@
+package sat
+
+import "testing"
+
+// These tests pin the incremental contract Session and the batch endpoint
+// build on: clauses may be added between Solve calls, learnt state
+// survives across calls, and an unsat answer under assumptions reports a
+// usable failure core.
+
+func TestAddClauseAfterSolve(t *testing.T) {
+	s := New()
+	if !addAll(t, s, [][]int{{1, 2}, {-1, 2}}) {
+		t.Fatal("clauses rejected")
+	}
+	model, res, err := s.SolveModel()
+	if err != nil || res != LTrue {
+		t.Fatalf("first solve: %v %v", res, err)
+	}
+	if !model[1] {
+		t.Fatal("first model must set 2")
+	}
+	// Refine between solves: force ¬2. Propagation at level 0 already
+	// detects the contradiction (AddClause reports it by returning false),
+	// and the verdict must surface through Solve.
+	if s.AddClause(mk(-2)) {
+		t.Log("contradiction not yet detected at add time (acceptable)")
+	}
+	if _, res, _ := s.SolveModel(); res != LFalse {
+		t.Fatalf("after -2: %v, want unsat", res)
+	}
+	// …and permanent unsat is sticky.
+	if _, res, _ := s.SolveModel(); res != LFalse {
+		t.Fatal("unsat verdict not sticky")
+	}
+}
+
+func TestAddClauseGrowsVariables(t *testing.T) {
+	s := New()
+	if !addAll(t, s, [][]int{{1}}) {
+		t.Fatal("clause rejected")
+	}
+	if _, res, _ := s.SolveModel(); res != LTrue {
+		t.Fatal("base not sat")
+	}
+	// A clause over a never-seen variable allocates it mid-session.
+	if !s.AddClause(mk(-1), mk(7)) {
+		t.Fatal("growth clause rejected")
+	}
+	model, res, err := s.SolveModel()
+	if err != nil || res != LTrue {
+		t.Fatalf("after growth: %v %v", res, err)
+	}
+	if len(model) < 7 || !model[6] {
+		t.Fatalf("model %v does not honour new variable 7", model)
+	}
+}
+
+func TestAssumptionFailureCore(t *testing.T) {
+	s := New()
+	// 1 and 2 conflict through the clause set; 3 is independent.
+	if !addAll(t, s, [][]int{{-1, -2}, {3, 4}}) {
+		t.Fatal("clauses rejected")
+	}
+	res, err := s.Solve(mk(1), mk(3), mk(2))
+	if err != nil || res != LFalse {
+		t.Fatalf("assumed solve: %v %v", res, err)
+	}
+	core := s.ConflictAssumptions()
+	seen := map[int]bool{}
+	for _, l := range core {
+		seen[l.DIMACS()] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("core %v must contain the conflicting assumptions 1 and 2", core)
+	}
+	if seen[3] {
+		t.Fatalf("core %v contains irrelevant assumption 3", core)
+	}
+	// The same instance answers sat without the conflicting pair: the
+	// failure left no permanent mark.
+	if res, err := s.Solve(mk(1), mk(3)); err != nil || res != LTrue {
+		t.Fatalf("retry without 2: %v %v", res, err)
+	}
+}
+
+func TestUnsatRegardlessOfAssumptionsHasEmptyCore(t *testing.T) {
+	s := New()
+	if !addAll(t, s, [][]int{{1}, {-1}}) {
+		// AddClause may already detect the contradiction.
+		if res, _ := s.Solve(mk(2)); res != LFalse {
+			t.Fatalf("contradictory set solved: %v", res)
+		}
+		return
+	}
+	res, err := s.Solve(mk(2))
+	if err != nil || res != LFalse {
+		t.Fatalf("solve: %v %v", res, err)
+	}
+	if core := s.ConflictAssumptions(); len(core) != 0 {
+		t.Fatalf("core %v for an assumption-independent refutation, want empty", core)
+	}
+}
+
+func TestLearntStatePersistsAcrossSolves(t *testing.T) {
+	// A pigeonhole-style instance under alternating assumptions: the
+	// second run of each assumption must reuse the learnt database (the
+	// Learnt counter keeps growing strictly slower than conflict count
+	// would from scratch; here we just pin that learnts survive a solve).
+	s := New()
+	clauses := [][]int{}
+	// 4 pigeons, 3 holes.
+	varOf := func(p, h int) int { return p*3 + h + 1 }
+	for p := 0; p < 4; p++ {
+		clauses = append(clauses, []int{varOf(p, 0), varOf(p, 1), varOf(p, 2)})
+	}
+	for h := 0; h < 3; h++ {
+		for p1 := 0; p1 < 4; p1++ {
+			for p2 := p1 + 1; p2 < 4; p2++ {
+				clauses = append(clauses, []int{-varOf(p1, h), -varOf(p2, h)})
+			}
+		}
+	}
+	if !addAll(t, s, clauses) {
+		t.Fatal("clauses rejected")
+	}
+	if res, err := s.Solve(); err != nil || res != LFalse {
+		t.Fatalf("PHP(4,3): %v %v", res, err)
+	}
+	if s.Stats.Learnt == 0 {
+		t.Skip("refutation needed no learnt clauses; persistence unobservable")
+	}
+	learnts := len(s.learnts)
+	trailFacts := len(s.trail)
+	if learnts == 0 && trailFacts == 0 {
+		t.Fatal("learnt state discarded after Solve")
+	}
+}
+
+func TestUnitLearntUnderAssumptions(t *testing.T) {
+	// Regression: a length-1 learnt clause derived above the assumption
+	// prefix used to be attached as a watched clause (panic: the
+	// two-watch scheme needs two literals). Build an instance where the
+	// refutation of a branch funnels through a single literal.
+	s := New()
+	clauses := [][]int{
+		{-1, 2}, {-1, 3}, {-2, -3, 4}, {-4, 5}, {-4, -5},
+	}
+	if !addAll(t, s, clauses) {
+		t.Fatal("clauses rejected")
+	}
+	// Assume an unrelated variable so the assumption prefix is non-empty,
+	// then let the search discover ¬1 as a unit consequence.
+	res, err := s.Solve(mk(6))
+	if err != nil || res != LTrue {
+		t.Fatalf("solve: %v %v", res, err)
+	}
+	if res, err := s.Solve(mk(6), mk(1)); err != nil || res != LFalse {
+		t.Fatalf("assume 1: %v %v", res, err)
+	}
+	if res, err := s.Solve(mk(6)); err != nil || res != LTrue {
+		t.Fatalf("post-conflict solve: %v %v", res, err)
+	}
+}

@@ -580,13 +580,26 @@ func (s *Solver) search(conflictLimit int64, assumptions []Lit) (LBool, int64) {
 				return LFalse, conflicts
 			}
 			learnt, bt := s.analyze(conf)
+			if len(learnt) == 1 {
+				// A unit learnt clause is a permanent fact: record it at level
+				// 0. The assumption prefix is undone with the backtrack; the
+				// decision loop below re-establishes it. (Clamping to the
+				// assumption level instead would leave a one-literal clause to
+				// attach, which the two-watch scheme cannot represent.)
+				s.backtrack(0)
+				s.uncheckedEnqueue(learnt[0], nil)
+				s.decayVar()
+				s.decayClause()
+				continue
+			}
 			if bt < len(assumptions) {
+				// Keep the assumption prefix decided: the other literals of
+				// the learnt clause sit at levels ≤ bt, so the clause is
+				// still asserting at the clamped level.
 				bt = len(assumptions)
 			}
 			s.backtrack(bt)
-			if len(learnt) == 1 && s.decisionLevel() == 0 {
-				s.uncheckedEnqueue(learnt[0], nil)
-			} else {
+			{
 				c := &clause{lits: learnt, learnt: true, lbd: s.lbd(learnt)}
 				s.learnts = append(s.learnts, c)
 				s.Stats.Learnt++

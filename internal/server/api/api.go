@@ -146,6 +146,7 @@ type Stats struct {
 	LemmasDeduped     int     `json:"lemmas_deduped"`
 	TheoryCacheHits   int     `json:"theory_cache_hits"`
 	TheoryCacheMisses int     `json:"theory_cache_misses"`
+	SessionSolves     int     `json:"session_solves,omitempty"`
 	BoolMS            float64 `json:"bool_ms"`
 	LinearMS          float64 `json:"linear_ms"`
 	NonlinearMS       float64 `json:"nonlinear_ms"`
@@ -167,6 +168,7 @@ func StatsFrom(s core.Stats) Stats {
 		LemmasDeduped:     s.LemmasDeduped,
 		TheoryCacheHits:   s.TheoryCacheHits,
 		TheoryCacheMisses: s.TheoryCacheMisses,
+		SessionSolves:     s.SessionSolves,
 		BoolMS:            ms(s.BoolTime),
 		LinearMS:          ms(s.LinearTime),
 		NonlinearMS:       ms(s.NonlinearTime),
@@ -256,6 +258,74 @@ func TraceEvent(ev core.Event) StreamEvent {
 		Imported:  ev.Imported,
 		CacheHit:  ev.CacheHit,
 	}
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/batch wire types. The request body is NDJSON: one BatchRequest
+// header line carrying the shared base problem, then one BatchInstance line
+// per related instance (clause deltas + assumption literals). The response
+// is NDJSON too: one BatchEvent of type "item" per instance as it is
+// solved over the shared warm session, closed by one "end" event.
+
+// BatchRequest is the first NDJSON line of a batch request.
+type BatchRequest struct {
+	// Base is the shared base problem's text (in the format named by the
+	// request's format parameter; extended DIMACS by default).
+	Base string `json:"base"`
+}
+
+// BatchInstance is one NDJSON instance line: the delta against the shared
+// base. Clauses are asserted in a fresh session frame (retracted after the
+// instance's solve); Assume literals hold for the solve only.
+type BatchInstance struct {
+	// ID is an optional caller-chosen label echoed in the item result.
+	ID string `json:"id,omitempty"`
+	// Clauses are extra DIMACS clauses asserted for this instance.
+	Clauses [][]int `json:"clauses,omitempty"`
+	// Assume are assumption literals for this instance's solve.
+	Assume []int `json:"assume,omitempty"`
+}
+
+// BatchItemResult is one instance's outcome within a batch.
+type BatchItemResult struct {
+	// Index is the 0-based position of the instance in the request.
+	Index int `json:"index"`
+	// ID echoes the instance's label.
+	ID string `json:"id,omitempty"`
+	// Result is the verdict (its Stats are this instance's per-call delta,
+	// so summing item stats never double-counts the shared session).
+	Result *SolveResponse `json:"result,omitempty"`
+	// Error is the per-instance failure diagnostic (Result is nil then).
+	Error string `json:"error,omitempty"`
+}
+
+// BatchSummary closes a batch response.
+type BatchSummary struct {
+	// Total is the number of instances in the request.
+	Total int `json:"total"`
+	// Solved counts instances with a definitive sat/unsat verdict.
+	Solved int `json:"solved"`
+	// Errors counts instances that failed.
+	Errors int `json:"errors"`
+}
+
+// Batch stream event types (the "type" field of each response line).
+const (
+	// EventItem carries one instance's result.
+	EventItem = "item"
+	// EventEnd closes the stream with the batch summary.
+	EventEnd = "end"
+)
+
+// BatchEvent is one NDJSON line of a batch response.
+type BatchEvent struct {
+	Type string `json:"type"`
+	// Item is the instance outcome (Type == EventItem).
+	Item *BatchItemResult `json:"item,omitempty"`
+	// Summary closes the batch (Type == EventEnd).
+	Summary *BatchSummary `json:"summary,omitempty"`
+	// Error is a batch-level failure (Type == EventError).
+	Error string `json:"error,omitempty"`
 }
 
 // Exit codes shared with the stand-alone tool (docs/exit-codes.md).

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"absolver/internal/core"
+	"absolver/internal/exchange"
+	"absolver/internal/expr"
+	"absolver/internal/server/api"
+)
+
+// The server-side verdict cache memoises definitive answers by canonical
+// problem identity: two requests whose problems differ only in clause
+// order, literal order, duplicate clauses or binding text layout share one
+// cache line. It is consulted before queue admission — a hit costs no
+// worker, no queue slot and no engine — and only definitive, non-streamed,
+// error-free sat/unsat outcomes are stored (unknown can be budget- or
+// timeout-relative, so it is never cached). A hit under check_models=1
+// re-certifies the cached model against the incoming problem; a failed
+// certificate drops the entry and falls through to a real solve.
+
+// canonicalProblemKey hashes a problem's canonical identity: variable
+// count, the sorted set of canonicalised clauses (exchange.Canon — sorted
+// literals, duplicates dropped), the bindings in variable order, and the
+// bounds in name order. Floats render in hex so no decimal rounding can
+// merge distinct problems.
+func canonicalProblemKey(p *core.Problem) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d;", p.NumVars)
+
+	keys := make([]string, 0, len(p.Clauses))
+	for _, cl := range p.Clauses {
+		_, k := exchange.Canon(cl)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	prev := ""
+	for _, k := range keys {
+		if k == prev {
+			continue // a repeated clause does not change the problem
+		}
+		prev = k
+		fmt.Fprintf(h, "c%s;", k)
+	}
+
+	bvars := make([]int, 0, len(p.Bindings))
+	for v := range p.Bindings {
+		bvars = append(bvars, v)
+	}
+	sort.Ints(bvars)
+	for _, v := range bvars {
+		a := p.Bindings[v]
+		fmt.Fprintf(h, "b%d:%d:%d:%s:%s;", v, int(a.Domain), int(a.Op), expr.String(a.LHS), expr.String(a.RHS))
+	}
+
+	names := make([]string, 0, len(p.Bounds))
+	for n := range p.Bounds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		iv := p.Bounds[n]
+		fmt.Fprintf(h, "B%s:%s:%s;", n,
+			strconv.FormatFloat(iv.Lo, 'x', -1, 64),
+			strconv.FormatFloat(iv.Hi, 'x', -1, 64))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is one cached definitive outcome: the wire response as served
+// plus the engine model for re-certification under check_models.
+type cacheEntry struct {
+	resp  api.SolveResponse
+	model *core.Model
+}
+
+// verdictCache is a size-bounded LRU over canonical problem keys.
+type verdictCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheItem
+	entries map[string]*list.Element
+}
+
+type cacheItem struct {
+	key   string
+	entry cacheEntry
+}
+
+func newVerdictCache(max int) *verdictCache {
+	return &verdictCache{max: max, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the entry under key, refreshing its recency.
+func (c *verdictCache) get(key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return cacheEntry{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).entry, true
+}
+
+// put stores entry under key, evicting the least recently used lines
+// beyond the size bound.
+func (c *verdictCache) put(key string, entry cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheItem).entry = entry
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, entry: entry})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheItem).key)
+	}
+}
+
+// drop removes key (used when a cached model fails re-certification).
+func (c *verdictCache) drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// len returns the number of cached lines.
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

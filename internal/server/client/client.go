@@ -177,6 +177,71 @@ func (c *Client) SolveStream(ctx context.Context, problem string, params api.Sol
 	return nil, fmt.Errorf("absolverd: stream ended without a result event")
 }
 
+// Batch submits a shared base problem plus per-instance deltas to
+// POST /v1/batch, where they are solved incrementally over one warm
+// session. It returns the per-instance results in submission order and the
+// server's closing summary. A non-200 admission answer is returned as
+// *Error; a batch-level failure after admission (e.g. a base problem the
+// session cannot host) is returned as *Error with ExitInternal.
+func (c *Client) Batch(ctx context.Context, base string, instances []api.BatchInstance, params api.SolveParams) ([]api.BatchItemResult, *api.BatchSummary, error) {
+	params.Stream = false
+	var body strings.Builder
+	if err := json.NewEncoder(&body).Encode(api.BatchRequest{Base: base}); err != nil {
+		return nil, nil, err
+	}
+	enc := json.NewEncoder(&body)
+	for _, inst := range instances {
+		if err := enc.Encode(inst); err != nil {
+			return nil, nil, err
+		}
+	}
+	u := c.BaseURL + "/v1/batch"
+	if q := params.Values().Encode(); q != "" {
+		u += "?" + q
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(body.String()))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, errorFromResponse(resp)
+	}
+
+	var items []api.BatchItemResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev api.BatchEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return items, nil, fmt.Errorf("absolverd: bad batch line %q: %w", line, err)
+		}
+		switch ev.Type {
+		case api.EventItem:
+			if ev.Item != nil {
+				items = append(items, *ev.Item)
+			}
+		case api.EventEnd:
+			return items, ev.Summary, nil
+		case api.EventError:
+			return items, nil, &Error{StatusCode: http.StatusOK, ExitCode: api.ExitInternal, Message: ev.Error}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return items, nil, err
+	}
+	return items, nil, fmt.Errorf("absolverd: batch stream ended without an end event")
+}
+
 // Metrics scrapes GET /metrics into a flat map keyed by series name
 // including labels, e.g. `absolverd_solves_total{verdict="sat"}`.
 func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {

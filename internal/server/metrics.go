@@ -37,6 +37,11 @@ type metrics struct {
 	rejected map[string]int64 // by admission rejection reason
 	engine   core.Stats       // summed over every finished job
 	waitTime time.Duration    // total admission→start queue wait
+
+	cacheHits      int64 // requests answered from the verdict cache
+	cacheMisses    int64 // cacheable requests that had to solve
+	batchRequests  int64 // completed /v1/batch runs
+	batchInstances int64 // instances solved across all batch runs
 }
 
 func newMetrics() *metrics {
@@ -58,6 +63,25 @@ func (m *metrics) jobDone(verdict string, st core.Stats, wait time.Duration) {
 	m.solves[verdict]++
 	m.engine.Merge(st)
 	m.waitTime += wait
+}
+
+func (m *metrics) cacheHit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheHits++
+}
+
+func (m *metrics) cacheMiss() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheMisses++
+}
+
+func (m *metrics) batchDone(instances int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchRequests++
+	m.batchInstances += int64(instances)
 }
 
 func (m *metrics) reject(reason string) {
@@ -94,6 +118,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	}
 	engine := m.engine
 	wait := m.waitTime
+	cacheHits, cacheMisses := m.cacheHits, m.cacheMisses
+	batchRequests, batchInstances := m.batchRequests, m.batchInstances
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP absolverd_solves_total Completed solve jobs by outcome class.")
@@ -119,6 +145,19 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP absolverd_workers_busy Workers currently running a solve.")
 	fmt.Fprintln(w, "# TYPE absolverd_workers_busy gauge")
 	fmt.Fprintf(w, "absolverd_workers_busy %d\n", g.workersBusy)
+
+	fmt.Fprintln(w, "# HELP absolverd_cache_hits_total Requests answered from the canonical verdict cache.")
+	fmt.Fprintln(w, "# TYPE absolverd_cache_hits_total counter")
+	fmt.Fprintf(w, "absolverd_cache_hits_total %d\n", cacheHits)
+	fmt.Fprintln(w, "# HELP absolverd_cache_misses_total Cacheable requests that required a solve.")
+	fmt.Fprintln(w, "# TYPE absolverd_cache_misses_total counter")
+	fmt.Fprintf(w, "absolverd_cache_misses_total %d\n", cacheMisses)
+	fmt.Fprintln(w, "# HELP absolverd_batch_requests_total Completed /v1/batch runs.")
+	fmt.Fprintln(w, "# TYPE absolverd_batch_requests_total counter")
+	fmt.Fprintf(w, "absolverd_batch_requests_total %d\n", batchRequests)
+	fmt.Fprintln(w, "# HELP absolverd_batch_instances_total Instances solved across all batch runs.")
+	fmt.Fprintln(w, "# TYPE absolverd_batch_instances_total counter")
+	fmt.Fprintf(w, "absolverd_batch_instances_total %d\n", batchInstances)
 
 	fmt.Fprintln(w, "# HELP absolverd_queue_wait_seconds_total Cumulative admission-to-start wait across jobs.")
 	fmt.Fprintln(w, "# TYPE absolverd_queue_wait_seconds_total counter")

@@ -64,6 +64,12 @@ type Config struct {
 	// MaxPortfolio caps the portfolio parameter (default 8); larger
 	// requests get 400.
 	MaxPortfolio int
+	// CacheSize bounds the canonical verdict cache (default 256 entries);
+	// negative disables caching entirely.
+	CacheSize int
+	// MaxBatchInstances caps the instances accepted per /v1/batch request
+	// (default 1000); larger batches get 400.
+	MaxBatchInstances int
 	// SolveDelay inserts an artificial pause before each solve — a load-
 	// testing and drain-rehearsal knob (cancellable by the job's context).
 	SolveDelay time.Duration
@@ -97,6 +103,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxPortfolio <= 0 {
 		c.MaxPortfolio = 8
 	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBatchInstances <= 0 {
+		c.MaxBatchInstances = 1000
+	}
 	return c
 }
 
@@ -113,6 +125,9 @@ type job struct {
 	done    chan struct{}
 	outcome Outcome
 	err     error
+	// batch, when set, makes the worker run a whole session batch instead
+	// of one solve; outcome/err stay zero and events stays nil.
+	batch *batchJob
 }
 
 // Server owns the queue, the worker pool, and the HTTP handlers. Create
@@ -122,6 +137,7 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	queue   chan *job
+	cache   *verdictCache // nil when Config.CacheSize < 0
 
 	mu       sync.Mutex // guards draining and the admit-vs-shutdown race
 	draining bool
@@ -140,7 +156,11 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.queue = make(chan *job, s.cfg.QueueDepth)
+	if s.cfg.CacheSize > 0 {
+		s.cache = newVerdictCache(s.cfg.CacheSize)
+	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -226,6 +246,15 @@ func (s *Server) runJob(j *job) {
 		case <-time.After(d):
 		case <-j.ctx.Done():
 		}
+	}
+
+	if j.batch != nil {
+		start := time.Now()
+		s.runBatch(j, wait)
+		close(j.done)
+		s.logf("absolverd: batch done instances=%d wait=%v run=%v",
+			len(j.batch.instances), wait, time.Since(start))
+		return
 	}
 
 	var trace core.TraceFunc
@@ -401,6 +430,32 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Verdict cache: consulted before admission, so a hit costs no queue
+	// slot and no worker. no_cache=1 bypasses it (alongside the engine's
+	// own theory cache); streamed requests skip it — their value is the
+	// trace, not the verdict.
+	var cacheKey string
+	if s.cache != nil && !params.Stream && !params.NoCache {
+		cacheKey = canonicalProblemKey(problem)
+		if ent, ok := s.cache.get(cacheKey); ok {
+			certified := true
+			if params.CheckModels && ent.resp.Status == core.StatusSat.String() {
+				// Re-certify the cached witness against THIS problem; a
+				// stale or hash-colliding entry fails and is evicted.
+				if ent.model == nil || core.CertifyModel(problem, *ent.model) != nil {
+					certified = false
+				}
+			}
+			if certified {
+				s.metrics.cacheHit()
+				writeJSON(w, http.StatusOK, ent.resp)
+				return
+			}
+			s.cache.drop(cacheKey)
+		}
+		s.metrics.cacheMiss()
+	}
+
 	timeout := params.Timeout
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -454,22 +509,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	<-j.done
-	s.writeOutcome(w, j)
+	resp, errResp := buildResponse(j)
+	if errResp != nil {
+		writeJSON(w, http.StatusInternalServerError, errResp)
+		return
+	}
+	// Only definitive, error-free outcomes enter the cache: unknown may be
+	// deadline-relative and would poison later requests with laxer limits.
+	if cacheKey != "" && j.err == nil {
+		if st := j.outcome.Result.Status; st == core.StatusSat || st == core.StatusUnsat {
+			s.cache.put(cacheKey, cacheEntry{resp: resp, model: j.outcome.Result.Model})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // buildResponse renders a finished job; a nil error response means HTTP 200.
 func buildResponse(j *job) (api.SolveResponse, *api.ErrorResponse) {
-	res := j.outcome.Result
+	return outcomeResponse(j.outcome, j.err)
+}
+
+// outcomeResponse renders one solve outcome — a whole /v1/solve job or a
+// single batch instance — onto the wire types.
+func outcomeResponse(out Outcome, err error) (api.SolveResponse, *api.ErrorResponse) {
+	res := out.Result
 	resp := api.SolveResponse{
 		Status:   res.Status.String(),
 		ExitCode: api.ExitCode(res.Status),
-		Winner:   j.outcome.Winner,
+		Winner:   out.Winner,
 		Stats:    api.StatsFrom(res.Stats),
 	}
 	if res.Status == core.StatusSat && res.Model != nil {
 		resp.Model = api.ModelFrom(*res.Model)
 	}
-	switch err := j.err; {
+	switch {
 	case err == nil:
 	case errors.Is(err, core.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
 		resp.Reason = "timeout"
@@ -481,15 +554,6 @@ func buildResponse(j *job) (api.SolveResponse, *api.ErrorResponse) {
 		return resp, &api.ErrorResponse{Error: err.Error(), ExitCode: api.ExitInternal}
 	}
 	return resp, nil
-}
-
-func (s *Server) writeOutcome(w http.ResponseWriter, j *job) {
-	resp, errResp := buildResponse(j)
-	if errResp != nil {
-		writeJSON(w, http.StatusInternalServerError, errResp)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // streamResponse forwards trace events as NDJSON lines while the solve

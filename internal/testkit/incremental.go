@@ -1,0 +1,211 @@
+package testkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"absolver/internal/core"
+)
+
+// Incremental differential checking: a session's push/assert/solve/pop
+// sequence must agree, step by step, with solving each step's flattened
+// problem from scratch — both against a fresh engine and against the
+// reference oracle — and popping a frame must leave no trace (the verdicts
+// before a push and after the matching pop are the same problem and must
+// match). This is where incremental soundness bugs hide: a learned clause
+// that should have carried the frame's selector but didn't survives the
+// pop and turns a satisfiable step into "unsat".
+
+// IncrementalStep is one solve of the session sequence together with its
+// reference verdicts.
+type IncrementalStep struct {
+	// Depth is the session depth at the solve.
+	Depth int
+	// Session is the session's verdict (StatusUnknown when inconclusive).
+	Session core.Status
+	// Flat is a fresh engine's verdict on the flattened problem.
+	Flat core.Status
+	// Oracle is the reference verdict on the flattened problem.
+	Oracle Verdict
+}
+
+// IncrementalReport summarises one incremental differential run.
+type IncrementalReport struct {
+	Seed     int64
+	Fragment Fragment
+	// Steps is the solve sequence: base, +delta1, +delta1+delta2, back to
+	// +delta1, back to base.
+	Steps []IncrementalStep
+	// Lemmas is the number of session lemmas audited.
+	Lemmas int
+}
+
+// genDeltaClauses derives a deterministic clause delta over the base
+// problem's existing variables (no new atoms, so the oracle stays exact).
+func genDeltaClauses(rng *rand.Rand, nVars, n int) [][]int {
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		width := 1 + rng.Intn(2)
+		cl := make([]int, 0, width)
+		for k := 0; k < width; k++ {
+			lit := 1 + rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				lit = -lit
+			}
+			cl = append(cl, lit)
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// RunIncrementalDifferential generates the (seed, fragment) base instance
+// plus two deterministic clause deltas, then drives one session through
+//
+//	solve; push+delta1; solve; push+delta2; solve; pop; solve; pop; solve
+//
+// checking at every step that the session verdict agrees with a fresh
+// engine on the flattened problem and with the reference oracle
+// (definitive-vs-definitive only), that post-pop verdicts equal their
+// pre-push counterparts, and finally that every unguarded lemma the
+// session recorded is valid for the base problem (AuditLemmas — popped
+// frames must leave no lemma contamination). noCache disables the
+// theory-verdict cache so the cached and uncached session paths can be
+// compared by the caller.
+func RunIncrementalDifferential(seed int64, frag Fragment, noCache bool, o *Oracle) (IncrementalReport, error) {
+	rep := IncrementalReport{Seed: seed, Fragment: frag}
+	base := Generate(seed, frag)
+	rng := rand.New(rand.NewSource(seed ^ 0x1CEB00DA))
+	delta1 := genDeltaClauses(rng, base.NumVars, 1+rng.Intn(2))
+	delta2 := genDeltaClauses(rng, base.NumVars, 1+rng.Intn(2))
+
+	sess, err := core.NewSession(base, core.Config{
+		CheckModels:   true,
+		RecordLemmas:  true,
+		NoTheoryCache: noCache,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("session: seed=%d frag=%v: %v", seed, frag, err)
+	}
+
+	// flatten builds the from-scratch problem for a step's delta stack.
+	flatten := func(deltas ...[][]int) *core.Problem {
+		p := base.Clone()
+		for _, d := range deltas {
+			for _, cl := range d {
+				p.AddClause(cl...)
+			}
+		}
+		return p
+	}
+	steps := []struct {
+		push [][]int // clauses to assert in a new frame (nil = no push)
+		pops int     // frames to pop before solving
+		flat *core.Problem
+	}{
+		{nil, 0, flatten()},
+		{delta1, 0, flatten(delta1)},
+		{delta2, 0, flatten(delta1, delta2)},
+		{nil, 1, flatten(delta1)},
+		{nil, 1, flatten()},
+	}
+
+	ctx := context.Background()
+	for i, st := range steps {
+		if st.push != nil {
+			sess.Push()
+			for _, cl := range st.push {
+				if err := sess.AssertClause(cl...); err != nil {
+					return rep, fmt.Errorf("assert: seed=%d frag=%v step=%d: %v", seed, frag, i, err)
+				}
+			}
+		}
+		for k := 0; k < st.pops; k++ {
+			if err := sess.Pop(); err != nil {
+				return rep, fmt.Errorf("pop: seed=%d frag=%v step=%d: %v", seed, frag, i, err)
+			}
+		}
+
+		step := IncrementalStep{Depth: sess.Depth()}
+		step.Session, err = incrementalStatus(func() (core.Result, error) { return sess.Solve(ctx) })
+		if err != nil {
+			return rep, fmt.Errorf("session solve: seed=%d frag=%v step=%d: %v", seed, frag, i, err)
+		}
+		step.Flat, err = incrementalStatus(func() (core.Result, error) {
+			return core.NewEngine(st.flat, core.Config{CheckModels: true, NoTheoryCache: noCache}).Solve()
+		})
+		if err != nil {
+			return rep, fmt.Errorf("flat solve: seed=%d frag=%v step=%d: %v", seed, frag, i, err)
+		}
+		ov, err := o.Decide(st.flat)
+		if err != nil {
+			return rep, fmt.Errorf("oracle: seed=%d frag=%v step=%d: %v", seed, frag, i, err)
+		}
+		step.Oracle = ov
+		rep.Steps = append(rep.Steps, step)
+
+		if err := disagreement(step.Session, step.Flat, ov); err != nil {
+			return rep, fmt.Errorf("seed=%d frag=%v step=%d depth=%d: %v", seed, frag, i, step.Depth, err)
+		}
+	}
+
+	// Pop symmetry: step 3 re-solves step 1's problem, step 4 re-solves
+	// step 0's. Definitive verdicts must be identical — any drift means a
+	// popped frame contaminated the session.
+	for _, pair := range [][2]int{{1, 3}, {0, 4}} {
+		a, b := rep.Steps[pair[0]].Session, rep.Steps[pair[1]].Session
+		if a != core.StatusUnknown && b != core.StatusUnknown && a != b {
+			return rep, fmt.Errorf("contamination: seed=%d frag=%v: step %d was %v, step %d re-solved it as %v",
+				seed, frag, pair[0], a, pair[1], b)
+		}
+	}
+
+	// Lemma audit against the BASE problem: frame-guarded clauses carry
+	// selector literals over unbound variables and are skipped by the
+	// audit; everything else the session kept must be a theory fact valid
+	// independent of any frame.
+	lemmas := sess.Lemmas()
+	rep.Lemmas = len(lemmas)
+	if err := o.AuditLemmas(sess.Problem(), lemmas); err != nil {
+		return rep, fmt.Errorf("audit: seed=%d frag=%v: %v", seed, frag, err)
+	}
+	return rep, nil
+}
+
+// incrementalStatus normalises a solve outcome: iteration-limit exhaustion
+// is an inconclusive answer, a certificate rejection or engine error is a
+// bug.
+func incrementalStatus(solve func() (core.Result, error)) (core.Status, error) {
+	res, err := solve()
+	if err != nil {
+		if errors.Is(err, core.ErrIterationLimit) {
+			return core.StatusUnknown, nil
+		}
+		return core.StatusUnknown, err
+	}
+	return res.Status, nil
+}
+
+// disagreement cross-examines one step's three verdicts, comparing
+// definitive answers only.
+func disagreement(session, flat core.Status, ov Verdict) error {
+	definitive := func(s core.Status) bool { return s == core.StatusSat || s == core.StatusUnsat }
+	if definitive(session) && definitive(flat) && session != flat {
+		return fmt.Errorf("session %v vs fresh engine %v", session, flat)
+	}
+	if session == core.StatusSat && ov == Unsat {
+		return fmt.Errorf("session sat, oracle unsat")
+	}
+	if session == core.StatusUnsat && ov == Sat {
+		return fmt.Errorf("session unsat, oracle sat")
+	}
+	if flat == core.StatusSat && ov == Unsat {
+		return fmt.Errorf("fresh engine sat, oracle unsat")
+	}
+	if flat == core.StatusUnsat && ov == Sat {
+		return fmt.Errorf("fresh engine unsat, oracle sat")
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package testkit
+
+import (
+	"context"
+	"testing"
+
+	"absolver/internal/core"
+)
+
+// incrementalSeeds is sized so each fragment sees a spread of sat, unsat
+// and delta-flipped instances while the suite stays under a few seconds.
+const incrementalSeeds = 25
+
+// TestIncrementalDifferential drives the push/assert/solve/pop sequence
+// across every fragment and seed, with the theory cache both on and off:
+// session verdicts must match fresh-engine flattened solves and the
+// oracle at every step, pops must leave no contamination, and the two
+// cache modes must produce identical verdict sequences.
+func TestIncrementalDifferential(t *testing.T) {
+	o := &Oracle{}
+	for frag := Fragment(0); frag < NumFragments; frag++ {
+		frag := frag
+		t.Run(frag.String(), func(t *testing.T) {
+			t.Parallel()
+			decided := 0
+			for seed := int64(0); seed < incrementalSeeds; seed++ {
+				cached, err := RunIncrementalDifferential(seed, frag, false, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				uncached, err := RunIncrementalDifferential(seed, frag, true, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(cached.Steps) != len(uncached.Steps) {
+					t.Fatalf("seed=%d: step counts differ: %d vs %d", seed, len(cached.Steps), len(uncached.Steps))
+				}
+				for i := range cached.Steps {
+					a, b := cached.Steps[i].Session, uncached.Steps[i].Session
+					if a != core.StatusUnknown && b != core.StatusUnknown && a != b {
+						t.Fatalf("seed=%d step=%d: cache-on %v vs cache-off %v", seed, i, a, b)
+					}
+					if cached.Steps[i].Oracle != Inconclusive {
+						decided++
+					}
+				}
+			}
+			// The suite must not silently degenerate into all-inconclusive.
+			if decided == 0 {
+				t.Fatalf("oracle decided no step across %d seeds", incrementalSeeds)
+			}
+		})
+	}
+}
+
+// TestIncrementalPoppedAssertionLeavesNoLemmas is the focused
+// contamination probe: a frame whose assertion flips the verdict to unsat
+// must, once popped, leave the session answering sat again, and the lemma
+// log must audit clean against the oracle.
+func TestIncrementalPoppedAssertionLeavesNoLemmas(t *testing.T) {
+	o := &Oracle{}
+	for frag := Fragment(0); frag < NumFragments; frag++ {
+		for seed := int64(0); seed < incrementalSeeds; seed++ {
+			base := Generate(seed, frag)
+			sess, err := core.NewSession(base, core.Config{CheckModels: true, RecordLemmas: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			before, err := sess.Solve(context.Background())
+			if err != nil || before.Status != core.StatusSat {
+				continue // only satisfiable bases make the flip observable
+			}
+			// Assert the negation of the found model's first clause-relevant
+			// literal set: blocking the whole model keeps the problem in the
+			// same fragment while guaranteeing search activity in the frame.
+			blocking := make([]int, 0, base.NumVars)
+			for i, v := range before.Model.Bool[:base.NumVars] {
+				if v {
+					blocking = append(blocking, -(i + 1))
+				} else {
+					blocking = append(blocking, i+1)
+				}
+			}
+			sess.Push()
+			if err := sess.AssertClause(blocking...); err != nil {
+				t.Fatalf("seed=%d frag=%v: %v", seed, frag, err)
+			}
+			if _, err := sess.Solve(context.Background()); err != nil {
+				t.Fatalf("seed=%d frag=%v framed solve: %v", seed, frag, err)
+			}
+			if err := sess.Pop(); err != nil {
+				t.Fatalf("seed=%d frag=%v: %v", seed, frag, err)
+			}
+			after, err := sess.Solve(context.Background())
+			if err != nil {
+				t.Fatalf("seed=%d frag=%v post-pop solve: %v", seed, frag, err)
+			}
+			if after.Status != core.StatusSat {
+				t.Fatalf("seed=%d frag=%v: sat base answered %v after push/pop", seed, frag, after.Status)
+			}
+			if err := o.AuditLemmas(sess.Problem(), sess.Lemmas()); err != nil {
+				t.Fatalf("seed=%d frag=%v lemma audit: %v", seed, frag, err)
+			}
+		}
+	}
+}
