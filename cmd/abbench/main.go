@@ -4,6 +4,7 @@
 //	abbench -table 2 -maxn 11   # SMT-LIB / Fischer benchmarks (Table 2)
 //	abbench -table 3            # Sudoku puzzles (Table 3)
 //	abbench -table incr         # incremental-session ablation (PR 6)
+//	abbench -table sat          # SAT-core arena/inprocessing ablation (PR 7)
 //	abbench -table all
 //	abbench -table all -json    # machine-readable rows (CI artifact)
 //
@@ -11,6 +12,13 @@
 // per-solver rows (instance, verdict, wall time, theory checks) instead of
 // the human-readable layout; table 2's progress lines move to stderr so
 // stdout stays valid JSON. CI archives this output as BENCH_5.json.
+//
+// -baseline FILE loads a previously committed artifact (BENCH_7.json) and
+// matches its "absolver-pre-arena" rows by instance name so the sat table
+// prints old-core-vs-new-core columns and re-emits the baseline rows in
+// its JSON output. -incr-budget R turns the incremental ablation into a CI
+// gate: if the session sweep needs more than R times the cold sweep's
+// theory checks the run exits with status 3.
 //
 // Absolute times will differ from the 2006 publication (different hardware
 // and reimplemented solvers); the shapes — who wins, who rejects, who runs
@@ -33,11 +41,26 @@ func main() {
 	timeout := flag.Duration("timeout", 120*time.Second, "per-solver timeout per instance")
 	cvcMem := flag.Int64("cvc-mem", 32<<20, "CVCLiteLike proof-memory budget in bytes (table 3)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
+	baseline := flag.String("baseline", "", "prior -json artifact supplying old-core rows for the sat table")
+	incrBudget := flag.Float64("incr-budget", 0, "fail (exit 3) if session theory checks exceed this ratio of cold checks (0 disables)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "abbench:", err)
 		os.Exit(1)
+	}
+
+	var baseRows []bench.JSONRow
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		baseRows, err = bench.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	var jsonRows []bench.JSONRow
@@ -90,9 +113,31 @@ func main() {
 		}
 		if *jsonOut {
 			jsonRows = append(jsonRows, bench.JSONIncremental(rows)...)
+		} else {
+			fmt.Println(bench.FormatIncremental(rows))
+		}
+		if *incrBudget > 0 {
+			cold, session := bench.IncrementalTotals(rows)
+			if float64(session) > *incrBudget*float64(cold) {
+				fmt.Fprintf(os.Stderr, "abbench: incremental ablation regressed: session=%d cold=%d checks exceeds budget ratio %.2f\n",
+					session, cold, *incrBudget)
+				os.Exit(3)
+			}
+			fmt.Fprintf(os.Stderr, "# incr budget ok: session=%d cold=%d (ratio %.2f <= %.2f)\n",
+				session, cold, float64(session)/float64(cold), *incrBudget)
+		}
+	}
+
+	runSAT := func() {
+		rows, err := bench.RunSATCore(*maxN, *timeout, baseRows)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			jsonRows = append(jsonRows, bench.JSONSATCore(rows)...)
 			return
 		}
-		fmt.Println(bench.FormatIncremental(rows))
+		fmt.Println(bench.FormatSATCore(rows))
 	}
 
 	switch *table {
@@ -104,13 +149,16 @@ func main() {
 		run3()
 	case "incr":
 		runIncr()
+	case "sat":
+		runSAT()
 	case "all":
 		run1()
 		run2()
 		run3()
 		runIncr()
+		runSAT()
 	default:
-		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr or all")
+		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr, sat or all")
 		os.Exit(2)
 	}
 

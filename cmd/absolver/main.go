@@ -91,6 +91,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	noIIS := fs.Bool("no-iis", false, "disable conflict-set minimisation")
 	noLemmas := fs.Bool("no-lemmas", false, "disable theory-lemma grounding")
 	noCache := fs.Bool("no-cache", false, "disable the theory-verdict cache")
+	noInpro := fs.Bool("no-inprocess", false, "disable SAT inprocessing (subsumption, failed-literal probing)")
 	stats := fs.Bool("stats", false, "print statistics")
 	quiet := fs.Bool("q", false, "print the verdict only")
 	verbose := fs.Bool("v", false, "trace engine iterations")
@@ -148,6 +149,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		NoIIS:          *noIIS,
 		NoGroundLemmas: *noLemmas,
 		NoTheoryCache:  *noCache,
+		NoInprocess:    *noInpro,
 		Timeout:        *timeout,
 	}
 	if *verbose {
@@ -306,6 +308,7 @@ func composeStrategies(strategies []absolver.Strategy, base absolver.Config) {
 		strategies[i].Config.NoIIS = strategies[i].Config.NoIIS || base.NoIIS
 		strategies[i].Config.NoGroundLemmas = strategies[i].Config.NoGroundLemmas || base.NoGroundLemmas
 		strategies[i].Config.NoTheoryCache = strategies[i].Config.NoTheoryCache || base.NoTheoryCache
+		strategies[i].Config.NoInprocess = strategies[i].Config.NoInprocess || base.NoInprocess
 	}
 }
 
@@ -362,6 +365,8 @@ func printStats(w io.Writer, st core.Stats) {
 		st.LemmasPublished, st.LemmasImported, st.LemmasDeduped)
 	fmt.Fprintf(w, "c theory-cache: hits=%d misses=%d\n",
 		st.TheoryCacheHits, st.TheoryCacheMisses)
+	fmt.Fprintf(w, "c sat-inprocess: subsumed=%d probes=%d compactions=%d\n",
+		st.ClausesSubsumed, st.ProbedLiterals, st.ArenaCompactions)
 	fmt.Fprintf(w, "c time: bool=%v linear=%v nonlinear=%v wall=%v\n",
 		st.BoolTime, st.LinearTime, st.NonlinearTime, st.WallTime)
 }

@@ -21,6 +21,9 @@ type JSONRow struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// TheoryChecks counts theory-solver invocations (see Cell.Checks).
 	TheoryChecks int `json:"theory_checks"`
+	// Counters carries optional solver-internal statistics (table 7 uses
+	// it for the inprocessing/arena counters); absent from older tables.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 func jsonRow(table int, instance, solver string, c Cell) JSONRow {
@@ -72,4 +75,14 @@ func WriteJSON(w io.Writer, rows []JSONRow) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+// ReadJSON parses a committed benchmark artifact (the WriteJSON format)
+// back into rows — used by abbench -baseline to print old-vs-new columns.
+func ReadJSON(r io.Reader) ([]JSONRow, error) {
+	var rows []JSONRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }

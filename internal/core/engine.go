@@ -13,6 +13,7 @@ import (
 	"absolver/internal/interval"
 	"absolver/internal/lp"
 	"absolver/internal/nlp"
+	"absolver/internal/sat"
 )
 
 // Status is the engine's verdict.
@@ -94,6 +95,10 @@ type Config struct {
 	// its lifetime (0 = 1<<14). Publishing is not capped here; the store
 	// applies its own size cap.
 	MaxSharedLemmas int
+	// NoInprocess disables the Boolean solver's inprocessing passes
+	// (subsumption, failed-literal probing) when the solver supports the
+	// toggle (ablation knob; the differential suites run both sides).
+	NoInprocess bool
 	// NoTheoryCache disables the theory-verdict cache that memoises
 	// theoryCheck results per asserted-atom projection (ablation knob).
 	NoTheoryCache bool
@@ -121,6 +126,10 @@ const (
 	// EventImport reports peer lemmas accepted from the exchange at the
 	// top of an iteration (Event.Imported carries the count).
 	EventImport
+	// EventInprocess reports SAT inprocessing work observed during the
+	// iteration's Boolean query (Event.Subsumed/Probed/Compactions carry
+	// the deltas).
+	EventInprocess
 )
 
 // String returns the kind's trace-line name.
@@ -134,6 +143,8 @@ func (k EventKind) String() string {
 		return "lossy-block"
 	case EventImport:
 		return "import"
+	case EventInprocess:
+		return "inprocess"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -151,6 +162,12 @@ type Event struct {
 	// CacheHit marks a theory verdict served from the theory-verdict cache
 	// instead of a solver run.
 	CacheHit bool
+	// Subsumed, Probed and Compactions carry the SAT inprocessing deltas of
+	// an EventInprocess: clauses subsumed or strengthened, failed-literal
+	// probes run, and arena compaction passes.
+	Subsumed    int64
+	Probed      int64
+	Compactions int64
 }
 
 // TraceFunc receives engine iteration events. Callbacks run synchronously
@@ -166,6 +183,8 @@ func WriterTrace(w io.Writer) TraceFunc {
 		switch {
 		case ev.Kind == EventImport:
 			fmt.Fprintf(w, " (%d peer lemmas)", ev.Imported)
+		case ev.Kind == EventInprocess:
+			fmt.Fprintf(w, " (%d subsumed, %d probes, %d compactions)", ev.Subsumed, ev.Probed, ev.Compactions)
 		case ev.Kind != EventSat:
 			fmt.Fprintf(w, " (clause of %d literals)", ev.ClauseLen)
 		}
@@ -222,9 +241,18 @@ type Stats struct {
 	// incremental solving). Session results carry per-call deltas, so each
 	// call contributes exactly 1 and merged stats count calls, not engines.
 	SessionSolves int
-	BoolTime      time.Duration
-	LinearTime    time.Duration
-	NonlinearTime time.Duration
+	// ClausesSubsumed, ProbedLiterals and ArenaCompactions mirror the SAT
+	// solver's inprocessing/arena counters (clauses deleted or strengthened
+	// by subsumption, failed-literal probes run, mark-and-relocate passes).
+	// They are snapshots of the Boolean solver's cumulative counters taken
+	// after each Boolean query, so within one engine they are totals, and
+	// Merge sums them across engines like every other counter.
+	ClausesSubsumed  int64
+	ProbedLiterals   int64
+	ArenaCompactions int64
+	BoolTime         time.Duration
+	LinearTime       time.Duration
+	NonlinearTime    time.Duration
 	// WallTime is the engine's total wall-clock time inside Solve /
 	// SolveContext. In a portfolio run each engine reports its own
 	// WallTime; merged Stats carry the sum over engines (total work),
@@ -251,6 +279,9 @@ func (s *Stats) Merge(o Stats) {
 	s.TheoryCacheHits += o.TheoryCacheHits
 	s.TheoryCacheMisses += o.TheoryCacheMisses
 	s.SessionSolves += o.SessionSolves
+	s.ClausesSubsumed += o.ClausesSubsumed
+	s.ProbedLiterals += o.ProbedLiterals
+	s.ArenaCompactions += o.ArenaCompactions
 	s.BoolTime += o.BoolTime
 	s.LinearTime += o.LinearTime
 	s.NonlinearTime += o.NonlinearTime
@@ -277,6 +308,9 @@ func (s Stats) Counters() map[string]int64 {
 		"theory_cache_hits":   int64(s.TheoryCacheHits),
 		"theory_cache_misses": int64(s.TheoryCacheMisses),
 		"session_solves":      int64(s.SessionSolves),
+		"clauses_subsumed":    s.ClausesSubsumed,
+		"probed_literals":     s.ProbedLiterals,
+		"arena_compactions":   s.ArenaCompactions,
 	}
 }
 
@@ -337,6 +371,11 @@ type Engine struct {
 // while the engine is in use.
 func NewEngine(p *Problem, cfg Config) *Engine {
 	e := &Engine{p: p, cfg: cfg.withDefaults()}
+	if e.cfg.NoInprocess {
+		if ip, ok := e.cfg.Bool.(interface{ SetInprocess(on bool) }); ok {
+			ip.SetInprocess(false)
+		}
+	}
 	e.intVars = p.IntVars()
 	e.lower, e.upper = boundsMaps(p.Bounds)
 	e.bvars = make([]int, 0, len(p.Bindings))
@@ -550,7 +589,10 @@ var ErrStopEnumeration = errors.New("core: enumeration stopped by callback")
 // nextBoolModel obtains the next Boolean model, honouring restart mode.
 func (e *Engine) nextBoolModel(ctx context.Context) ([]bool, bool, error) {
 	start := time.Now()
-	defer func() { e.st.BoolTime += time.Since(start) }()
+	defer func() {
+		e.st.BoolTime += time.Since(start)
+		e.captureSatStats()
+	}()
 	if e.cfg.RestartBoolean || !e.boolReady {
 		clauses := e.p.Clauses
 		extra := len(e.lemmas)
@@ -603,6 +645,43 @@ func (e *Engine) padModel(model []bool) []bool {
 	grown := make([]bool, e.p.NumVars)
 	copy(grown, model)
 	return grown
+}
+
+// captureSatStats snapshots the Boolean solver's cumulative
+// inprocessing/arena counters into the engine stats (the solver keeps
+// totals across Resets, so assignment — not addition — is correct within
+// one engine) and emits an EventInprocess trace when the counters moved.
+func (e *Engine) captureSatStats() {
+	ss, ok := e.cfg.Bool.(interface{ Stats() sat.Stats })
+	if !ok {
+		return
+	}
+	st := ss.Stats()
+	dSub := st.ClausesSubsumed - e.st.ClausesSubsumed
+	dProbe := st.ProbedLiterals - e.st.ProbedLiterals
+	dComp := st.ArenaCompactions - e.st.ArenaCompactions
+	e.st.ClausesSubsumed = st.ClausesSubsumed
+	e.st.ProbedLiterals = st.ProbedLiterals
+	e.st.ArenaCompactions = st.ArenaCompactions
+	if e.cfg.Trace != nil && (dSub > 0 || dProbe > 0 || dComp > 0) {
+		e.cfg.Trace(Event{
+			Iteration:   e.st.Iterations,
+			Kind:        EventInprocess,
+			Subsumed:    dSub,
+			Probed:      dProbe,
+			Compactions: dComp,
+		})
+	}
+}
+
+// freezeVar exempts a 0-based Boolean variable from the solver's
+// inprocessing when the solver supports freezing (sessions freeze their
+// frame selectors). A solver without the hook simply does not inprocess —
+// or does so soundly without the belt-and-braces guard.
+func (e *Engine) freezeVar(v int) {
+	if fz, ok := e.cfg.Bool.(interface{ FreezeVar(v int) }); ok {
+		fz.FreezeVar(v)
+	}
 }
 
 // applyPolarityHints biases the Boolean search towards theory-cheap

@@ -492,7 +492,8 @@ func TestStatsCounters(t *testing.T) {
 		"iterations", "linear_checks", "nonlinear_checks", "conflict_clauses",
 		"lossy_blocks", "ne_splits", "lemmas_published", "lemmas_imported",
 		"lemmas_deduped", "theory_cache_hits", "theory_cache_misses",
-		"session_solves",
+		"session_solves", "clauses_subsumed", "probed_literals",
+		"arena_compactions",
 	}
 	zero := Stats{}.Counters()
 	if len(zero) != len(keys) {
@@ -503,11 +504,11 @@ func TestStatsCounters(t *testing.T) {
 			t.Fatalf("zero Stats: key %q = %d, present=%v", k, v, ok)
 		}
 	}
-	a := Stats{Iterations: 3, LinearChecks: 2, TheoryCacheHits: 5, SessionSolves: 2}
-	b := Stats{Iterations: 4, LemmasImported: 1, SessionSolves: 1}
+	a := Stats{Iterations: 3, LinearChecks: 2, TheoryCacheHits: 5, SessionSolves: 2, ClausesSubsumed: 4}
+	b := Stats{Iterations: 4, LemmasImported: 1, SessionSolves: 1, ClausesSubsumed: 2, ArenaCompactions: 1}
 	a.Merge(b)
 	c := a.Counters()
-	if c["iterations"] != 7 || c["linear_checks"] != 2 || c["theory_cache_hits"] != 5 || c["lemmas_imported"] != 1 || c["session_solves"] != 3 {
+	if c["iterations"] != 7 || c["linear_checks"] != 2 || c["theory_cache_hits"] != 5 || c["lemmas_imported"] != 1 || c["session_solves"] != 3 || c["clauses_subsumed"] != 6 || c["arena_compactions"] != 1 {
 		t.Fatalf("merged counters wrong: %v", c)
 	}
 }

@@ -73,6 +73,12 @@ func (e *ExternalCDCLSolver) AddBlocking(clause []int) error { return e.inner.Ad
 // SetPolarity forwards polarity hints to the inner solver.
 func (e *ExternalCDCLSolver) SetPolarity(v int, neg bool) { e.inner.SetPolarity(v, neg) }
 
+// FreezeVar forwards an inprocessing exemption to the inner solver.
+func (e *ExternalCDCLSolver) FreezeVar(v int) { e.inner.FreezeVar(v) }
+
+// SetInprocess forwards the inprocessing toggle to the inner solver.
+func (e *ExternalCDCLSolver) SetInprocess(on bool) { e.inner.SetInprocess(on) }
+
 // Stats exposes the inner solver's accumulated statistics.
 func (e *ExternalCDCLSolver) Stats() sat.Stats { return e.inner.Stats() }
 

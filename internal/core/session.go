@@ -94,6 +94,10 @@ func (s *Session) Push() {
 	sel := s.p.NumVars
 	s.frames = append(s.frames, sessFrame{sel: sel})
 	s.eng.blockGuard = sel
+	// Exempt the selector from SAT inprocessing: a guarded clause must keep
+	// its ¬sel literal so this frame's eventual Pop unit silences exactly
+	// the clauses asserted under it.
+	s.eng.freezeVar(sel - 1)
 }
 
 // Pop closes the innermost frame, retracting its assertions and every
@@ -293,6 +297,9 @@ func statsDelta(after, before Stats) Stats {
 		TheoryCacheHits:   after.TheoryCacheHits - before.TheoryCacheHits,
 		TheoryCacheMisses: after.TheoryCacheMisses - before.TheoryCacheMisses,
 		SessionSolves:     after.SessionSolves - before.SessionSolves,
+		ClausesSubsumed:   after.ClausesSubsumed - before.ClausesSubsumed,
+		ProbedLiterals:    after.ProbedLiterals - before.ProbedLiterals,
+		ArenaCompactions:  after.ArenaCompactions - before.ArenaCompactions,
 		BoolTime:          after.BoolTime - before.BoolTime,
 		LinearTime:        after.LinearTime - before.LinearTime,
 		NonlinearTime:     after.NonlinearTime - before.NonlinearTime,

@@ -83,6 +83,13 @@ type CDCLSolver struct {
 	s       *sat.Solver
 	clauses [][]int
 	nv      int
+	// frozen lists 0-based variables exempt from inprocessing; replayed
+	// into every fresh sat.Solver on Reset (sessions freeze their frame
+	// selectors so inprocessing can never strengthen a guard away).
+	frozen []int
+	// noInprocess disables the solver's inprocessing passes (ablations,
+	// differential testing). Applied on Reset and to the live instance.
+	noInprocess bool
 	// Stats of the underlying solver accumulated across Resets.
 	Accum sat.Stats
 }
@@ -99,7 +106,11 @@ func (c *CDCLSolver) Reset(numVars int, clauses [][]int) error {
 		c.accumulate()
 	}
 	c.s = sat.New()
+	c.s.Inprocess = !c.noInprocess
 	c.s.EnsureVars(numVars)
+	for _, v := range c.frozen {
+		c.s.Freeze(v)
+	}
 	c.nv = numVars
 	c.clauses = c.clauses[:0]
 	for _, cl := range clauses {
@@ -117,7 +128,12 @@ func (c *CDCLSolver) accumulate() {
 	c.Accum.Conflicts += st.Conflicts
 	c.Accum.Restarts += st.Restarts
 	c.Accum.Learnt += st.Learnt
+	c.Accum.DeletedLearnt += st.DeletedLearnt
 	c.Accum.SolveCalls += st.SolveCalls
+	c.Accum.ClausesSubsumed += st.ClausesSubsumed
+	c.Accum.ProbedLiterals += st.ProbedLiterals
+	c.Accum.FailedLiterals += st.FailedLiterals
+	c.Accum.ArenaCompactions += st.ArenaCompactions
 }
 
 // Solve implements BoolSolver.
@@ -203,6 +219,26 @@ func (c *CDCLSolver) SetPolarity(v int, neg bool) {
 	}
 }
 
+// FreezeVar exempts a 0-based variable from inprocessing, across Resets.
+// Sessions freeze their frame-selector variables: a selector-guarded
+// clause must keep its guard literal so the frame's Pop unit silences
+// exactly the clauses pushed with it.
+func (c *CDCLSolver) FreezeVar(v int) {
+	c.frozen = append(c.frozen, v)
+	if c.s != nil {
+		c.s.Freeze(v)
+	}
+}
+
+// SetInprocess toggles the underlying solver's inprocessing passes; used
+// by ablations and the differential test suites.
+func (c *CDCLSolver) SetInprocess(on bool) {
+	c.noInprocess = !on
+	if c.s != nil {
+		c.s.Inprocess = on
+	}
+}
+
 // Stats returns accumulated SAT statistics including the live instance.
 func (c *CDCLSolver) Stats() sat.Stats {
 	st := c.Accum
@@ -213,7 +249,12 @@ func (c *CDCLSolver) Stats() sat.Stats {
 		st.Conflicts += live.Conflicts
 		st.Restarts += live.Restarts
 		st.Learnt += live.Learnt
+		st.DeletedLearnt += live.DeletedLearnt
 		st.SolveCalls += live.SolveCalls
+		st.ClausesSubsumed += live.ClausesSubsumed
+		st.ProbedLiterals += live.ProbedLiterals
+		st.FailedLiterals += live.FailedLiterals
+		st.ArenaCompactions += live.ArenaCompactions
 	}
 	return st
 }

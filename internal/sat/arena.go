@@ -1,0 +1,126 @@
+package sat
+
+import "unsafe"
+
+// CRef is a 32-bit reference into the clause arena: the word offset of the
+// clause's header. Watch lists, reasons and the clause databases hold CRefs
+// instead of pointers, so a clause costs no per-clause allocation, no GC
+// scanning, and survives arena compaction by ref rewriting.
+type CRef uint32
+
+// CRefUndef is the sentinel "no clause" (nil reason, no conflict).
+const CRefUndef CRef = ^CRef(0)
+
+// Arena clause layout, in uint32 words starting at the CRef:
+//
+//	word 0: size<<3 | flags   (flagLearnt, flagDeleted, flagReloc)
+//	word 1: LBD — or, while flagReloc is set during compaction, the
+//	        forwarding CRef in the destination arena
+//	word 2: activity as float32 bits (learnt clauses only)
+//	word 3…: the literals (Lit is an int32; stored bit-identically)
+//
+// A clause therefore occupies hdrWords+size words. Deleted clauses keep
+// their header in place (accounted in wasted) until the next compaction.
+const (
+	flagLearnt  = 1 << 0
+	flagDeleted = 1 << 1
+	flagReloc   = 1 << 2
+	sizeShift   = 3
+	hdrWords    = 3
+)
+
+// clauseArena is the flat clause store. The zero value is ready to use.
+type clauseArena struct {
+	data []uint32
+	// wasted counts words occupied by deleted or relocated clauses; the
+	// solver compacts when the wasted fraction crosses a threshold.
+	wasted uint32
+}
+
+// alloc appends a clause and returns its ref. The literals are copied.
+func (a *clauseArena) alloc(lits []Lit, learnt bool) CRef {
+	r := CRef(len(a.data))
+	h := uint32(len(lits)) << sizeShift
+	if learnt {
+		h |= flagLearnt
+	}
+	a.data = append(a.data, h, 0, 0)
+	for _, l := range lits {
+		a.data = append(a.data, uint32(l))
+	}
+	return r
+}
+
+// size returns the clause's literal count.
+func (a *clauseArena) size(r CRef) int { return int(a.data[r] >> sizeShift) }
+
+// lits returns the clause's literal slice, aliasing the arena: mutations
+// (watched-literal swaps, strengthening rewrites) act on the stored clause.
+// Lit is an int32, so the reinterpretation of the uint32 backing words is
+// layout-exact.
+func (a *clauseArena) lits(r CRef) []Lit {
+	n := int(a.data[r] >> sizeShift)
+	return unsafe.Slice((*Lit)(unsafe.Pointer(&a.data[r+hdrWords])), n)
+}
+
+// learnt reports whether the clause is a learnt clause.
+func (a *clauseArena) learnt(r CRef) bool { return a.data[r]&flagLearnt != 0 }
+
+// deleted reports whether the clause has been freed.
+func (a *clauseArena) deleted(r CRef) bool { return a.data[r]&flagDeleted != 0 }
+
+// lbd returns the clause's literal block distance.
+func (a *clauseArena) lbd(r CRef) int { return int(a.data[r+1]) }
+
+// setLBD stores the clause's literal block distance.
+func (a *clauseArena) setLBD(r CRef, lbd int) { a.data[r+1] = uint32(lbd) }
+
+// act returns the learnt clause's activity.
+func (a *clauseArena) act(r CRef) float32 {
+	return *(*float32)(unsafe.Pointer(&a.data[r+2]))
+}
+
+// setAct stores the learnt clause's activity.
+func (a *clauseArena) setAct(r CRef, v float32) {
+	a.data[r+2] = *(*uint32)(unsafe.Pointer(&v))
+}
+
+// free marks the clause deleted and accounts its words as garbage. The
+// caller must have detached it from all watch lists and reasons first.
+func (a *clauseArena) free(r CRef) {
+	a.data[r] |= flagDeleted
+	a.wasted += uint32(hdrWords + a.size(r))
+}
+
+// shrink drops the clause's last literal (after the caller moved the
+// removed literal there), turning one word into garbage.
+func (a *clauseArena) shrink(r CRef) {
+	n := uint32(a.size(r))
+	a.data[r] = (n-1)<<sizeShift | (a.data[r] & (flagLearnt | flagDeleted | flagReloc))
+	a.wasted++
+}
+
+// relocate copies the clause into to (first visit) or returns the
+// forwarding ref stored by an earlier visit. The LBD word doubles as the
+// forwarding pointer while flagReloc is set, so relocation needs no side
+// table; the copy is made before the word is overwritten, keeping the
+// relocated clause byte-exact.
+func (a *clauseArena) relocate(r CRef, to *clauseArena) CRef {
+	if a.data[r]&flagReloc != 0 {
+		return CRef(a.data[r+1])
+	}
+	n := CRef(hdrWords + a.size(r))
+	nr := CRef(len(to.data))
+	to.data = append(to.data, a.data[r:r+n]...)
+	a.data[r] |= flagReloc
+	a.data[r+1] = uint32(nr)
+	return nr
+}
+
+// garbageFraction reports wasted words as a fraction of the arena.
+func (a *clauseArena) garbageFraction() float64 {
+	if len(a.data) == 0 {
+		return 0
+	}
+	return float64(a.wasted) / float64(len(a.data))
+}

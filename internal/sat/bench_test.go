@@ -1,0 +1,88 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hard3CNF builds a random 3-CNF at the satisfiability phase transition:
+// enough conflicts to exercise learning, reduction and (in the arena core)
+// compaction, small enough to finish in milliseconds.
+func hard3CNF(seed int64, nVars int) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	nClauses := int(4.26 * float64(nVars))
+	clauses := make([][]int, nClauses)
+	for i := range clauses {
+		cl := make([]int, 3)
+		for j := range cl {
+			v := 1 + rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			cl[j] = v
+		}
+		clauses[i] = cl
+	}
+	return clauses
+}
+
+func loadClauses(b *testing.B, s *Solver, clauses [][]int) {
+	b.Helper()
+	for _, cl := range clauses {
+		lits := make([]Lit, len(cl))
+		for i, n := range cl {
+			lits[i] = FromDIMACS(n)
+		}
+		s.AddClause(lits...)
+	}
+}
+
+// BenchmarkSolveHard3CNF measures one cold solve of a phase-transition
+// instance: the clause-allocation + search hot path.
+func BenchmarkSolveHard3CNF(b *testing.B) {
+	clauses := hard3CNF(42, 120)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		loadClauses(b, s, clauses)
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolvePigeonhole measures a refutation-heavy UNSAT instance
+// (conflict analysis and clause-DB churn dominate).
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	clauses := pigeonhole(8, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		loadClauses(b, s, clauses)
+		res, err := s.Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res != LFalse {
+			b.Fatalf("PHP(8,7) = %v, want unsat", res)
+		}
+	}
+}
+
+// BenchmarkIncrementalAssumptionSweep measures the session-shaped workload:
+// one warm solver answering many assumption queries, the learnt DB
+// long-lived across calls.
+func BenchmarkIncrementalAssumptionSweep(b *testing.B) {
+	clauses := hard3CNF(7, 90)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		loadClauses(b, s, clauses)
+		for q := 0; q < 40; q++ {
+			v := Var(q % 90)
+			if _, err := s.Solve(MkLit(v, q%2 == 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !satdebug
+
+package sat
+
+// checkInvariants is compiled to a no-op unless the satdebug build tag is
+// set; see check_satdebug.go for the real checker.
+func (s *Solver) checkInvariants() {}

@@ -1,0 +1,101 @@
+//go:build satdebug
+
+package sat
+
+import "fmt"
+
+// checkInvariants asserts arena/watch-list consistency. It is compiled in
+// only under the satdebug build tag (a no-op otherwise, see
+// check_release.go) and called after reduceDB, compaction and
+// inprocessing, plus explicitly from tests.
+//
+// Invariants checked:
+//
+//  1. Every ref in clauses/learnts/watches/reasons points at a live
+//     (non-deleted, non-relocated) clause inside the arena.
+//  2. Watch discipline: every clause of size ≥ 2 in the databases is
+//     watched on exactly lits[0] and lits[1], each appearing exactly once
+//     in the corresponding watch list.
+//  3. No stray watchers: every watcher resolves back to a database clause.
+//  4. Reasons: reason[v] of an assigned variable contains v in lits[0].
+//  5. Arena accounting: wasted never exceeds the arena size.
+func (s *Solver) checkInvariants() {
+	live := make(map[CRef]bool, len(s.clauses)+len(s.learnts))
+	check := func(r CRef, where string) {
+		if int(r)+hdrWords > len(s.ca.data) {
+			panic(fmt.Sprintf("sat: %s ref %d outside arena (len %d)", where, r, len(s.ca.data)))
+		}
+		if s.ca.data[r]&flagReloc != 0 {
+			panic(fmt.Sprintf("sat: %s ref %d points at relocated clause", where, r))
+		}
+		if s.ca.deleted(r) {
+			panic(fmt.Sprintf("sat: %s ref %d points at deleted clause", where, r))
+		}
+		if n := s.ca.size(r); int(r)+hdrWords+n > len(s.ca.data) {
+			panic(fmt.Sprintf("sat: %s ref %d size %d overruns arena", where, r, n))
+		}
+	}
+	for _, r := range s.clauses {
+		check(r, "clauses")
+		live[r] = true
+	}
+	for _, r := range s.learnts {
+		check(r, "learnts")
+		if !s.ca.learnt(r) {
+			panic(fmt.Sprintf("sat: learnts ref %d lacks learnt flag", r))
+		}
+		live[r] = true
+	}
+
+	// Watch discipline: count watcher occurrences per (lit, ref).
+	type wkey struct {
+		l Lit
+		r CRef
+	}
+	seen := make(map[wkey]int)
+	for li := range s.watches {
+		l := Lit(li)
+		for _, w := range s.watches[l] {
+			check(w.cref, "watches")
+			if !live[w.cref] {
+				panic(fmt.Sprintf("sat: watcher on %v refs %d not in any database", l, w.cref))
+			}
+			seen[wkey{l, w.cref}]++
+		}
+	}
+	for r := range live {
+		ls := s.ca.lits(r)
+		if len(ls) < 2 {
+			panic(fmt.Sprintf("sat: database clause %d has size %d < 2", r, len(ls)))
+		}
+		for i, want := range []Lit{ls[0].Not(), ls[1].Not()} {
+			if n := seen[wkey{want, r}]; n != 1 {
+				panic(fmt.Sprintf("sat: clause %d watch %d on %v appears %d times, want 1", r, i, want, n))
+			}
+			delete(seen, wkey{want, r})
+		}
+	}
+	for k, n := range seen {
+		panic(fmt.Sprintf("sat: stray watcher: clause %d watched on %v ×%d beyond lits[0]/lits[1]", k.r, k.l, n))
+	}
+
+	for v, r := range s.reason {
+		if r == CRefUndef {
+			continue
+		}
+		check(r, "reason")
+		if !live[r] {
+			panic(fmt.Sprintf("sat: reason of var %d refs %d not in any database", v, r))
+		}
+		if s.assigns[v] == LUndef {
+			panic(fmt.Sprintf("sat: unassigned var %d has reason %d", v, r))
+		}
+		if s.ca.lits(r)[0].Var() != v {
+			panic(fmt.Sprintf("sat: reason clause %d of var %d has lits[0]=%v", r, v, s.ca.lits(r)[0]))
+		}
+	}
+
+	if int(s.ca.wasted) > len(s.ca.data) {
+		panic(fmt.Sprintf("sat: wasted %d exceeds arena size %d", s.ca.wasted, len(s.ca.data)))
+	}
+}

@@ -91,8 +91,8 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 			return err
 		}
 	}
-	for _, c := range s.clauses {
-		for _, l := range c.lits {
+	for _, r := range s.clauses {
+		for _, l := range s.ca.lits(r) {
 			if _, err := fmt.Fprintf(bw, "%d ", l.DIMACS()); err != nil {
 				return err
 			}
@@ -113,9 +113,10 @@ func (s *Solver) Clauses() [][]int {
 			out = append(out, []int{l.DIMACS()})
 		}
 	}
-	for _, c := range s.clauses {
-		row := make([]int, len(c.lits))
-		for i, l := range c.lits {
+	for _, r := range s.clauses {
+		ls := s.ca.lits(r)
+		row := make([]int, len(ls))
+		for i, l := range ls {
 			row[i] = l.DIMACS()
 		}
 		out = append(out, row)

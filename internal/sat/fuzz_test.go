@@ -1,0 +1,183 @@
+package sat
+
+import (
+	"testing"
+)
+
+// decodeFuzzCNF turns raw fuzz bytes into a small CNF: each byte is a
+// DIMACS-style literal over nv variables (0 terminates a clause). The
+// decoder is total — every input maps to some CNF — so the fuzzer explores
+// clause shapes, not parser edge cases.
+func decodeFuzzCNF(data []byte, nv int) [][]int {
+	var clauses [][]int
+	var cur []int
+	for _, b := range data {
+		if b == 0 || len(cur) >= 6 {
+			if len(cur) > 0 {
+				clauses = append(clauses, cur)
+				cur = nil
+			}
+			continue
+		}
+		v := 1 + int(b)%nv
+		if b&0x80 != 0 {
+			v = -v
+		}
+		cur = append(cur, v)
+	}
+	if len(cur) > 0 {
+		clauses = append(clauses, cur)
+	}
+	return clauses
+}
+
+// FuzzArenaRoundTrip checks the storage layer in isolation: a clause
+// written into the arena reads back byte-exact — size, flags, LBD,
+// activity and every literal — and stays byte-exact across relocation
+// into a fresh arena, including when other clauses are freed around it.
+func FuzzArenaRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 0x85, 4, 0, 9, 9, 1}, false, uint8(3))
+	f.Add([]byte{7}, true, uint8(1))
+	f.Add([]byte{}, true, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, learnt bool, lbd uint8) {
+		clauses := decodeFuzzCNF(data, 20)
+		if len(clauses) == 0 {
+			t.Skip()
+		}
+		var a clauseArena
+		refs := make([]CRef, len(clauses))
+		want := make([][]Lit, len(clauses))
+		for i, cl := range clauses {
+			lits := make([]Lit, len(cl))
+			for j, n := range cl {
+				lits[j] = FromDIMACS(n)
+			}
+			want[i] = lits
+			refs[i] = a.alloc(lits, learnt)
+			a.setLBD(refs[i], int(lbd))
+			a.setAct(refs[i], float32(i)*1.5)
+		}
+		verify := func(ar *clauseArena, rs []CRef, stage string) {
+			for i, r := range rs {
+				if ar.size(r) != len(want[i]) {
+					t.Fatalf("%s: clause %d size %d, want %d", stage, i, ar.size(r), len(want[i]))
+				}
+				if ar.learnt(r) != learnt {
+					t.Fatalf("%s: clause %d learnt flag flipped", stage, i)
+				}
+				if ar.deleted(r) {
+					t.Fatalf("%s: clause %d spuriously deleted", stage, i)
+				}
+				if ar.lbd(r) != int(lbd) {
+					t.Fatalf("%s: clause %d lbd %d, want %d", stage, i, ar.lbd(r), lbd)
+				}
+				if ar.act(r) != float32(i)*1.5 {
+					t.Fatalf("%s: clause %d activity %v, want %v", stage, i, ar.act(r), float32(i)*1.5)
+				}
+				for j, l := range ar.lits(r) {
+					if l != want[i][j] {
+						t.Fatalf("%s: clause %d lit %d = %v, want %v", stage, i, j, l, want[i][j])
+					}
+				}
+			}
+		}
+		verify(&a, refs, "initial")
+
+		// Free every other clause, then relocate the survivors: refs must
+		// forward consistently (relocating twice yields the same ref) and
+		// contents stay byte-exact in the new arena.
+		freed := 0
+		for i := 0; i < len(refs); i += 2 {
+			a.free(refs[i])
+			freed++
+		}
+		var b clauseArena
+		newRefs := make([]CRef, 0, len(refs))
+		newWant := make([][]Lit, 0, len(want))
+		actIdx := make([]int, 0, len(refs))
+		for i, r := range refs {
+			if i%2 == 0 {
+				continue
+			}
+			nr := a.relocate(r, &b)
+			if again := a.relocate(r, &b); again != nr {
+				t.Fatalf("relocate not idempotent: %d then %d", nr, again)
+			}
+			newRefs = append(newRefs, nr)
+			newWant = append(newWant, want[i])
+			actIdx = append(actIdx, i)
+		}
+		want = newWant
+		for i, r := range newRefs {
+			if b.act(r) != float32(actIdx[i])*1.5 {
+				t.Fatalf("relocated clause %d activity %v, want %v", i, b.act(r), float32(actIdx[i])*1.5)
+			}
+		}
+		// Re-index want for verify (activity handled above with original
+		// indices, so only structural fields remain to check).
+		for i, r := range newRefs {
+			if b.size(r) != len(want[i]) {
+				t.Fatalf("relocated: clause %d size %d, want %d", i, b.size(r), len(want[i]))
+			}
+			for j, l := range b.lits(r) {
+				if l != want[i][j] {
+					t.Fatalf("relocated: clause %d lit %d = %v, want %v", i, j, l, want[i][j])
+				}
+			}
+		}
+	})
+}
+
+// FuzzInprocessingEquisat is the end-to-end soundness net for the
+// simplification passes: on a random CNF, the verdict with inprocessing
+// enabled must equal the verdict with it disabled, and both must match
+// brute force when the instance is small enough.
+func FuzzInprocessingEquisat(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 0x81, 3, 0, 0x82, 0x83, 0, 4, 5, 6})
+	f.Add([]byte{1, 0, 0x81})
+	f.Add([]byte{9, 9, 9, 0, 0x89, 0x89})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nv = 12
+		clauses := decodeFuzzCNF(data, nv)
+		if len(clauses) == 0 || len(clauses) > 80 {
+			t.Skip()
+		}
+		run := func(inpro bool) LBool {
+			s := New()
+			s.Inprocess = inpro
+			s.EnsureVars(nv)
+			for _, cl := range clauses {
+				lits := make([]Lit, len(cl))
+				for i, n := range cl {
+					lits[i] = FromDIMACS(n)
+				}
+				if !s.AddClause(lits...) {
+					return LFalse
+				}
+			}
+			// Force the first pass through the gate even on tiny instances.
+			if inpro {
+				s.inprocess()
+				s.inproRan = false
+			}
+			res, err := s.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.checkInvariants()
+			return res
+		}
+		on := run(true)
+		off := run(false)
+		if on != off {
+			t.Fatalf("inprocessing changed the verdict: on=%v off=%v\nclauses: %v", on, off, clauses)
+		}
+		want := LFalse
+		if bruteForce(nv, clauses) {
+			want = LTrue
+		}
+		if on != want {
+			t.Fatalf("verdict %v disagrees with brute force %v\nclauses: %v", on, want, clauses)
+		}
+	})
+}

@@ -1,0 +1,333 @@
+package sat
+
+// Inprocessing: cheap simplification run at level 0 between restarts.
+//
+// Three passes, all sound under assumptions and across core.Session
+// push/pop frames because every derivation uses only the clause database
+// (level-0 units, subsumption and strengthening by resolution are implied
+// by the clauses alone, never by assumptions):
+//
+//  1. removeSatisfied — delete clauses satisfied at level 0 and strip
+//     false literals from the rest.
+//  2. binary self-subsumption — a binary clause (a ∨ b) strengthens any
+//     clause (¬a ∨ b ∨ rest) to (b ∨ rest) and subsumes any clause
+//     (a ∨ b ∨ rest) outright.
+//  3. failed-literal probing — assume a literal at a fresh decision level;
+//     if propagation conflicts, its negation is a level-0 unit.
+//
+// Frame-selector guards: clauses containing a frozen variable (Session
+// selectors, see Solver.Freeze) are never deleted or strengthened, and
+// frozen variables are never probed, so a frame's Pop unit still silences
+// exactly the clauses the frame pushed.
+
+// maxProbesPerPass bounds failed-literal probing work per inprocessing
+// pass; the cursor rotates so successive passes cover different variables.
+const maxProbesPerPass = 64
+
+// inproInterval is the minimum number of new conflicts between two
+// inprocessing passes. Without it a warm solver answering many small
+// incremental queries (the session workload) would pay a full pass —
+// occurrence map, probing — per Solve call for a database that barely
+// changed; with it the cost amortises over real search work. The first
+// pass (fresh solver) always runs.
+const inproInterval = 500
+
+// dbSignature captures the solver state that inprocessing depends on; a
+// pass is skipped when nothing changed since the last one.
+func (s *Solver) dbSignature() [4]int {
+	return [4]int{len(s.trail), len(s.clauses), len(s.learnts), int(s.Stats.Learnt)}
+}
+
+// inprocess runs the simplification passes. It must be called at decision
+// level 0. On discovering top-level unsatisfiability it clears okFlag.
+func (s *Solver) inprocess() {
+	if len(s.trailLim) != 0 {
+		panic("sat: inprocess above decision level 0")
+	}
+	if !s.okFlag {
+		return
+	}
+	if s.inproRan && s.Stats.Conflicts-s.inproConflicts < inproInterval {
+		return
+	}
+	sig := s.dbSignature()
+	if sig == s.inproSig {
+		return
+	}
+	// Make sure level-0 propagation is complete before simplifying against
+	// the trail.
+	if conf := s.propagate(); conf != CRefUndef {
+		s.okFlag = false
+		return
+	}
+	s.clearLevel0Reasons()
+	s.removeSatisfied(&s.learnts)
+	s.removeSatisfied(&s.clauses)
+	if s.okFlag {
+		s.selfSubsume()
+	}
+	if s.okFlag {
+		s.probe()
+	}
+	s.maybeCompact()
+	s.checkInvariants()
+	s.inproSig = s.dbSignature()
+	s.inproRan = true
+	s.inproConflicts = s.Stats.Conflicts
+}
+
+// clearLevel0Reasons detaches level-0 assignments from their reason
+// clauses: a fact at level 0 needs no reason, and clearing it lets
+// removeSatisfied delete the clause (isReason would otherwise pin it).
+func (s *Solver) clearLevel0Reasons() {
+	for _, l := range s.trail {
+		v := l.Var()
+		if s.level[v] == 0 {
+			s.reason[v] = CRefUndef
+		}
+	}
+}
+
+// hasFrozen reports whether the clause mentions a frozen variable.
+func (s *Solver) hasFrozen(ls []Lit) bool {
+	for _, l := range ls {
+		if s.frozen[l.Var()] {
+			return true
+		}
+	}
+	return false
+}
+
+// removeSatisfied deletes clauses satisfied at level 0 from db and strips
+// literals false at level 0 from the remainder. Clauses mentioning frozen
+// variables are only ever deleted when their satisfying literal is a
+// level-0 fact — which is exactly the Pop-unit case, where the clause is
+// permanently silenced — and never strengthened.
+func (s *Solver) removeSatisfied(db *[]CRef) {
+	kept := (*db)[:0]
+	for _, r := range *db {
+		ls := s.ca.lits(r)
+		sat := false
+		for _, l := range ls {
+			if s.Value(l) == LTrue && s.level[l.Var()] == 0 {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			s.detach(r)
+			s.ca.free(r)
+			continue
+		}
+		if s.hasFrozen(ls) {
+			kept = append(kept, r)
+			continue
+		}
+		// Strip false literals beyond the watched pair. Watched positions
+		// cannot be false at level 0 here: a false watch with the other
+		// watch unassigned would have propagated, and propagation is
+		// complete.
+		for k := len(ls) - 1; k >= 2; k-- {
+			if s.Value(ls[k]) == LFalse && s.level[ls[k].Var()] == 0 {
+				ls[k] = ls[len(ls)-1]
+				s.ca.shrink(r)
+				ls = s.ca.lits(r)
+			}
+		}
+		kept = append(kept, r)
+	}
+	*db = kept
+}
+
+// selfSubsume runs subsumption and self-subsumption (strengthening) of the
+// clause databases against all binary clauses:
+//
+//	(a ∨ b) subsumes (a ∨ b ∨ rest)          → delete
+//	(a ∨ b) strengthens (¬a ∨ b ∨ rest)      → drop ¬a
+//
+// Only clauses of size > 2 are rewritten, so two identical binary clauses
+// can never subsume each other (mutual deletion would lose the clause).
+func (s *Solver) selfSubsume() {
+	// Collect binaries from both databases. Each entry maps a literal to
+	// its binary partner plus the owning ref (to skip self-matches).
+	type bin struct {
+		partner Lit
+		ref     CRef
+	}
+	occ := make(map[Lit][]bin)
+	collect := func(db []CRef) {
+		for _, r := range db {
+			ls := s.ca.lits(r)
+			if len(ls) != 2 {
+				continue
+			}
+			occ[ls[0]] = append(occ[ls[0]], bin{ls[1], r})
+			occ[ls[1]] = append(occ[ls[1]], bin{ls[0], r})
+		}
+	}
+	collect(s.clauses)
+	collect(s.learnts)
+	if len(occ) == 0 {
+		return
+	}
+
+	process := func(db *[]CRef) {
+		kept := (*db)[:0]
+		for _, r := range *db {
+			ls := s.ca.lits(r)
+			// Only clauses of size > 2 are candidates; strengthening drops
+			// one literal per pass, so a clause never shrinks below binary
+			// here (the shrink-to-unit path in strengthen stays unused).
+			if len(ls) <= 2 || s.hasFrozen(ls) {
+				kept = append(kept, r)
+				continue
+			}
+			// Mark the clause's literals for O(1) membership checks.
+			for _, l := range ls {
+				s.litMark[l] = 1
+			}
+			deleted := false
+		scan:
+			for _, l := range ls {
+				// Subsumption: binary (l ∨ p) with p also in the clause.
+				for _, b := range occ[l] {
+					if b.ref != r && s.litMark[b.partner] == 1 {
+						deleted = true
+						break scan
+					}
+				}
+				// Strengthening: binary (¬l ∨ p) with p in the clause lets
+				// us resolve away l. One rewrite per clause per pass —
+				// after it the marks are stale.
+				for _, b := range occ[l.Not()] {
+					if b.ref == r || s.litMark[b.partner] != 1 || b.partner == l.Not() {
+						continue
+					}
+					s.litMark[l] = 0
+					s.strengthen(r, l)
+					s.Stats.ClausesSubsumed++
+					break scan
+				}
+			}
+			for _, l := range s.ca.lits(r) {
+				s.litMark[l] = 0
+			}
+			if deleted {
+				s.detach(r)
+				s.ca.free(r)
+				s.Stats.ClausesSubsumed++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		*db = kept
+	}
+	process(&s.clauses)
+	process(&s.learnts)
+}
+
+// strengthen removes literal l from clause r, handling the watch scheme:
+// the clause is detached, rewritten, and reattached. If the clause becomes
+// unit the literal is enqueued at level 0 instead of reattaching.
+func (s *Solver) strengthen(r CRef, l Lit) {
+	s.detach(r)
+	ls := s.ca.lits(r)
+	for i, q := range ls {
+		if q == l {
+			ls[i] = ls[len(ls)-1]
+			break
+		}
+	}
+	s.ca.shrink(r)
+	ls = s.ca.lits(r)
+	if len(ls) == 1 {
+		s.ca.free(r)
+		s.dropRef(r)
+		if s.Value(ls[0]) == LFalse {
+			s.okFlag = false
+			return
+		}
+		if s.Value(ls[0]) == LUndef {
+			s.uncheckedEnqueue(ls[0], CRefUndef)
+			if conf := s.propagate(); conf != CRefUndef {
+				s.okFlag = false
+			}
+		}
+		return
+	}
+	s.attach(r)
+}
+
+// dropRef removes r from whichever clause database holds it. Quadratic in
+// the worst case but called only on the rare shrink-to-unit path.
+func (s *Solver) dropRef(r CRef) {
+	for i, c := range s.clauses {
+		if c == r {
+			s.clauses = append(s.clauses[:i], s.clauses[i+1:]...)
+			return
+		}
+	}
+	for i, c := range s.learnts {
+		if c == r {
+			s.learnts = append(s.learnts[:i], s.learnts[i+1:]...)
+			return
+		}
+	}
+}
+
+// probe performs failed-literal probing: assume each candidate literal at
+// a fresh decision level and propagate; a conflict makes its negation a
+// level-0 fact. Bounded by maxProbesPerPass with a rotating cursor.
+// Frozen variables are skipped — probing them is sound, but deriving units
+// over selector variables would surprise the Session bookkeeping for no
+// gain (selectors are pure guards with no occurrences elsewhere).
+func (s *Solver) probe() {
+	n := s.NumVars()
+	if n == 0 {
+		return
+	}
+	probes := 0
+	for i := 0; i < n && probes < maxProbesPerPass; i++ {
+		v := (int(s.probeCursor) + i) % n
+		if s.assigns[v] != LUndef || s.frozen[v] {
+			continue
+		}
+		for _, neg := range [2]bool{false, true} {
+			if s.assigns[v] != LUndef {
+				break // earlier polarity failed and fixed the var
+			}
+			l := MkLit(v, neg)
+			probes++
+			s.Stats.ProbedLiterals++
+			start := len(s.trail)
+			s.trailLim = append(s.trailLim, start)
+			s.uncheckedEnqueue(l, CRefUndef)
+			conf := s.propagate()
+			// Probing is a lookahead, not search: backtrack would overwrite
+			// the saved phase of every propagated variable with the probe's
+			// throwaway values, perturbing later decisions (and stomping the
+			// engine's SetPolarity hints that steer model enumeration).
+			// Snapshot and restore them.
+			assigned := s.trail[start:]
+			saved := s.probePhase[:0]
+			for _, q := range assigned {
+				saved = append(saved, s.phase[q.Var()])
+			}
+			s.backtrack(0)
+			for k, q := range assigned {
+				s.phase[q.Var()] = saved[k]
+			}
+			s.probePhase = saved[:0]
+			if conf != CRefUndef {
+				s.Stats.FailedLiterals++
+				s.uncheckedEnqueue(l.Not(), CRefUndef)
+				if c := s.propagate(); c != CRefUndef {
+					s.okFlag = false
+					s.probeCursor = Var((v + 1) % n)
+					return
+				}
+			}
+		}
+	}
+	s.probeCursor = Var((int(s.probeCursor) + maxProbesPerPass) % n)
+}

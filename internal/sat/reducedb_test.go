@@ -86,18 +86,23 @@ func TestQuickSelectMedianMutatesInput(t *testing.T) {
 	}
 }
 
-// TestReduceDBPreservesActivities runs a solve large enough to trigger
-// clause-database reductions and checks the invariant the median copy
-// protects: surviving learnt clauses keep exactly the activity they had
-// before reduceDB ran (reduceDB selects and deletes, it never rescores).
-func TestReduceDBPreservesActivities(t *testing.T) {
-	s := New()
-	// A dense random 3-CNF near the phase transition produces plenty of
-	// conflicts and learnt clauses.
-	rng := rand.New(rand.NewSource(7))
-	const nv = 60
+// litsKey renders a clause's literal sequence as a stable identity key:
+// refs are NOT stable across compaction (that is the point of the arena),
+// so tests that track clauses across reduceDB key them by content.
+func litsKey(ls []Lit) string {
+	out := ""
+	for _, l := range ls {
+		out += l.String() + " "
+	}
+	return out
+}
+
+// denseRandom3CNF loads a dense random 3-CNF near the phase transition:
+// plenty of conflicts, learnt clauses, and (with the arena) garbage.
+func denseRandom3CNF(s *Solver, seed int64, nv, nc int) {
+	rng := rand.New(rand.NewSource(seed))
 	s.EnsureVars(nv)
-	for i := 0; i < 250; i++ {
+	for i := 0; i < nc; i++ {
 		var lits []Lit
 		used := map[int]bool{}
 		for len(lits) < 3 {
@@ -110,20 +115,155 @@ func TestReduceDBPreservesActivities(t *testing.T) {
 		}
 		s.AddClause(lits...)
 	}
+}
+
+// TestReduceDBPreservesActivities runs a solve large enough to trigger
+// clause-database reductions and checks the invariant the median copy
+// protects: surviving learnt clauses keep exactly the activity they had
+// before reduceDB ran (reduceDB selects and deletes, it never rescores).
+// Clauses are tracked by literal content, not by ref — reduceDB may
+// compact the arena and rename every ref.
+func TestReduceDBPreservesActivities(t *testing.T) {
+	s := New()
+	denseRandom3CNF(s, 7, 60, 250)
 	s.Solve()
 	if len(s.learnts) == 0 {
 		t.Skip("instance produced no learnt clauses")
 	}
-	before := make(map[*clause]float64, len(s.learnts))
-	for _, c := range s.learnts {
-		before[c] = c.activity
+	before := make(map[string]float32, len(s.learnts))
+	for _, r := range s.learnts {
+		before[litsKey(s.ca.lits(r))] = s.ca.act(r)
 	}
 	s.reduceDB()
-	for _, c := range s.learnts {
-		if got, ok := before[c]; !ok {
-			t.Fatalf("reduceDB kept a clause it did not start with")
-		} else if c.activity != got {
-			t.Fatalf("reduceDB changed a surviving clause's activity: %v -> %v", got, c.activity)
+	s.checkInvariants()
+	for _, r := range s.learnts {
+		k := litsKey(s.ca.lits(r))
+		if got, ok := before[k]; !ok {
+			t.Fatalf("reduceDB kept a clause it did not start with: %s", k)
+		} else if s.ca.act(r) != got {
+			t.Fatalf("reduceDB changed a surviving clause's activity: %v -> %v", got, s.ca.act(r))
+		}
+	}
+}
+
+// TestCompactionRewritesRefs pins the arena-world contract that replaced
+// the old defensive-copy audit: compaction REWRITES refs in place rather
+// than copying clauses into fresh allocations. After a forced compaction,
+// (a) at least one surviving ref changed (the old arena had garbage in
+// front of it), (b) clause contents are byte-identical, and (c) the new
+// arena is tight — no deleted clause survived the move.
+func TestCompactionRewritesRefs(t *testing.T) {
+	s := New()
+	denseRandom3CNF(s, 11, 60, 250)
+	s.Solve()
+	if len(s.learnts) < 10 {
+		t.Skip("instance produced too few learnt clauses")
+	}
+	// Free the first half of the learnts to manufacture garbage in front
+	// of the survivors.
+	half := len(s.learnts) / 2
+	for _, r := range s.learnts[:half] {
+		s.detach(r)
+		s.ca.free(r)
+	}
+	s.learnts = append(s.learnts[:0], s.learnts[half:]...)
+
+	beforeRefs := append([]CRef(nil), s.learnts...)
+	beforeLits := make([]string, len(s.learnts))
+	for i, r := range s.learnts {
+		beforeLits[i] = litsKey(s.ca.lits(r))
+	}
+	arenaBefore := len(s.ca.data)
+
+	s.compact()
+	s.checkInvariants()
+
+	if s.Stats.ArenaCompactions == 0 {
+		t.Fatal("compact did not count an ArenaCompactions pass")
+	}
+	if len(s.ca.data) >= arenaBefore {
+		t.Fatalf("compaction did not shrink the arena: %d -> %d words", arenaBefore, len(s.ca.data))
+	}
+	if s.ca.wasted != 0 {
+		t.Fatalf("fresh arena reports %d wasted words", s.ca.wasted)
+	}
+	moved := false
+	for i, r := range s.learnts {
+		if r != beforeRefs[i] {
+			moved = true
+		}
+		if got := litsKey(s.ca.lits(r)); got != beforeLits[i] {
+			t.Fatalf("clause %d changed content across compaction: %q -> %q", i, beforeLits[i], got)
+		}
+	}
+	if !moved {
+		t.Fatal("no ref was rewritten by compaction despite garbage in front of the survivors")
+	}
+}
+
+// TestPopAfterCompactionSilencesFrameClauses simulates core.Session's
+// selector-guard protocol at the sat level: guarded clauses (¬sel ∨ …) are
+// pushed, the arena is forced through reduceDB/compaction churn, and the
+// frame is popped by asserting the permanent unit ¬sel. The popped frame's
+// clauses — whose refs were rewritten by compaction — must be exactly the
+// ones silenced: the contradiction they guard must vanish, while an
+// identical unguarded contradiction must still bite.
+func TestPopAfterCompactionSilencesFrameClauses(t *testing.T) {
+	s := New()
+	denseRandom3CNF(s, 13, 50, 200)
+
+	sel := Var(s.NumVars())
+	s.EnsureVars(sel + 1)
+	s.Freeze(sel)
+	x := Var(s.NumVars())
+	s.EnsureVars(x + 1)
+	// Frame clauses: sel → x and sel → ¬x (contradictory under the guard).
+	if !s.AddClause(MkLit(sel, true), MkLit(x, false)) {
+		t.Fatal("problem unexpectedly unsat while pushing frame")
+	}
+	if !s.AddClause(MkLit(sel, true), MkLit(x, true)) {
+		t.Fatal("problem unexpectedly unsat while pushing frame")
+	}
+
+	// Assuming the selector must now be unsat, regardless of the base CNF.
+	res, err := s.Solve(MkLit(sel, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != LFalse {
+		t.Fatalf("solve under selector = %v, want unsat", res)
+	}
+
+	// Churn: run an unconstrained solve (learning, reduceDB) and force a
+	// compaction so the frame clauses' refs are rewritten.
+	base, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.compact()
+	s.checkInvariants()
+
+	// Pop the frame: permanent unit ¬sel.
+	if !s.AddClause(MkLit(sel, true)) {
+		t.Fatal("pop unit made the problem unsat")
+	}
+	res, err = s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != base {
+		t.Fatalf("verdict after pop = %v, want the base verdict %v: popped frame still constrains the problem", res, base)
+	}
+	if base == LTrue {
+		// x must be free again: both polarities satisfiable.
+		for _, neg := range []bool{false, true} {
+			res, err := s.Solve(MkLit(x, neg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != LTrue {
+				t.Fatalf("x with neg=%v unsat after pop: frame clause leaked past its guard", neg)
+			}
 		}
 	}
 }

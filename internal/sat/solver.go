@@ -16,23 +16,28 @@ var ErrBudget = errors.New("sat: conflict budget exhausted")
 // enough that a cancelled solver stops within microseconds.
 const pollEvery = 256
 
-// watcher pairs a watched clause with its blocker literal (a literal whose
-// truth makes visiting the clause unnecessary).
+// compactThreshold is the wasted-word fraction above which reduceDB (and
+// inprocessing) trigger an arena compaction.
+const compactThreshold = 0.25
+
+// watcher pairs a watched clause ref with its blocker literal (a literal
+// whose truth makes visiting the clause unnecessary).
 type watcher struct {
-	c       *clause
+	cref    CRef
 	blocker Lit
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
-	clauses []*clause // problem clauses
-	learnts []*clause // learnt clauses
+	ca      clauseArena
+	clauses []CRef // problem clauses
+	learnts []CRef // learnt clauses
 
 	watches [][]watcher // indexed by Lit
 
 	assigns  []LBool // indexed by Var
 	level    []int   // decision level of assignment
-	reason   []*clause
+	reason   []CRef  // CRefUndef = decision or top-level fact
 	trail    []Lit
 	trailLim []int
 	qhead    int
@@ -46,8 +51,26 @@ type Solver struct {
 	claInc   float64
 	claDecay float64
 
-	seen   []bool // scratch for analyze
-	okFlag bool   // false once a top-level conflict is found
+	seen    []bool  // scratch for analyze
+	litMark []uint8 // scratch indexed by Lit for the subsumption pass
+	frozen  []bool  // vars whose clauses inprocessing must not touch
+	okFlag  bool    // false once a top-level conflict is found
+
+	// Inprocess enables cheap inprocessing (level-0 simplification, binary
+	// self-subsumption, failed-literal probing) between restarts. New turns
+	// it on; ablations and differential tests switch it off.
+	Inprocess bool
+
+	// inproSig is the DB signature of the last inprocessing pass; a pass
+	// runs only when the database changed since, and (after the first
+	// pass) only once per inproInterval new conflicts.
+	inproSig       [4]int
+	inproRan       bool
+	inproConflicts int64
+	// probeCursor rotates failed-literal probing across the variables.
+	probeCursor Var
+	// probePhase is scratch for restoring saved phases around a probe.
+	probePhase []bool
 
 	// ConflictBudget, when positive, bounds the number of conflicts a
 	// single Solve call may encounter before returning ErrBudget.
@@ -68,11 +91,12 @@ type Solver struct {
 // New returns an empty solver.
 func New() *Solver {
 	return &Solver{
-		varInc:   1,
-		varDecay: 0.95,
-		claInc:   1,
-		claDecay: 0.999,
-		okFlag:   true,
+		varInc:    1,
+		varDecay:  0.95,
+		claInc:    1,
+		claDecay:  0.999,
+		okFlag:    true,
+		Inprocess: true,
 	}
 }
 
@@ -87,11 +111,13 @@ func (s *Solver) NewVar() Var {
 	v := len(s.assigns)
 	s.assigns = append(s.assigns, LUndef)
 	s.level = append(s.level, -1)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, CRefUndef)
 	s.activity = append(s.activity, 0)
 	s.phase = append(s.phase, true) // default polarity: negative
 	s.seen = append(s.seen, false)
+	s.frozen = append(s.frozen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.litMark = append(s.litMark, 0, 0)
 	s.order.insert(v, s.activity)
 	return v
 }
@@ -101,6 +127,16 @@ func (s *Solver) EnsureVars(n int) {
 	for s.NumVars() < n {
 		s.NewVar()
 	}
+}
+
+// Freeze exempts v's clauses from inprocessing: no clause containing a
+// literal over v is deleted by subsumption or strengthened, and v is never
+// probed. Sessions freeze their frame-selector variables so a
+// selector-guarded assertion can never lose its guard literal; the frame's
+// Pop unit must silence exactly the clauses it was pushed with.
+func (s *Solver) Freeze(v Var) {
+	s.EnsureVars(v + 1)
+	s.frozen[v] = true
 }
 
 // Value returns the current assignment of l.
@@ -160,35 +196,37 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.okFlag = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if conf := s.propagate(); conf != nil {
+		s.uncheckedEnqueue(out[0], CRefUndef)
+		if conf := s.propagate(); conf != CRefUndef {
 			s.okFlag = false
 			return false
 		}
 		return true
 	}
-	c := &clause{lits: out}
-	s.clauses = append(s.clauses, c)
-	s.attach(c)
+	r := s.ca.alloc(out, false)
+	s.clauses = append(s.clauses, r)
+	s.attach(r)
 	return true
 }
 
-// attach registers the first two literals of c as watched.
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+// attach registers the first two literals of the clause as watched.
+func (s *Solver) attach(r CRef) {
+	ls := s.ca.lits(r)
+	s.watches[ls[0].Not()] = append(s.watches[ls[0].Not()], watcher{r, ls[1]})
+	s.watches[ls[1].Not()] = append(s.watches[ls[1].Not()], watcher{r, ls[0]})
 }
 
-// detach removes c from the watch lists.
-func (s *Solver) detach(c *clause) {
-	s.removeWatch(c.lits[0].Not(), c)
-	s.removeWatch(c.lits[1].Not(), c)
+// detach removes the clause from the watch lists.
+func (s *Solver) detach(r CRef) {
+	ls := s.ca.lits(r)
+	s.removeWatch(ls[0].Not(), r)
+	s.removeWatch(ls[1].Not(), r)
 }
 
-func (s *Solver) removeWatch(l Lit, c *clause) {
+func (s *Solver) removeWatch(l Lit, r CRef) {
 	ws := s.watches[l]
 	for i := range ws {
-		if ws[i].c == c {
+		if ws[i].cref == r {
 			ws[i] = ws[len(ws)-1]
 			s.watches[l] = ws[:len(ws)-1]
 			return
@@ -199,9 +237,9 @@ func (s *Solver) removeWatch(l Lit, c *clause) {
 // decisionLevel returns the current decision level.
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-// uncheckedEnqueue records an assignment implied by from (nil = decision or
-// top-level fact).
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+// uncheckedEnqueue records an assignment implied by from (CRefUndef =
+// decision or top-level fact).
+func (s *Solver) uncheckedEnqueue(l Lit, from CRef) {
 	v := l.Var()
 	if l.Neg() {
 		s.assigns[v] = LFalse
@@ -214,8 +252,8 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 }
 
 // propagate performs unit propagation over the two-watched-literal scheme,
-// returning a conflicting clause or nil.
-func (s *Solver) propagate() *clause {
+// returning a conflicting clause ref or CRefUndef.
+func (s *Solver) propagate() CRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -231,22 +269,23 @@ func (s *Solver) propagate() *clause {
 				n++
 				continue
 			}
-			c := w.c
-			// Normalise so that lits[1] is the false watched literal (¬p).
-			if c.lits[0] == p.Not() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			c := w.cref
+			ls := s.ca.lits(c)
+			// Normalise so that ls[1] is the false watched literal (¬p).
+			if ls[0] == p.Not() {
+				ls[0], ls[1] = ls[1], ls[0]
 			}
-			first := c.lits[0]
+			first := ls[0]
 			if first != w.blocker && s.Value(first) == LTrue {
 				ws[n] = watcher{c, first}
 				n++
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(c.lits); k++ {
-				if s.Value(c.lits[k]) != LFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+			for k := 2; k < len(ls); k++ {
+				if s.Value(ls[k]) != LFalse {
+					ls[1], ls[k] = ls[k], ls[1]
+					s.watches[ls[1].Not()] = append(s.watches[ls[1].Not()], watcher{c, first})
 					continue clauseLoop
 				}
 			}
@@ -267,12 +306,12 @@ func (s *Solver) propagate() *clause {
 		}
 		s.watches[p] = ws[:n]
 	}
-	return nil
+	return CRefUndef
 }
 
 // analyze performs first-UIP conflict analysis, returning the learnt clause
 // (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(conf *clause) ([]Lit, int) {
+func (s *Solver) analyze(conf CRef) ([]Lit, int) {
 	learnt := []Lit{LitUndef} // slot 0 reserved for the asserting literal
 	counter := 0
 	p := LitUndef
@@ -281,11 +320,11 @@ func (s *Solver) analyze(conf *clause) ([]Lit, int) {
 	c := conf
 	for {
 		s.bumpClause(c)
-		start := 0
+		cl := s.ca.lits(c)
 		if p != LitUndef {
-			start = 1 // lits[0] of a reason clause is the implied literal
+			cl = cl[1:] // lits[0] of a reason clause is the implied literal
 		}
-		for _, q := range c.lits[start:] {
+		for _, q := range cl {
 			v := q.Var()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
@@ -359,10 +398,10 @@ func (s *Solver) redundant(l Lit, marked map[Var]bool, depth int) bool {
 		return false
 	}
 	r := s.reason[l.Var()]
-	if r == nil {
+	if r == CRefUndef {
 		return false
 	}
-	for _, q := range r.lits[1:] {
+	for _, q := range s.ca.lits(r)[1:] {
 		v := q.Var()
 		if s.level[v] == 0 || marked[v] {
 			continue
@@ -385,7 +424,7 @@ func (s *Solver) backtrack(level int) {
 		v := l.Var()
 		s.assigns[v] = LUndef
 		s.phase[v] = l.Neg()
-		s.reason[v] = nil
+		s.reason[v] = CRefUndef
 		s.level[v] = -1
 		s.order.insertIfAbsent(v, s.activity)
 	}
@@ -408,14 +447,15 @@ func (s *Solver) bumpVar(v Var) {
 
 func (s *Solver) decayVar() { s.varInc /= s.varDecay }
 
-func (s *Solver) bumpClause(c *clause) {
-	if !c.learnt {
+func (s *Solver) bumpClause(r CRef) {
+	if !s.ca.learnt(r) {
 		return
 	}
-	c.activity += s.claInc
-	if c.activity > 1e20 {
-		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+	act := s.ca.act(r) + float32(s.claInc)
+	s.ca.setAct(r, act)
+	if act > 1e20 {
+		for _, lr := range s.learnts {
+			s.ca.setAct(lr, s.ca.act(lr)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -446,7 +486,8 @@ func (s *Solver) lbd(lits []Lit) int {
 }
 
 // reduceDB removes the less active half of the learnt clauses, keeping
-// binary and low-LBD clauses.
+// binary and low-LBD clauses, then compacts the arena when the deletions
+// leave too much garbage behind.
 func (s *Solver) reduceDB() {
 	if len(s.learnts) == 0 {
 		return
@@ -456,26 +497,71 @@ func (s *Solver) reduceDB() {
 	// feeding it a slice aliased with clause state would silently shuffle
 	// activities between clauses and corrupt every later reduction.
 	acts := make([]float64, len(s.learnts))
-	for i, c := range s.learnts {
-		acts[i] = c.activity
+	for i, r := range s.learnts {
+		acts[i] = float64(s.ca.act(r))
 	}
 	median := quickSelectMedian(acts)
 	kept := s.learnts[:0]
-	for _, c := range s.learnts {
-		if len(c.lits) <= 2 || c.lbd <= 3 || c.activity >= median || s.isReason(c) {
-			kept = append(kept, c)
+	for _, r := range s.learnts {
+		if s.ca.size(r) <= 2 || s.ca.lbd(r) <= 3 || float64(s.ca.act(r)) >= median || s.isReason(r) {
+			kept = append(kept, r)
 			continue
 		}
-		s.detach(c)
+		s.detach(r)
+		s.ca.free(r)
 		s.Stats.DeletedLearnt++
 	}
 	s.learnts = kept
+	s.maybeCompact()
+	s.checkInvariants()
 }
 
-// isReason reports whether c is currently the reason of some assignment.
-func (s *Solver) isReason(c *clause) bool {
-	v := c.lits[0].Var()
-	return s.assigns[v] != LUndef && s.reason[v] == c
+// maybeCompact runs a mark-and-relocate compaction when the arena's wasted
+// fraction crosses the threshold.
+func (s *Solver) maybeCompact() {
+	if s.ca.garbageFraction() > compactThreshold {
+		s.compact()
+	}
+}
+
+// compact relocates every live clause into a fresh arena and rewrites all
+// refs — watch lists, reasons, and the clause databases. Deleted clauses
+// are left behind; refs are renamed, never duplicated (the forwarding
+// pointer in the old header makes repeat visits cheap and idempotent).
+func (s *Solver) compact() {
+	old := s.ca
+	s.ca = clauseArena{data: make([]uint32, 0, len(old.data)-int(old.wasted))}
+	for li := range s.watches {
+		ws := s.watches[li]
+		for i := range ws {
+			ws[i].cref = old.relocate(ws[i].cref, &s.ca)
+		}
+	}
+	for v := range s.reason {
+		if s.reason[v] == CRefUndef {
+			continue
+		}
+		if s.assigns[v] == LUndef {
+			// Stale entry of an unassigned variable: no longer needed.
+			s.reason[v] = CRefUndef
+			continue
+		}
+		s.reason[v] = old.relocate(s.reason[v], &s.ca)
+	}
+	for i, r := range s.clauses {
+		s.clauses[i] = old.relocate(r, &s.ca)
+	}
+	for i, r := range s.learnts {
+		s.learnts[i] = old.relocate(r, &s.ca)
+	}
+	s.Stats.ArenaCompactions++
+}
+
+// isReason reports whether the clause is currently the reason of some
+// assignment.
+func (s *Solver) isReason(r CRef) bool {
+	v := s.ca.lits(r)[0].Var()
+	return s.assigns[v] != LUndef && s.reason[v] == r
 }
 
 // quickSelectMedian returns the k-th smallest element of a for k=len(a)/2
@@ -566,7 +652,7 @@ func (s *Solver) search(conflictLimit int64, assumptions []Lit) (LBool, int64) {
 			return LUndef, conflicts
 		}
 		conf := s.propagate()
-		if conf != nil {
+		if conf != CRefUndef {
 			conflicts++
 			s.Stats.Conflicts++
 			if s.decisionLevel() == 0 {
@@ -576,7 +662,7 @@ func (s *Solver) search(conflictLimit int64, assumptions []Lit) (LBool, int64) {
 			if s.decisionLevel() <= len(assumptions) {
 				// Conflict within the assumption prefix: analyse in terms
 				// of assumptions for the caller.
-				s.conflictAssumps = s.analyzeFinal(conf, assumptions)
+				s.conflictAssumps = s.analyzeFinal(s.ca.lits(conf), assumptions)
 				return LFalse, conflicts
 			}
 			learnt, bt := s.analyze(conf)
@@ -587,7 +673,7 @@ func (s *Solver) search(conflictLimit int64, assumptions []Lit) (LBool, int64) {
 				// assumption level instead would leave a one-literal clause to
 				// attach, which the two-watch scheme cannot represent.)
 				s.backtrack(0)
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], CRefUndef)
 				s.decayVar()
 				s.decayClause()
 				continue
@@ -600,12 +686,13 @@ func (s *Solver) search(conflictLimit int64, assumptions []Lit) (LBool, int64) {
 			}
 			s.backtrack(bt)
 			{
-				c := &clause{lits: learnt, learnt: true, lbd: s.lbd(learnt)}
-				s.learnts = append(s.learnts, c)
+				r := s.ca.alloc(learnt, true)
+				s.ca.setLBD(r, s.lbd(learnt))
+				s.learnts = append(s.learnts, r)
 				s.Stats.Learnt++
-				s.attach(c)
-				s.bumpClause(c)
-				s.uncheckedEnqueue(learnt[0], c)
+				s.attach(r)
+				s.bumpClause(r)
+				s.uncheckedEnqueue(learnt[0], r)
 			}
 			s.decayVar()
 			s.decayClause()
@@ -641,13 +728,13 @@ func (s *Solver) search(conflictLimit int64, assumptions []Lit) (LBool, int64) {
 			next = MkLit(v, s.phase[v])
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, CRefUndef)
 	}
 }
 
-// analyzeFinal computes the subset of assumptions responsible for conflict
-// clause conf.
-func (s *Solver) analyzeFinal(conf *clause, assumptions []Lit) []Lit {
+// analyzeFinal computes the subset of assumptions responsible for the
+// conflicting literals confLits.
+func (s *Solver) analyzeFinal(confLits []Lit, assumptions []Lit) []Lit {
 	isAssump := make(map[Lit]bool, len(assumptions))
 	for _, a := range assumptions {
 		isAssump[a] = true
@@ -661,8 +748,8 @@ func (s *Solver) analyzeFinal(conf *clause, assumptions []Lit) []Lit {
 			return
 		}
 		seen[v] = true
-		if r := s.reason[v]; r != nil {
-			for _, q := range r.lits[1:] {
+		if r := s.reason[v]; r != CRefUndef {
+			for _, q := range s.ca.lits(r)[1:] {
 				walk(q)
 			}
 			return
@@ -674,7 +761,7 @@ func (s *Solver) analyzeFinal(conf *clause, assumptions []Lit) []Lit {
 			out[l] = true
 		}
 	}
-	for _, q := range conf.lits {
+	for _, q := range confLits {
 		walk(q)
 	}
 	res := make([]Lit, 0, len(out))
@@ -687,7 +774,7 @@ func (s *Solver) analyzeFinal(conf *clause, assumptions []Lit) []Lit {
 // analyzeFinalLit is analyzeFinal for the case where assumption a is
 // already false under the current (assumption-only) trail.
 func (s *Solver) analyzeFinalLit(a Lit, assumptions []Lit) []Lit {
-	res := s.analyzeFinal(&clause{lits: []Lit{a}}, assumptions)
+	res := s.analyzeFinal([]Lit{a}, assumptions)
 	found := false
 	for _, l := range res {
 		if l == a {
@@ -760,6 +847,14 @@ func (s *Solver) solveKeep(ctx context.Context, onSAT func(), assumptions ...Lit
 	var restarts int64
 	budgetUsed := int64(0)
 	for {
+		if s.Inprocess {
+			s.inprocess()
+			if !s.okFlag {
+				// Inprocessing derived a top-level conflict: unsat regardless
+				// of the assumptions (conflictAssumps stays empty).
+				return LFalse, nil
+			}
+		}
 		limit := 100 * luby(restarts)
 		restarts++
 		s.Stats.Restarts++

@@ -33,6 +33,7 @@ func solve(t *testing.T, clauses [][]int) (bool, []bool) {
 	if err != nil {
 		t.Fatalf("Solve error: %v", err)
 	}
+	s.checkInvariants() // full arena audit under -tags satdebug, no-op otherwise
 	return res == LTrue, model
 }
 
@@ -315,6 +316,7 @@ func TestAssumptionsManyCalls(t *testing.T) {
 		if err != nil || res != LFalse {
 			t.Fatalf("i=%d: expected UNSAT under 1,2: %v %v", i, res, err)
 		}
+		s.checkInvariants()
 	}
 }
 

@@ -7,8 +7,12 @@
 // Features: two-watched-literal propagation, first-UIP conflict analysis
 // with clause minimisation, VSIDS variable activities with phase saving,
 // Luby restarts, learnt-clause database reduction, incremental solving
-// under assumptions, and plain DIMACS I/O. ABsolver's engine (package core)
-// uses it through the BoolSolver plug-in interface.
+// under assumptions, and plain DIMACS I/O. Clauses live in a flat []uint32
+// arena addressed by 32-bit refs (see arena.go) with mark-and-relocate
+// compaction, and cheap inprocessing — level-0 simplification, binary
+// self-subsumption and failed-literal probing — runs between restarts (see
+// inprocess.go). ABsolver's engine (package core) uses the solver through
+// the BoolSolver plug-in interface.
 package sat
 
 import "fmt"
@@ -101,16 +105,6 @@ func (b LBool) String() string {
 	return "undef"
 }
 
-// clause is the internal clause representation.
-type clause struct {
-	lits     []Lit
-	activity float64
-	learnt   bool
-	// lbd is the literal block distance, used to protect "glue" clauses
-	// from database reduction.
-	lbd int
-}
-
 // Stats aggregates solver counters; exposed for benchmark reporting.
 type Stats struct {
 	Decisions     int64
@@ -120,4 +114,14 @@ type Stats struct {
 	Learnt        int64
 	DeletedLearnt int64
 	SolveCalls    int64
+	// ClausesSubsumed counts clauses deleted or strengthened by the
+	// inprocessing subsumption/self-subsumption pass.
+	ClausesSubsumed int64
+	// ProbedLiterals counts level-0 failed-literal probes performed.
+	ProbedLiterals int64
+	// FailedLiterals counts probes that derived a new level-0 unit.
+	FailedLiterals int64
+	// ArenaCompactions counts mark-and-relocate passes over the clause
+	// arena.
+	ArenaCompactions int64
 }

@@ -1,0 +1,164 @@
+package testkit
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"absolver/internal/core"
+)
+
+// Inprocessing differential checking: the SAT core's inprocessing passes
+// (level-0 simplification, binary self-subsumption, failed-literal
+// probing) are pure optimisations — every verdict with them enabled must
+// equal the verdict with them disabled, and both must agree with the
+// reference oracle. The session variant additionally interleaves
+// push/assert/solve/pop so that inprocessing runs while selector-guarded
+// frame clauses are live in the clause database: if a pass ever deleted or
+// strengthened a guarded clause, a popped frame would keep constraining
+// (or stop constraining) the problem and the step verdicts would drift
+// between the two modes or against the oracle.
+
+// InprocessingStep is one solve compared across the two inprocessing
+// modes and the oracle.
+type InprocessingStep struct {
+	// Depth is the session depth at the solve (0 for the one-shot run).
+	Depth int
+	// On and Off are the engine verdicts with inprocessing enabled and
+	// disabled.
+	On, Off core.Status
+	// Oracle is the reference verdict on the flattened problem.
+	Oracle Verdict
+}
+
+// InprocessingReport summarises one inprocessing differential run.
+type InprocessingReport struct {
+	Seed     int64
+	Fragment Fragment
+	// OneShot is the plain solve comparison.
+	OneShot InprocessingStep
+	// Steps is the session push/pop interleaving comparison.
+	Steps []InprocessingStep
+}
+
+// RunInprocessingDifferential generates the (seed, fragment) instance and
+// compares inprocessing-on vs inprocessing-off vs oracle, first as a
+// one-shot solve and then across a session push/assert/solve/pop
+// interleaving (the selector-guard soundness probe). Any definitive
+// disagreement is returned as an error.
+func RunInprocessingDifferential(seed int64, frag Fragment, o *Oracle) (InprocessingReport, error) {
+	rep := InprocessingReport{Seed: seed, Fragment: frag}
+	base := Generate(seed, frag)
+
+	// One-shot: same problem through both engine modes.
+	var statuses [2]core.Status
+	for i, noInpro := range [2]bool{false, true} {
+		st, err := incrementalStatus(func() (core.Result, error) {
+			eng := core.NewEngine(base.Clone(), core.Config{CheckModels: true, NoInprocess: noInpro})
+			return eng.Solve()
+		})
+		if err != nil {
+			return rep, fmt.Errorf("one-shot: seed=%d frag=%v noInprocess=%v: %v", seed, frag, noInpro, err)
+		}
+		statuses[i] = st
+	}
+	ov, err := o.Decide(base)
+	if err != nil {
+		return rep, fmt.Errorf("oracle: seed=%d frag=%v: %v", seed, frag, err)
+	}
+	rep.OneShot = InprocessingStep{On: statuses[0], Off: statuses[1], Oracle: ov}
+	if err := disagreement(statuses[0], statuses[1], ov); err != nil {
+		return rep, fmt.Errorf("one-shot: seed=%d frag=%v: inprocessing-on vs -off: %v", seed, frag, err)
+	}
+
+	// Session interleaving: the same push/assert/solve/pop sequence through
+	// both modes, step verdicts compared pairwise and against the oracle.
+	rng := rand.New(rand.NewSource(seed ^ 0x1CEB00DA))
+	delta1 := genDeltaClauses(rng, base.NumVars, 1+rng.Intn(2))
+	delta2 := genDeltaClauses(rng, base.NumVars, 1+rng.Intn(2))
+	flatten := func(deltas ...[][]int) *core.Problem {
+		p := base.Clone()
+		for _, d := range deltas {
+			for _, cl := range d {
+				p.AddClause(cl...)
+			}
+		}
+		return p
+	}
+	script := []struct {
+		push [][]int
+		pops int
+		flat *core.Problem
+	}{
+		{nil, 0, flatten()},
+		{delta1, 0, flatten(delta1)},
+		{delta2, 0, flatten(delta1, delta2)},
+		{nil, 1, flatten(delta1)},
+		{nil, 1, flatten()},
+	}
+
+	sessions := [2]*core.Session{}
+	for i, noInpro := range [2]bool{false, true} {
+		s, err := core.NewSession(base, core.Config{CheckModels: true, NoInprocess: noInpro})
+		if err != nil {
+			return rep, fmt.Errorf("session: seed=%d frag=%v: %v", seed, frag, err)
+		}
+		sessions[i] = s
+	}
+
+	ctx := context.Background()
+	for si, st := range script {
+		step := InprocessingStep{}
+		var verdicts [2]core.Status
+		for mi, sess := range sessions {
+			if st.push != nil {
+				sess.Push()
+				for _, cl := range st.push {
+					if err := sess.AssertClause(cl...); err != nil {
+						return rep, fmt.Errorf("assert: seed=%d frag=%v step=%d: %v", seed, frag, si, err)
+					}
+				}
+			}
+			for k := 0; k < st.pops; k++ {
+				if err := sess.Pop(); err != nil {
+					return rep, fmt.Errorf("pop: seed=%d frag=%v step=%d: %v", seed, frag, si, err)
+				}
+			}
+			v, err := incrementalStatus(func() (core.Result, error) { return sess.Solve(ctx) })
+			if err != nil {
+				return rep, fmt.Errorf("session solve: seed=%d frag=%v step=%d mode=%d: %v", seed, frag, si, mi, err)
+			}
+			verdicts[mi] = v
+			step.Depth = sess.Depth()
+		}
+		ov, err := o.Decide(st.flat)
+		if err != nil {
+			return rep, fmt.Errorf("oracle: seed=%d frag=%v step=%d: %v", seed, frag, si, err)
+		}
+		step.On, step.Off, step.Oracle = verdicts[0], verdicts[1], ov
+		rep.Steps = append(rep.Steps, step)
+		if err := disagreement(verdicts[0], verdicts[1], ov); err != nil {
+			return rep, fmt.Errorf("seed=%d frag=%v step=%d depth=%d: inprocessing-on vs -off: %v", seed, frag, si, step.Depth, err)
+		}
+	}
+
+	// Pop symmetry per mode: steps 3/4 re-solve steps 1/0. A guarded frame
+	// clause eaten by inprocessing shows up exactly here — the popped
+	// frame's assertion would still (or no longer) constrain the problem.
+	for _, pair := range [][2]int{{1, 3}, {0, 4}} {
+		for _, mode := range []struct {
+			name string
+			get  func(InprocessingStep) core.Status
+		}{
+			{"inprocessing-on", func(s InprocessingStep) core.Status { return s.On }},
+			{"inprocessing-off", func(s InprocessingStep) core.Status { return s.Off }},
+		} {
+			a, b := mode.get(rep.Steps[pair[0]]), mode.get(rep.Steps[pair[1]])
+			if a != core.StatusUnknown && b != core.StatusUnknown && a != b {
+				return rep, fmt.Errorf("contamination (%s): seed=%d frag=%v: step %d was %v, step %d re-solved it as %v",
+					mode.name, seed, frag, pair[0], a, pair[1], b)
+			}
+		}
+	}
+	return rep, nil
+}
