@@ -28,9 +28,11 @@ import (
 	"absolver/internal/bench"
 	"absolver/internal/core"
 	"absolver/internal/fischer"
+	"absolver/internal/mc"
 	"absolver/internal/portfolio"
 	"absolver/internal/simulink"
 	"absolver/internal/smtlib"
+	"absolver/internal/steering"
 	"absolver/internal/sudoku"
 )
 
@@ -430,6 +432,45 @@ func BenchmarkAblationIncremental(b *testing.B) {
 		}
 		b.ReportMetric(float64(checks)/float64(b.N), "theory-checks/sweep")
 	})
+}
+
+// BenchmarkAblationCheckSession quantifies the model checker's warm-
+// session unrolling against the cold per-depth baseline on the steering
+// case study (the paper's critical-scenario search posed as falsifying
+// "G ok"). abbench -table check prints the full sweep including the
+// Fischer protocol variants (archived as BENCH_8.json).
+func BenchmarkAblationCheckSession(b *testing.B) {
+	run := func(b *testing.B, cold bool) {
+		var checks float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			var inst bench.CheckInstance
+			for _, c := range bench.CheckInstances() {
+				if c.Name == "steering" {
+					inst = c
+				}
+			}
+			prog, err := inst.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := mc.Check(context.Background(), prog, mc.Options{
+				Property: "ok", MaxDepth: 1, Cold: cold,
+				InputBounds: steering.SensorBounds(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Verdict != mc.Falsified || res.K != 0 || !res.Certified {
+				b.Fatalf("result = %+v, want certified falsification at 0", res)
+			}
+			checks += float64(res.Stats.LinearChecks + res.Stats.NonlinearChecks)
+		}
+		b.ReportMetric(checks/float64(b.N), "theory-checks/op")
+	}
+	b.Run("warm", func(b *testing.B) { run(b, false) })
+	b.Run("cold", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkPortfolio races the default strategy portfolio against each of

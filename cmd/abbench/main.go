@@ -5,6 +5,7 @@
 //	abbench -table 3            # Sudoku puzzles (Table 3)
 //	abbench -table incr         # incremental-session ablation (PR 6)
 //	abbench -table sat          # SAT-core arena/inprocessing ablation (PR 7)
+//	abbench -table check        # model-checking warm/cold ablation (PR 8)
 //	abbench -table all
 //	abbench -table all -json    # machine-readable rows (CI artifact)
 //
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, incr, or all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, incr, sat, check, or all")
 	maxN := flag.Int("maxn", 11, "largest Fischer instance for table 2")
 	incrN := flag.Int("incr-n", 2, "Fischer process count for the incremental-session ablation")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-solver timeout per instance")
@@ -128,6 +129,18 @@ func main() {
 		}
 	}
 
+	runCheck := func() {
+		rows, err := bench.RunCheck(*timeout)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			jsonRows = append(jsonRows, bench.JSONCheck(rows)...)
+			return
+		}
+		fmt.Println(bench.FormatCheck(rows))
+	}
+
 	runSAT := func() {
 		rows, err := bench.RunSATCore(*maxN, *timeout, baseRows)
 		if err != nil {
@@ -151,14 +164,17 @@ func main() {
 		runIncr()
 	case "sat":
 		runSAT()
+	case "check":
+		runCheck()
 	case "all":
 		run1()
 		run2()
 		run3()
 		runIncr()
 		runSAT()
+		runCheck()
 	default:
-		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr, sat or all")
+		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr, sat, check or all")
 		os.Exit(2)
 	}
 

@@ -1,0 +1,213 @@
+package main
+
+// absolver check — the model-checking front end: BMC + k-induction over a
+// Lustre program (or a Simulink model translated on the fly), reporting
+// proved / falsified / bound-reached with the stable exit codes 0 / 10 /
+// 20. See docs/model-checking.md.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"absolver/internal/core"
+	"absolver/internal/lustre"
+	"absolver/internal/mc"
+	"absolver/internal/simulink"
+)
+
+// runCheck implements the "check" subcommand: flags and input in, exit
+// code out.
+func runCheck(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("absolver check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: absolver check [flags] [model.lus]")
+		fs.PrintDefaults()
+	}
+	k := fs.Int("k", 10, "maximum unrolling depth")
+	prop := fs.String("prop", "", "property flow to verify (default: the sole Boolean output)")
+	format := fs.String("format", "lustre", "input format: lustre or simulink")
+	noInd := fs.Bool("no-induction", false, "bounded model checking only, no k-induction proofs")
+	cold := fs.Bool("cold", false, "fresh solver session per depth (ablation/benchmark mode)")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = none), exit 20")
+	jsonOut := fs.Bool("json", false, "print the result as one JSON object")
+	quiet := fs.Bool("q", false, "verdict line only")
+	verbose := fs.Bool("v", false, "print per-depth base/induction verdicts to stderr")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "absolver check: at most one input file")
+		return exitUsage
+	}
+	if *k < 0 {
+		fmt.Fprintln(stderr, "absolver check: -k must be non-negative")
+		return exitUsage
+	}
+
+	in := stdin
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "absolver check:", err)
+			return exitUsage
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var prog *lustre.Program
+	switch *format {
+	case "lustre":
+		src, err := io.ReadAll(in)
+		if err != nil {
+			fmt.Fprintln(stderr, "absolver check:", err)
+			return exitUsage
+		}
+		prog, err = lustre.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(stderr, "absolver check:", err)
+			return exitUsage
+		}
+	case "simulink":
+		m, err := simulink.ParseModel(in)
+		if err != nil {
+			fmt.Fprintln(stderr, "absolver check:", err)
+			return exitUsage
+		}
+		prog, err = lustre.FromSimulink(m)
+		if err != nil {
+			fmt.Fprintln(stderr, "absolver check:", err)
+			return exitUsage
+		}
+	default:
+		fmt.Fprintf(stderr, "absolver check: unknown -format %q (lustre or simulink)\n", *format)
+		return exitUsage
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := mc.Options{
+		Property:    *prop,
+		MaxDepth:    *k,
+		NoInduction: *noInd,
+		Cold:        *cold,
+	}
+	if *verbose {
+		opts.Progress = func(ev mc.DepthEvent) {
+			fmt.Fprintf(stderr, "c depth %d %s: %s (%v)\n", ev.Depth, ev.Phase, ev.Status, ev.Wall)
+		}
+	}
+
+	res, err := mc.Check(ctx, prog, opts)
+	if err != nil && !errors.Is(err, core.ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "absolver check:", err)
+		// Anything failing before the first solve (bad property name,
+		// unsupported operator) is an input error, not an internal one.
+		if res.Depths == 0 {
+			return exitUsage
+		}
+		return exitInternal
+	}
+	timedOut := err != nil
+
+	if *jsonOut {
+		out := struct {
+			Verdict   mc.Verdict `json:"verdict"`
+			K         int        `json:"k"`
+			Property  string     `json:"property,omitempty"`
+			Induction bool       `json:"induction,omitempty"`
+			Certified bool       `json:"certified,omitempty"`
+			Depths    int        `json:"depths"`
+			Reason    string     `json:"reason,omitempty"`
+			Trace     *mc.Trace  `json:"trace,omitempty"`
+		}{res.Verdict, res.K, propertyName(prog, *prop), res.Induction, res.Certified, res.Depths, res.Reason, res.Trace}
+		enc := json.NewEncoder(stdout)
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "absolver check:", err)
+			return exitInternal
+		}
+		return checkExit(res, timedOut)
+	}
+
+	switch res.Verdict {
+	case mc.Proved:
+		fmt.Fprintf(stdout, "s PROVED k=%d\n", res.K)
+	case mc.Falsified:
+		fmt.Fprintf(stdout, "s FALSIFIED step=%d\n", res.K)
+		if !*quiet && res.Trace != nil {
+			printTrace(stdout, res.Trace)
+			if res.Certified {
+				fmt.Fprintln(stdout, "c trace certified by concrete replay")
+			}
+		}
+	default:
+		fmt.Fprintf(stdout, "s BOUND REACHED k=%d\n", res.K)
+		if !*quiet && res.Reason != "" {
+			fmt.Fprintf(stdout, "c %s\n", res.Reason)
+		}
+	}
+	return checkExit(res, timedOut)
+}
+
+// checkExit maps a model-checking result to the stable exit codes:
+// 0 proved, 10 falsified, 20 bound reached or timeout.
+func checkExit(res mc.Result, timedOut bool) int {
+	if timedOut {
+		return exitUnknown
+	}
+	switch res.Verdict {
+	case mc.Proved:
+		return exitSat
+	case mc.Falsified:
+		return exitUnsat
+	default:
+		return exitUnknown
+	}
+}
+
+// propertyName echoes the effective property for the JSON report (the
+// explicit flag, or the sole Boolean output it defaulted to).
+func propertyName(p *lustre.Program, flag string) string {
+	if flag != "" {
+		return flag
+	}
+	n := p.Main()
+	if n == nil {
+		return ""
+	}
+	for _, o := range n.Outputs {
+		if o.Type == lustre.TBool {
+			return o.Name
+		}
+	}
+	return ""
+}
+
+// printTrace renders the counterexample one instant per line with sorted
+// input names.
+func printTrace(w io.Writer, tr *mc.Trace) {
+	for step, inputs := range tr.Inputs {
+		names := make([]string, 0, len(inputs))
+		for n := range inputs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "c input[%d]", step)
+		for _, n := range names {
+			fmt.Fprintf(w, " %s=%g", n, inputs[n])
+		}
+		fmt.Fprintln(w)
+	}
+}

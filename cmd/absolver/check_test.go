@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const counterLus = `node counter(inc: bool) returns (ok: bool);
+var n: int;
+let
+  n = 0 -> (if inc then pre n + 1 else pre n);
+  ok = n <= 3;
+tel;
+`
+
+const sat3Lus = `node sat3(inc: bool) returns (ok: bool);
+var n: int;
+let
+  n = 0 -> (if inc and pre n < 3 then pre n + 1 else pre n);
+  ok = n <= 3;
+tel;
+`
+
+func TestCheckFalsifiedExitAndTrace(t *testing.T) {
+	code, out, _ := runCLI(t, counterLus, "check", "-k", "6")
+	if code != exitUnsat {
+		t.Fatalf("code=%d out=%q, want %d", code, out, exitUnsat)
+	}
+	if !strings.Contains(out, "s FALSIFIED step=4") {
+		t.Fatalf("missing verdict line: %q", out)
+	}
+	if !strings.Contains(out, "c input[4]") || !strings.Contains(out, "c trace certified") {
+		t.Fatalf("missing trace/certification: %q", out)
+	}
+	// -q suppresses the trace, keeps the verdict.
+	code, out, _ = runCLI(t, counterLus, "check", "-k", "6", "-q")
+	if code != exitUnsat || strings.Contains(out, "c input") {
+		t.Fatalf("-q: code=%d out=%q", code, out)
+	}
+}
+
+func TestCheckProvedExit(t *testing.T) {
+	code, out, errOut := runCLI(t, sat3Lus, "check", "-k", "8", "-v")
+	if code != exitSat || !strings.Contains(out, "s PROVED k=1") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	if !strings.Contains(errOut, "depth 1 induction: unsat") {
+		t.Fatalf("-v missing per-depth verdicts: %q", errOut)
+	}
+}
+
+func TestCheckBoundReachedExit(t *testing.T) {
+	code, out, _ := runCLI(t, counterLus, "check", "-k", "2", "-no-induction")
+	if code != exitUnknown || !strings.Contains(out, "s BOUND REACHED k=2") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestCheckJSONOutput(t *testing.T) {
+	code, out, _ := runCLI(t, counterLus, "check", "-k", "6", "-json", "-prop", "ok")
+	if code != exitUnsat {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	var res struct {
+		Verdict  string `json:"verdict"`
+		K        int    `json:"k"`
+		Property string `json:"property"`
+		Trace    *struct {
+			Step   int                  `json:"step"`
+			Inputs []map[string]float64 `json:"inputs"`
+		} `json:"trace"`
+		Certified bool `json:"certified"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if res.Verdict != "falsified" || res.K != 4 || res.Property != "ok" || !res.Certified {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.Trace == nil || res.Trace.Step != 4 || len(res.Trace.Inputs) != 5 {
+		t.Fatalf("unexpected trace: %+v", res.Trace)
+	}
+}
+
+func TestCheckSimulinkFormat(t *testing.T) {
+	model := `model thresh
+block in inport
+block lim constant 4
+block cmp relop >=
+block ok outport
+line in -> cmp 1
+line lim -> cmp 2
+line cmp -> ok 1
+`
+	code, out, _ := runCLI(t, model, "check", "-format", "simulink", "-k", "2")
+	if code != exitUnsat || !strings.Contains(out, "s FALSIFIED step=0") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestCheckUsageErrors(t *testing.T) {
+	if code, _, errOut := runCLI(t, counterLus, "check", "-format", "midi"); code != exitUsage {
+		t.Fatalf("bad format accepted: %d %q", code, errOut)
+	}
+	if code, _, errOut := runCLI(t, counterLus, "check", "-prop", "missing"); code != exitUsage {
+		t.Fatalf("bad property accepted: %d %q", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "node garbage", "check"); code != exitUsage {
+		t.Fatal("unparseable program accepted")
+	}
+	if code, _, _ := runCLI(t, counterLus, "check", "extra1", "extra2"); code != exitUsage {
+		t.Fatal("two file arguments accepted")
+	}
+}

@@ -8,9 +8,16 @@
 // Usage:
 //
 //	absolver [flags] [problem.cnf]
+//	absolver check [flags] [model.lus]
 //
 // With no file argument — or with "-" as the argument, the conventional
 // spelling in a pipeline — the problem is read from standard input.
+//
+// The check subcommand runs the model-checking front end instead: BMC +
+// k-induction over a Lustre program or a Simulink model (-format
+// simulink), with -k bounding the unrolling depth and -prop naming the
+// property flow. Its exit codes are 0 proved, 10 falsified, 20 bound
+// reached or timeout. See docs/model-checking.md.
 //
 // Flags:
 //
@@ -79,6 +86,9 @@ func main() {
 // run is the whole tool behind a testable seam: flags and input in, exit
 // code out, all output on the given writers.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "check" {
+		return runCheck(args[1:], stdin, stdout, stderr)
+	}
 	fs := flag.NewFlagSet("absolver", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	all := fs.Bool("all", false, "enumerate all models")

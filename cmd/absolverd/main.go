@@ -17,6 +17,7 @@
 //	-max-portfolio N    clamp for the portfolio parameter
 //	-cache N            verdict-cache entries (0 = 256, negative disables)
 //	-max-batch N        instance cap per /v1/batch request (0 = 1000)
+//	-max-check-depth N  k cap per /v1/check request (0 = 64)
 //	-drain-timeout D    how long SIGTERM waits for admitted jobs
 //	-solve-delay D      artificial pre-solve delay (load testing)
 //	-v                  log one line per job and lifecycle transition
@@ -24,6 +25,8 @@
 // Endpoints: POST /v1/solve (extended DIMACS or SMT-LIB body; knobs as
 // query parameters; NDJSON streaming with ?stream=1), POST /v1/batch
 // (NDJSON base + instance deltas solved over one warm session),
+// POST /v1/check (BMC + k-induction over a Lustre program or Simulink
+// model; NDJSON per-depth verdicts, see docs/model-checking.md),
 // GET /metrics, GET /healthz, GET /readyz. See docs/server.md.
 //
 // SIGTERM/SIGINT trigger graceful shutdown: the daemon stops admitting
@@ -68,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 	maxPortfolio := fs.Int("max-portfolio", 0, "clamp for the portfolio parameter (0 = 8)")
 	cacheSize := fs.Int("cache", 0, "verdict-cache entries (0 = 256, negative disables)")
 	maxBatch := fs.Int("max-batch", 0, "instance cap per /v1/batch request (0 = 1000)")
+	maxCheckDepth := fs.Int("max-check-depth", 0, "k cap per /v1/check request (0 = 64)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for admitted jobs")
 	solveDelay := fs.Duration("solve-delay", 0, "artificial pre-solve delay (load testing)")
 	verbose := fs.Bool("v", false, "log jobs and lifecycle transitions")
@@ -88,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		MaxPortfolio:      *maxPortfolio,
 		CacheSize:         *cacheSize,
 		MaxBatchInstances: *maxBatch,
+		MaxCheckDepth:     *maxCheckDepth,
 		SolveDelay:        *solveDelay,
 	}
 	if *verbose {

@@ -171,6 +171,61 @@ func (s *Session) Assert(a expr.Atom) (int, error) {
 	return v + 1, nil
 }
 
+// NewVar allocates a fresh unconstrained Boolean variable, returned as a
+// 1-based DIMACS variable. Encoders that interleave their own Tseitin
+// variables with frames and bound atoms must allocate through the session
+// so the numbering never collides with Push's selectors or Assert's
+// binding variables.
+func (s *Session) NewVar() int {
+	s.p.NumVars++
+	return s.p.NumVars
+}
+
+// Bind binds atom a to a fresh Boolean variable without asserting it,
+// returning the positive literal (1-based DIMACS). The literal can appear
+// in AssertClause clauses or solve assumptions with either sign; the
+// binding itself is permanent, exactly as with Assert.
+func (s *Session) Bind(a expr.Atom) (int, error) {
+	v := s.p.NumVars // 0-based fresh variable
+	s.p.Bind(v, a)
+	if err := s.eng.bindIncremental(v); err != nil {
+		return 0, err
+	}
+	return v + 1, nil
+}
+
+// SetBounds records lo ≤ name ≤ hi as background theory for an arithmetic
+// variable. Background bounds never participate in conflicts, so they are
+// the cheap way to express input ranges. Like bindings, bounds are
+// monotone: they may be introduced for fresh variables or narrowed, never
+// widened — theory-conflict clauses learned under the old bounds are
+// permanent, so widening would leave stale refutations behind. Narrowing a
+// variable that an already-bound atom mentions invalidates cached sat
+// verdicts involving it; the cache is wiped in that case, so prefer
+// setting bounds before binding atoms over the variable.
+func (s *Session) SetBounds(name string, lo, hi float64) error {
+	old, had := s.p.Bounds[name]
+	if had && (lo < old.Lo || hi > old.Hi) {
+		return fmt.Errorf("core: SetBounds may not widen %s from [%g,%g] to [%g,%g]", name, old.Lo, old.Hi, lo, hi)
+	}
+	s.p.SetBounds(name, lo, hi)
+	e := s.eng
+	e.lower, e.upper = boundsMaps(s.p.Bounds)
+	if had {
+		e.tcache = nil
+		return nil
+	}
+	for _, a := range s.p.Bindings {
+		for _, v := range a.Vars() {
+			if v == name {
+				e.tcache = nil
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
 // Solve runs one query against the current assertion stack.
 func (s *Session) Solve(ctx context.Context) (Result, error) {
 	return s.SolveUnderAssumptions(ctx, nil)

@@ -304,3 +304,89 @@ func TestGroundLemmasForMatchesBatchPass(t *testing.T) {
 		}
 	}
 }
+
+func TestSessionBindAndNewVar(t *testing.T) {
+	s, err := NewSession(NewProblem(), Config{CheckModels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// g guards between two bound-but-unasserted atoms.
+	g := s.NewVar()
+	lo, err := s.Bind(atomT(t, "x <= 1", expr.Real))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := s.Bind(atomT(t, "x >= 5", expr.Real))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssertClause(-g, hi); err != nil { // g → x ≥ 5
+		t.Fatal(err)
+	}
+	if err := s.AssertClause(g, lo); err != nil { // ¬g → x ≤ 1
+		t.Fatal(err)
+	}
+
+	res, err := s.SolveUnderAssumptions(ctx, []int{g, hi})
+	if err != nil || res.Status != StatusSat {
+		t.Fatalf("g & hi: %v %v", res.Status, err)
+	}
+	if v := res.Model.Real["x"]; v < 5 {
+		t.Fatalf("x = %g, want ≥ 5", v)
+	}
+	// Both branches at once contradict each other.
+	res, err = s.SolveUnderAssumptions(ctx, []int{lo, hi})
+	if err != nil || res.Status != StatusUnsat {
+		t.Fatalf("lo & hi: %v %v", res.Status, err)
+	}
+	// Nothing was asserted permanently: the session stays satisfiable.
+	res, err = s.Solve(ctx)
+	if err != nil || res.Status != StatusSat {
+		t.Fatalf("unasserted binds leaked: %v %v", res.Status, err)
+	}
+}
+
+func TestSessionSetBounds(t *testing.T) {
+	s, err := NewSession(NewProblem(), Config{CheckModels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if err := s.SetBounds("x", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	lit, err := s.Bind(atomT(t, "x >= 5", expr.Real))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SolveUnderAssumptions(ctx, []int{lit})
+	if err != nil || res.Status != StatusSat {
+		t.Fatalf("x in [0,10] with x ≥ 5: %v %v", res.Status, err)
+	}
+	if v := res.Model.Real["x"]; v < 5 || v > 10 {
+		t.Fatalf("x = %g outside [5,10]", v)
+	}
+
+	// Narrowing must invalidate the cached sat verdict: the same assumption
+	// is now infeasible.
+	if err := s.SetBounds("x", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.SolveUnderAssumptions(ctx, []int{lit})
+	if err != nil || res.Status != StatusUnsat {
+		t.Fatalf("x in [0,3] with x ≥ 5: %v %v", res.Status, err)
+	}
+	res, err = s.SolveUnderAssumptions(ctx, []int{-lit})
+	if err != nil || res.Status != StatusSat {
+		t.Fatalf("x in [0,3] with ¬(x ≥ 5): %v %v", res.Status, err)
+	}
+
+	// Widening is rejected: conflict clauses learned under the narrow
+	// bounds would be stale.
+	if err := s.SetBounds("x", 0, 20); err == nil {
+		t.Fatal("SetBounds widened without error")
+	}
+}

@@ -1,0 +1,56 @@
+package fischer
+
+import "fmt"
+
+// Discrete-time Lustre rendition of the two-process protocol for the
+// model-checking front end (internal/mc). Each instant is one time unit;
+// the Boolean inputs are the scheduler: try<i> asks process i to leave
+// idle, write<i> lets it publish its id before the deadline forces it,
+// exit<i> releases the critical section. Locations are encoded as
+// integers (0 idle, 1 set, 2 wait, 3 cs), per-process timers count
+// instants spent in the current location (saturating at 3 to keep the
+// explicit state space finite), and id is the shared variable.
+//
+// The protocol's timing rule: a process in set must write id within A
+// instants; after writing it waits in wait for B instants before
+// re-reading id, entering the critical section only if its own write
+// survived. The classic correctness condition carries over to this
+// synchronous model as B >= A+1 — then any rival that was racing in set
+// has already overwritten id by the time the wait expires, so the stale
+// reader bails out to idle instead of entering.
+
+// LustreSafe returns the protocol with B >= A+1 (A=1, B=2): the mutual
+// exclusion property ok holds in every reachable state.
+func LustreSafe() string { return Lustre(1, 2) }
+
+// LustreBroken returns the protocol with the timing rule violated
+// (A=2, B=1): a stalling writer and an eager waiter put both processes
+// in the critical section, falsifying ok at instant 6.
+func LustreBroken() string { return Lustre(2, 1) }
+
+// Lustre renders the two-process protocol with write deadline a and wait
+// time b. The property is ok = not (both processes in cs).
+func Lustre(a, b int) string {
+	src := `node fischer2(try1, write1, exit1, try2, write2, exit2: bool) returns (ok: bool);
+var l1: int; tm1: int; l2: int; tm2: int; id: int; w1: bool; w2: bool; e1: bool; e2: bool;
+let
+  w1 = false -> ((pre l1 = 1) and (write1 or pre tm1 >= %[1]d));
+  w2 = false -> ((pre l2 = 1) and (write2 or pre tm2 >= %[1]d));
+  e1 = false -> ((pre l1 = 3) and exit1);
+  e2 = false -> ((pre l2 = 3) and exit2);
+  l1 = 0 -> (if pre l1 = 0 then (if try1 and pre id = 0 then 1 else 0)
+        else if pre l1 = 1 then (if w1 then 2 else 1)
+        else if pre l1 = 2 then (if pre tm1 >= %[2]d then (if pre id = 1 then 3 else 0) else 2)
+        else (if e1 then 0 else 3));
+  l2 = 0 -> (if pre l2 = 0 then (if try2 and pre id = 0 then 1 else 0)
+        else if pre l2 = 1 then (if w2 then 2 else 1)
+        else if pre l2 = 2 then (if pre tm2 >= %[2]d then (if pre id = 2 then 3 else 0) else 2)
+        else (if e2 then 0 else 3));
+  tm1 = 0 -> (if l1 = pre l1 then (if pre tm1 < 3 then pre tm1 + 1 else pre tm1) else 0);
+  tm2 = 0 -> (if l2 = pre l2 then (if pre tm2 < 3 then pre tm2 + 1 else pre tm2) else 0);
+  id = 0 -> (if w1 then 1 else (if w2 then 2 else (if e1 or e2 then 0 else pre id)));
+  ok = not ((l1 = 3) and (l2 = 3));
+tel;
+`
+	return fmt.Sprintf(src, a, b)
+}

@@ -1,0 +1,71 @@
+package fischer_test
+
+import (
+	"context"
+	"testing"
+
+	"absolver/internal/fischer"
+	"absolver/internal/lustre"
+	"absolver/internal/mc"
+	"absolver/internal/testkit"
+)
+
+func fischerInputs() []testkit.LustreInput {
+	names := []string{"try1", "write1", "exit1", "try2", "write2", "exit2"}
+	ins := make([]testkit.LustreInput, len(names))
+	for i, n := range names {
+		ins[i] = testkit.LustreInput{Name: n, Domain: []float64{0, 1}}
+	}
+	return ins
+}
+
+func TestLustreBrokenFalsified(t *testing.T) {
+	p, err := lustre.Parse(fischer.LustreBroken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Check(context.Background(), p, mc.Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Falsified {
+		t.Fatalf("verdict = %v, want falsified", res.Verdict)
+	}
+	if !res.Certified {
+		t.Fatalf("mutex violation trace not certified: %+v", res)
+	}
+
+	// The explicit-state oracle agrees on the minimal violation instant.
+	or, err := testkit.ExplicitCheck(p, "ok", fischerInputs(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !or.Violated || or.Step != res.K {
+		t.Fatalf("oracle violated=%v at %d, engine at %d", or.Violated, or.Step, res.K)
+	}
+}
+
+func TestLustreSafeHasNoViolation(t *testing.T) {
+	p, err := lustre.Parse(fischer.LustreSafe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 6
+	res, err := mc.Check(context.Background(), p, mc.Options{MaxDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == mc.Falsified {
+		t.Fatalf("safe protocol falsified: %+v", res)
+	}
+
+	// Cross-check exhaustively: no reachable state within the bound puts
+	// both processes in the critical section.
+	or, err := testkit.ExplicitCheck(p, "ok", fischerInputs(), depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.Violated {
+		t.Fatalf("oracle found a mutex violation at step %d", or.Step)
+	}
+}

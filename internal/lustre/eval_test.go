@@ -1,0 +1,187 @@
+package lustre
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseStatefulOperators(t *testing.T) {
+	src := `node counter(inc: bool) returns (ok: bool);
+var n: int;
+let
+  n = 0 -> (if inc then pre n + 1 else pre n);
+  ok = n <= 3;
+tel;
+`
+	p := mustParse(t, src)
+	// Format → reparse → format must be stable.
+	s1 := Format(p)
+	p2 := mustParse(t, s1)
+	s2 := Format(p2)
+	if s1 != s2 {
+		t.Fatalf("format not idempotent:\n%s\nvs\n%s", s1, s2)
+	}
+	if !strings.Contains(s1, "->") || !strings.Contains(s1, "pre n") {
+		t.Fatalf("formatted source lost stateful operators:\n%s", s1)
+	}
+}
+
+func TestArrowBindsLoosest(t *testing.T) {
+	p := mustParse(t, `node n(a: bool) returns (o: bool);
+let o = true -> a and false; tel;`)
+	rhs := p.Main().Equations[0].Rhs
+	b, ok := rhs.(Binary)
+	if !ok || b.Op != "->" {
+		t.Fatalf("expected -> at top level, got %#v", rhs)
+	}
+	if _, ok := b.R.(Binary); !ok {
+		t.Fatalf("expected `a and false` on step side, got %#v", b.R)
+	}
+}
+
+func TestCombinationalExtractRejectsStateful(t *testing.T) {
+	for _, src := range []string{
+		`node n(x: int) returns (o: bool); let o = (0 -> pre x) <= x; tel;`,
+		`node n(a: bool) returns (o: bool); let o = a -> a; tel;`,
+		`node n(a: bool) returns (o: bool); let o = pre a; tel;`,
+	} {
+		p := mustParse(t, src)
+		if _, _, err := Extract(p); err == nil {
+			t.Errorf("Extract accepted stateful program %q", src)
+		}
+	}
+}
+
+func TestEvalCounter(t *testing.T) {
+	p := mustParse(t, `node counter(inc: bool) returns (ok: bool);
+var n: int;
+let
+  n = 0 -> (if inc then pre n + 1 else pre n);
+  ok = n <= 2;
+tel;
+`)
+	steps := []map[string]float64{
+		{"inc": 1}, {"inc": 1}, {"inc": 0}, {"inc": 1}, {"inc": 1},
+	}
+	vals, err := Run(p, steps)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantN := []float64{0, 1, 1, 2, 3}
+	wantOK := []float64{1, 1, 1, 1, 0}
+	for i := range steps {
+		if vals[i]["n"] != wantN[i] {
+			t.Errorf("step %d: n = %g, want %g", i, vals[i]["n"], wantN[i])
+		}
+		if vals[i]["ok"] != wantOK[i] {
+			t.Errorf("step %d: ok = %g, want %g", i, vals[i]["ok"], wantOK[i])
+		}
+	}
+}
+
+func TestEvalNestedPre(t *testing.T) {
+	// fib-style: x(t) = x(t-1) + x(t-2).
+	p := mustParse(t, `node fib() returns (x: int);
+let
+  x = 1 -> (if pre x = 1 and pre (pre x) = 0 then 1 else pre x + pre (pre x));
+tel;
+`)
+	// pre (pre x) at t=1 reads the init value (default 0).
+	vals, err := Run(p, make([]map[string]float64, 6))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []float64{1, 1, 2, 3, 5, 8}
+	for i, w := range want {
+		if vals[i]["x"] != w {
+			t.Errorf("step %d: x = %g, want %g", i, vals[i]["x"], w)
+		}
+	}
+}
+
+func TestEvalArrowOfArrow(t *testing.T) {
+	// (a -> b) -> c  ≡  a -> c: both collapse to a at instant 0, c after.
+	left := mustParse(t, `node n(a, b, c: int) returns (o: int); let o = (a -> b) -> c; tel;`)
+	right := mustParse(t, `node n(a, b, c: int) returns (o: int); let o = a -> (b -> c); tel;`)
+	steps := []map[string]float64{
+		{"a": 1, "b": 2, "c": 3}, {"a": 4, "b": 5, "c": 6},
+	}
+	lv, err := Run(left, steps)
+	if err != nil {
+		t.Fatalf("Run left: %v", err)
+	}
+	rv, err := Run(right, steps)
+	if err != nil {
+		t.Fatalf("Run right: %v", err)
+	}
+	for i := range steps {
+		if lv[i]["o"] != rv[i]["o"] {
+			t.Errorf("step %d: associativity mismatch %g vs %g", i, lv[i]["o"], rv[i]["o"])
+		}
+	}
+	if lv[0]["o"] != 1 || lv[1]["o"] != 6 {
+		t.Errorf("arrow semantics wrong: got %g, %g", lv[0]["o"], lv[1]["o"])
+	}
+}
+
+func TestEvalCloneIndependence(t *testing.T) {
+	p := mustParse(t, `node c(inc: bool) returns (n: int);
+let n = 0 -> (if inc then pre n + 1 else pre n); tel;`)
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Step(map[string]float64{"inc": 1}); err != nil {
+		t.Fatal(err)
+	}
+	cl := ev.Clone()
+	v1, err := ev.Step(map[string]float64{"inc": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := cl.Step(map[string]float64{"inc": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1["n"] != 1 || v2["n"] != 0 {
+		t.Errorf("clone not independent: n=%g, clone n=%g", v1["n"], v2["n"])
+	}
+	if ev.StateKey() == cl.StateKey() {
+		t.Error("diverged states share a StateKey")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"no equation", `node n(a: int) returns (o: int); var l: int; let o = a; tel;`},
+		{"equation for input", `node n(a: int) returns (o: int); let a = 1; o = a; tel;`},
+		{"undeclared target", `node n(a: int) returns (o: int); let o = a; ghost = 1; tel;`},
+		{"duplicate equation", `node n(a: int) returns (o: int); let o = a; o = a; tel;`},
+	} {
+		p := mustParse(t, tc.src)
+		if _, err := NewEvaluator(p); err == nil {
+			t.Errorf("%s: NewEvaluator accepted bad program", tc.name)
+		}
+	}
+	p := mustParse(t, `node n(a: int) returns (o: int); var l: int; let o = l; l = o; tel;`)
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Step(nil); err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+	p = mustParse(t, `node n(a: int) returns (o: int); let o = 1 / a; tel;`)
+	if _, err := Run(p, []map[string]float64{{"a": 0}}); err == nil {
+		t.Error("division by zero not detected")
+	}
+}

@@ -3,10 +3,18 @@ package lustre
 import "testing"
 
 // FuzzParse exercises the mini-Lustre parser; parsed programs must format
-// to text that re-parses to the same rendering.
+// to text that re-parses to the same rendering, and programs the step
+// evaluator accepts must execute a few instants without panicking.
 func FuzzParse(f *testing.F) {
 	f.Add("node n(x: real) returns (o: bool); let o = x > 0.0; tel;")
 	f.Add("node n(x: real; p: bool) returns (o: bool); var t: real; let t = if p then x else -x; o = t >= 1.0; tel;")
+	// Stateful operators: pre, ->, nested pre, arrow chains, uninitialised
+	// pre (default-0 init), Boolean state.
+	f.Add("node c(i: bool) returns (ok: bool); var n: int; let n = 0 -> (if i then pre n + 1 else pre n); ok = n <= 3; tel;")
+	f.Add("node fib(t: bool) returns (o: int); var x: int; let x = 1 -> pre x + pre (pre x); o = x; tel;")
+	f.Add("node a(p: bool) returns (o: bool); let o = (p -> not pre o) -> p; tel;")
+	f.Add("node u(t: bool) returns (o: int); let o = pre o + 1; tel;")
+	f.Add("node b(t: bool) returns (ok: bool); var q: bool; let q = true -> not pre q; ok = q or pre q; tel;")
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {
@@ -19,6 +27,18 @@ func FuzzParse(f *testing.F) {
 		}
 		if Format(p2) != text {
 			t.Fatalf("format not idempotent:\n%s\nvs\n%s", text, Format(p2))
+		}
+		// Drive the step evaluator for a few instants with zero inputs.
+		// Runtime errors (cycles, division by zero, domain errors) are
+		// expected on fuzzed programs; panics are not.
+		ev, err := NewEvaluator(p)
+		if err != nil {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := ev.Step(map[string]float64{}); err != nil {
+				return
+			}
 		}
 	})
 }

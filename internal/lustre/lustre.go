@@ -7,9 +7,12 @@
 // flows with dataflow equations — together with a parser, a printer, the
 // Simulink→Lustre translation, and the Lustre→AB extraction.
 //
-// The dialect is combinational (no pre/->/when operators): ABsolver's
-// analyses are per-instant satisfiability questions, so stateful operators
-// would be unrolled upstream (as the BMC encoding in package fischer does).
+// The per-instant analyses (Extract, ExtractProblem) are combinational: they
+// reject the stateful operators pre and -> with an error. The stateful
+// subset is handled by the bounded model checker in package mc, which
+// unrolls pre/-> over timestep-indexed copies of the flows, and by the
+// step-semantics evaluator in this package (Eval), which replays concrete
+// input traces. `when` remains unsupported.
 package lustre
 
 import (
@@ -85,13 +88,16 @@ type BoolLit struct{ V bool }
 // Ref references a flow by name.
 type Ref struct{ Name string }
 
-// Unary is `not x` or `-x`.
+// Unary is `not x`, `-x`, or the stateful delay `pre x` (value of x at the
+// previous instant; undefined at the first).
 type Unary struct {
-	Op string // "not", "-"
+	Op string // "not", "-", "pre"
 	X  Expr
 }
 
-// Binary applies an infix operator: and or xor => + - * / < <= > >= = <>.
+// Binary applies an infix operator: and or xor => + - * / < <= > >= = <>,
+// plus the initialisation operator `a -> b` (a at the first instant, b
+// afterwards).
 type Binary struct {
 	Op   string
 	L, R Expr
@@ -169,9 +175,13 @@ func FormatExpr(e Expr) string {
 	return sb.String()
 }
 
-// Precedence levels, low to high.
+// Precedence levels, low to high. The initialisation arrow binds loosest;
+// its associativity is semantically irrelevant ((a->b)->c ≡ a->(b->c)), the
+// parser builds it left-associated.
 func prec(op string) int {
 	switch op {
+	case "->":
+		return 0
 	case "=>":
 		return 1
 	case "or", "xor":
@@ -206,9 +216,12 @@ func fmtExpr(sb *strings.Builder, e Expr, outer int) {
 	case Ref:
 		sb.WriteString(x.Name)
 	case Unary:
-		if x.Op == "not" {
+		switch x.Op {
+		case "not":
 			sb.WriteString("not ")
-		} else {
+		case "pre":
+			sb.WriteString("pre ")
+		default:
 			sb.WriteString("-")
 		}
 		fmtExpr(sb, x.X, 7)
@@ -292,7 +305,7 @@ func llex(src string) ([]ltoken, error) {
 				two = src[i : i+2]
 			}
 			switch two {
-			case "<=", ">=", "<>", "=>":
+			case "<=", ">=", "<>", "=>", "->":
 				toks = append(toks, ltoken{"punct", two, i})
 				i += 2
 				continue
@@ -502,7 +515,7 @@ func (p *lparser) expr(min int) (Expr, error) {
 		op := t.text
 		var isOp bool
 		switch op {
-		case "=>", "or", "xor", "and", "<", "<=", ">", ">=", "=", "<>", "+", "-", "*", "/":
+		case "->", "=>", "or", "xor", "and", "<", "<=", ">", ">=", "=", "<>", "+", "-", "*", "/":
 			isOp = true
 		}
 		if !isOp || prec(op) < min {
@@ -527,6 +540,13 @@ func (p *lparser) unary() (Expr, error) {
 			return nil, err
 		}
 		return Unary{Op: "not", X: x}, nil
+	case t.text == "pre":
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "pre", X: x}, nil
 	case t.text == "-":
 		p.next()
 		x, err := p.unary()

@@ -1,0 +1,25 @@
+package mc_test
+
+import (
+	"context"
+	"testing"
+
+	"absolver/internal/testkit"
+)
+
+// FuzzCheckShallow lets the fuzzer drive the model-checking differential
+// at shallow depth: any seed whose generated program makes mc.Check
+// disagree with the explicit-state oracle — wrong verdict, wrong
+// falsification depth, a trace that does not replay — is a crasher. The
+// interesting search space is the generator's seed space, so
+// coverage-guided mutation of the seed explores program shapes directly.
+func FuzzCheckShallow(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if _, err := testkit.RunMCDifferential(context.Background(), seed, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

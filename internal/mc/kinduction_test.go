@@ -1,0 +1,143 @@
+package mc
+
+import (
+	"context"
+	"testing"
+)
+
+// The classic k-induction traps, pinned as regressions. See DESIGN.md §12.
+//
+// A subtlety these pins encode: the unrolling constrains the first window
+// state to the *image* of the transition function (x@0 is defined by its
+// equation over free pre-variables, not left free). That is a sound
+// strengthening of textbook k-induction — the window gains one step of
+// reachability information — so properties may prove one depth earlier
+// than the textbook count. stay2 below is the canonical example: textbook
+// 2-inductive, image 1-inductive.
+
+// TestImageStrengtheningProvesEarly: x is 2 at init and 2 forever; "x <> 0"
+// is textbook-2-inductive (a free window start x = 1 steps to 0, so plain
+// 1-induction fails). Under the image encoding x@0 = f(pre x) and 1 is not
+// in the image of f ({2} ∪ {v−1 : v ≠ 2} excludes 1), so the step query is
+// already unsatisfiable at depth 1. Pinned at exactly K = 1: a Proved at
+// K = 0 means the init constraint leaked into the step premise, K = 2 means
+// the image constraint was lost.
+func TestImageStrengtheningProvesEarly(t *testing.T) {
+	src := `node stay2(tick: bool) returns (ok: bool);
+var x: int;
+let
+  x = 2 -> (if pre x = 2 then 2 else pre x - 1);
+  ok = x <> 0;
+tel;
+`
+	res, err := Check(context.Background(), parse(t, src), Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Proved {
+		t.Fatalf("verdict %s (reason %q), want proved", res.Verdict, res.Reason)
+	}
+	if res.K != 1 {
+		t.Fatalf("proved at K = %d, want exactly 1 (0 = init leaked into the step premise, 2 = image constraint lost)", res.K)
+	}
+	if !res.Induction {
+		t.Error("Proved verdict without induction flag")
+	}
+}
+
+// stay3Src holds x at 3; any other value counts down by 1. "x <> 0" is
+// invariant. The bad window 1 → 0 refutes depth 1 (1 is in the image of
+// f: f(2) = 1), and depth 2 needs the predecessor x@0 = 2, which is NOT
+// in the image ({3} ∪ {v−1 : v ≠ 3} excludes 2) — so the property is
+// exactly 2-inductive under the image encoding (textbook 3-inductive).
+const stay3Src = `node stay3(tick: bool) returns (ok: bool);
+var x: int;
+let
+  x = 3 -> (if pre x = 3 then 3 else pre x - 1);
+  ok = x <> 0;
+tel;
+`
+
+// TestInductionFallsBackToDeeperK: the checker must fail induction at
+// depth 1 and deepen to exactly K = 2 — a Proved at K < 2 means the step
+// premise is too strong, a miss at 2 means the window encoding is broken.
+func TestInductionFallsBackToDeeperK(t *testing.T) {
+	res, err := Check(context.Background(), parse(t, stay3Src), Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Proved {
+		t.Fatalf("verdict %s (reason %q), want proved", res.Verdict, res.Reason)
+	}
+	if res.K != 2 {
+		t.Fatalf("proved at K = %d, want exactly 2 (earlier = unsound premise, later = lost precision)", res.K)
+	}
+}
+
+// TestInvariantButNeverInductive: x stays even (0, 2, 4, …), so "x <> 3"
+// is invariant — but for every k a window full of odd values satisfies the
+// premise and steps to 3, so no k-induction depth proves it. The checker
+// must keep answering BoundReached, never Proved.
+func TestInvariantButNeverInductive(t *testing.T) {
+	src := `node evens(tick: bool) returns (ok: bool);
+var x: int; even: bool;
+let
+  even = true -> not pre even;
+  x = 0 -> (if pre even then pre x + 2 else pre x);
+  ok = x <> 3;
+tel;
+`
+	for _, depth := range []int{2, 5, 8} {
+		res, err := Check(context.Background(), parse(t, src), Options{MaxDepth: depth})
+		if err != nil {
+			t.Fatalf("Check depth %d: %v", depth, err)
+		}
+		if res.Verdict != BoundReached || res.K != depth {
+			t.Fatalf("depth %d: verdict %s at %d, want bound_reached at %d", depth, res.Verdict, res.K, depth)
+		}
+	}
+}
+
+// TestInductionStepMustNotAssumeInit: "x <= 3" with x counting 0, 1, 2, …
+// is falsified at instant 4. An induction step whose premise leaks the
+// init constraint is unsatisfiable at depth 0 already (x = 0 refutes
+// ¬(x ≤ 3)), so a leaky checker reports Proved{0} before BMC ever reaches
+// the violation. The sound verdict is Falsified at 4.
+func TestInductionStepMustNotAssumeInit(t *testing.T) {
+	src := `node count(tick: bool) returns (ok: bool);
+var x: int;
+let
+  x = 0 -> pre x + 1;
+  ok = x <= 3;
+tel;
+`
+	res, err := Check(context.Background(), parse(t, src), Options{MaxDepth: 10})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Falsified || res.K != 4 {
+		t.Fatalf("verdict %s at %d, want falsified at 4 (Proved here means init leaked into the step premise)", res.Verdict, res.K)
+	}
+	if !res.Certified {
+		t.Fatal("counterexample trace failed replay")
+	}
+}
+
+// TestProvedConsistentAcrossBounds: once a property is proved at K, any
+// larger bound must agree (and a smaller-than-K bound must not claim it).
+func TestProvedConsistentAcrossBounds(t *testing.T) {
+	res, err := Check(context.Background(), parse(t, stay3Src), Options{MaxDepth: 1})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != BoundReached {
+		t.Fatalf("bound 1 below the induction depth: verdict %s, want bound_reached", res.Verdict)
+	}
+	res, err = Check(context.Background(), parse(t, stay3Src), Options{MaxDepth: 20})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Proved || res.K != 2 {
+		t.Fatalf("bound 20: verdict %s at %d, want proved at 2", res.Verdict, res.K)
+	}
+}

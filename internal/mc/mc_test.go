@@ -1,0 +1,199 @@
+package mc
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"absolver/internal/expr"
+	"absolver/internal/lustre"
+	"absolver/internal/simulink"
+)
+
+func parse(t *testing.T, src string) *lustre.Program {
+	t.Helper()
+	p, err := lustre.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+const counterSrc = `node counter(inc: bool) returns (ok: bool);
+var n: int;
+let
+  n = 0 -> (if inc then pre n + 1 else pre n);
+  ok = n <= 3;
+tel;
+`
+
+func TestCheckFalsifiesCounter(t *testing.T) {
+	// n counts the inc pulses; n ≤ 3 first fails at instant 4 (n = 4).
+	res, err := Check(context.Background(), parse(t, counterSrc), Options{MaxDepth: 10})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Falsified || res.K != 4 {
+		t.Fatalf("verdict %s at %d, want falsified at 4", res.Verdict, res.K)
+	}
+	if res.Trace == nil || !res.Certified {
+		t.Fatalf("falsification without certified trace: %+v", res)
+	}
+	// The arrow pins n = 0 at instant 0 whatever inc is, so a depth-4
+	// violation needs a pulse at every later instant; instant 0 is free.
+	for i, in := range res.Trace.Inputs[1:] {
+		if in["inc"] != 1 {
+			t.Errorf("instant %d: inc = %g, want 1 (minimal counterexample pulses every later step)", i+1, in["inc"])
+		}
+	}
+}
+
+func TestCheckBoundReached(t *testing.T) {
+	res, err := Check(context.Background(), parse(t, counterSrc), Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != BoundReached || res.K != 3 {
+		t.Fatalf("verdict %s at %d, want bound_reached at 3", res.Verdict, res.K)
+	}
+}
+
+func TestCheckProvesSaturatingCounter(t *testing.T) {
+	// The counter saturates at 3, so n ≤ 3 is invariant — and inductive at
+	// depth 1 (the step relation can't leave [0,3]... from a state where
+	// n ≤ 3 held at the previous window instants).
+	src := `node sat3(inc: bool) returns (ok: bool);
+var n: int;
+let
+  n = 0 -> (if inc and pre n < 3 then pre n + 1 else pre n);
+  ok = n <= 3;
+tel;
+`
+	res, err := Check(context.Background(), parse(t, src), Options{MaxDepth: 10})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Proved {
+		t.Fatalf("verdict %s (reason %q), want proved", res.Verdict, res.Reason)
+	}
+	if !res.Induction {
+		t.Error("Proved verdict without induction flag")
+	}
+
+	// Without induction the same program can only exhaust the bound.
+	res, err = Check(context.Background(), parse(t, src), Options{MaxDepth: 6, NoInduction: true})
+	if err != nil {
+		t.Fatalf("Check (no induction): %v", err)
+	}
+	if res.Verdict != BoundReached {
+		t.Fatalf("verdict %s without induction, want bound_reached", res.Verdict)
+	}
+}
+
+func TestCheckColdMatchesWarm(t *testing.T) {
+	for _, src := range []string{counterSrc,
+		`node s(a: bool) returns (ok: bool);
+var b: bool;
+let b = false -> not pre b; ok = not (b and a); tel;`} {
+		p := parse(t, src)
+		warm, err := Check(context.Background(), p, Options{MaxDepth: 5})
+		if err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+		cold, err := Check(context.Background(), p, Options{MaxDepth: 5, Cold: true})
+		if err != nil {
+			t.Fatalf("cold: %v", err)
+		}
+		if warm.Verdict != cold.Verdict || warm.K != cold.K {
+			t.Fatalf("warm %s@%d vs cold %s@%d", warm.Verdict, warm.K, cold.Verdict, cold.K)
+		}
+	}
+}
+
+func TestCheckCombinationalFromSimulink(t *testing.T) {
+	// in ≥ 4 is violated by in = 0 at instant 0; the trace must replay
+	// through simulink.Simulate to the same violation.
+	m := simulink.NewModel("thresh")
+	m.Add(&simulink.Block{Name: "in", Type: simulink.Inport})
+	m.Add(&simulink.Block{Name: "lim", Type: simulink.Constant, Value: 4})
+	m.Add(&simulink.Block{Name: "cmp", Type: simulink.RelOp, Op: expr.CmpGE})
+	m.Add(&simulink.Block{Name: "ok", Type: simulink.Outport})
+	m.Connect("in", "cmp", 1)
+	m.Connect("lim", "cmp", 2)
+	m.Connect("cmp", "ok", 1)
+
+	prog, err := lustre.FromSimulink(m)
+	if err != nil {
+		t.Fatalf("FromSimulink: %v", err)
+	}
+	// Guard against RelOp enum drift: the equation must be a comparison.
+	eq := lustre.FormatExpr(prog.Main().Equations[0].Rhs)
+	if !strings.ContainsAny(eq, "<>=") {
+		t.Fatalf("unexpected relop equation %q", eq)
+	}
+
+	res, err := Check(context.Background(), prog, Options{MaxDepth: 2})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Falsified || res.K != 0 {
+		t.Fatalf("verdict %s at %d, want falsified at 0", res.Verdict, res.K)
+	}
+	sim, err := m.Simulate(res.Trace.Inputs[0])
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if sim.Bool["cmp"] {
+		t.Fatalf("replayed trace does not violate the property: %+v", sim)
+	}
+}
+
+func TestCheckPropertyResolution(t *testing.T) {
+	src := `node two(a: bool) returns (p, q: bool);
+let p = a; q = not a; tel;`
+	if _, err := Check(context.Background(), parse(t, src), Options{}); err == nil {
+		t.Error("ambiguous property accepted")
+	}
+	if _, err := Check(context.Background(), parse(t, src), Options{Property: "missing"}); err == nil {
+		t.Error("undeclared property accepted")
+	}
+	src = `node num(a: int) returns (o: int);
+let o = a; tel;`
+	if _, err := Check(context.Background(), parse(t, src), Options{Property: "o"}); err == nil {
+		t.Error("numeric property accepted")
+	}
+	res, err := Check(context.Background(), parse(t, `node two(a: bool) returns (p, q: bool);
+let p = a; q = not a; tel;`), Options{Property: "q", MaxDepth: 1})
+	if err != nil {
+		t.Fatalf("named property: %v", err)
+	}
+	if res.Verdict != Falsified {
+		t.Fatalf("q = not a should be falsified by a = true, got %s", res.Verdict)
+	}
+}
+
+func TestCheckInputBounds(t *testing.T) {
+	// With x confined to [0, 5], x ≤ 9 is provable (it is not inductive
+	// over the unbounded reals but the bounds are background theory).
+	src := `node b(x: int) returns (ok: bool);
+let ok = x <= 9; tel;`
+	res, err := Check(context.Background(), parse(t, src), Options{
+		MaxDepth:    3,
+		InputBounds: map[string][2]float64{"x": {0, 5}},
+	})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Proved {
+		t.Fatalf("verdict %s, want proved under input bounds", res.Verdict)
+	}
+
+	// Unbounded, the same property is falsified with an in-range witness.
+	res, err = Check(context.Background(), parse(t, src), Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatalf("Check unbounded: %v", err)
+	}
+	if res.Verdict != Falsified || !res.Certified {
+		t.Fatalf("unbounded verdict %s (certified %v), want certified falsification", res.Verdict, res.Certified)
+	}
+}

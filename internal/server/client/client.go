@@ -242,6 +242,61 @@ func (c *Client) Batch(ctx context.Context, base string, instances []api.BatchIn
 	return items, nil, fmt.Errorf("absolverd: batch stream ended without an end event")
 }
 
+// Check submits a program to POST /v1/check and waits for the verdict.
+// onDepth, when non-nil, receives every per-depth solver report as it
+// streams in; a non-nil error from it aborts the request (closing the
+// connection, which cancels the in-flight check server-side) and is
+// returned verbatim. A non-200 admission answer is returned as *Error; a
+// failure after admission is returned as *Error with ExitInternal.
+func (c *Client) Check(ctx context.Context, program string, params api.CheckParams, onDepth func(api.CheckDepth) error) (*api.CheckResponse, error) {
+	u := c.BaseURL + "/v1/check"
+	if q := params.Values().Encode(); q != "" {
+		u += "?" + q
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(program))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFromResponse(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev api.CheckEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("absolverd: bad check line %q: %w", line, err)
+		}
+		switch ev.Type {
+		case api.EventResult:
+			return ev.Result, nil
+		case api.EventError:
+			return nil, &Error{StatusCode: http.StatusOK, ExitCode: api.ExitInternal, Message: ev.Error}
+		case api.CheckEventDepth:
+			if onDepth != nil && ev.Depth != nil {
+				if err := onDepth(*ev.Depth); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("absolverd: check stream ended without a result event")
+}
+
 // Metrics scrapes GET /metrics into a flat map keyed by series name
 // including labels, e.g. `absolverd_solves_total{verdict="sat"}`.
 func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {

@@ -42,10 +42,14 @@ type metrics struct {
 	cacheMisses    int64 // cacheable requests that had to solve
 	batchRequests  int64 // completed /v1/batch runs
 	batchInstances int64 // instances solved across all batch runs
+
+	checks         map[string]int64 // completed /v1/check runs, by verdict
+	checkDepths    int64            // unrolling depths explored across checks
+	checkInduction int64            // checks whose proof came from induction
 }
 
 func newMetrics() *metrics {
-	m := &metrics{solves: map[string]int64{}, rejected: map[string]int64{}}
+	m := &metrics{solves: map[string]int64{}, rejected: map[string]int64{}, checks: map[string]int64{}}
 	// Pre-seed every class so the /metrics series set is stable from the
 	// first scrape.
 	for _, v := range []string{verdictSat, verdictUnsat, verdictUnknown, verdictCanceled, verdictError} {
@@ -53,6 +57,9 @@ func newMetrics() *metrics {
 	}
 	for _, r := range []string{rejectQueueFull, rejectDraining, rejectBodyTooLarge, rejectBadRequest} {
 		m.rejected[r] = 0
+	}
+	for _, v := range []string{"proved", "falsified", "bound_reached", verdictError} {
+		m.checks[v] = 0
 	}
 	return m
 }
@@ -82,6 +89,18 @@ func (m *metrics) batchDone(instances int) {
 	defer m.mu.Unlock()
 	m.batchRequests++
 	m.batchInstances += int64(instances)
+}
+
+func (m *metrics) checkDone(verdict string, depths int, induction bool, st core.Stats, wait time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checks[verdict]++
+	m.checkDepths += int64(depths)
+	if induction {
+		m.checkInduction++
+	}
+	m.engine.Merge(st)
+	m.waitTime += wait
 }
 
 func (m *metrics) reject(reason string) {
@@ -120,6 +139,11 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	wait := m.waitTime
 	cacheHits, cacheMisses := m.cacheHits, m.cacheMisses
 	batchRequests, batchInstances := m.batchRequests, m.batchInstances
+	checks := make(map[string]int64, len(m.checks))
+	for k, v := range m.checks {
+		checks[k] = v
+	}
+	checkDepths, checkInduction := m.checkDepths, m.checkInduction
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP absolverd_solves_total Completed solve jobs by outcome class.")
@@ -158,6 +182,17 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP absolverd_batch_instances_total Instances solved across all batch runs.")
 	fmt.Fprintln(w, "# TYPE absolverd_batch_instances_total counter")
 	fmt.Fprintf(w, "absolverd_batch_instances_total %d\n", batchInstances)
+	fmt.Fprintln(w, "# HELP absolverd_check_requests_total Completed /v1/check runs by verdict.")
+	fmt.Fprintln(w, "# TYPE absolverd_check_requests_total counter")
+	for _, k := range sortedKeys(checks) {
+		fmt.Fprintf(w, "absolverd_check_requests_total{verdict=%q} %d\n", k, checks[k])
+	}
+	fmt.Fprintln(w, "# HELP absolverd_check_depths_total Unrolling depths explored across all checks.")
+	fmt.Fprintln(w, "# TYPE absolverd_check_depths_total counter")
+	fmt.Fprintf(w, "absolverd_check_depths_total %d\n", checkDepths)
+	fmt.Fprintln(w, "# HELP absolverd_check_induction_total Checks proved by a k-induction step case.")
+	fmt.Fprintln(w, "# TYPE absolverd_check_induction_total counter")
+	fmt.Fprintf(w, "absolverd_check_induction_total %d\n", checkInduction)
 
 	fmt.Fprintln(w, "# HELP absolverd_queue_wait_seconds_total Cumulative admission-to-start wait across jobs.")
 	fmt.Fprintln(w, "# TYPE absolverd_queue_wait_seconds_total counter")

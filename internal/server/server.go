@@ -70,6 +70,9 @@ type Config struct {
 	// MaxBatchInstances caps the instances accepted per /v1/batch request
 	// (default 1000); larger batches get 400.
 	MaxBatchInstances int
+	// MaxCheckDepth caps the k parameter of /v1/check (default 64);
+	// deeper requests get 400.
+	MaxCheckDepth int
 	// SolveDelay inserts an artificial pause before each solve — a load-
 	// testing and drain-rehearsal knob (cancellable by the job's context).
 	SolveDelay time.Duration
@@ -109,6 +112,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchInstances <= 0 {
 		c.MaxBatchInstances = 1000
 	}
+	if c.MaxCheckDepth <= 0 {
+		c.MaxCheckDepth = 64
+	}
 	return c
 }
 
@@ -128,6 +134,9 @@ type job struct {
 	// batch, when set, makes the worker run a whole session batch instead
 	// of one solve; outcome/err stay zero and events stays nil.
 	batch *batchJob
+	// check, when set, makes the worker run a model-checking job instead;
+	// outcome/err stay zero and events stays nil.
+	check *checkJob
 }
 
 // Server owns the queue, the worker pool, and the HTTP handlers. Create
@@ -161,6 +170,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/check", s.handleCheck)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -254,6 +264,15 @@ func (s *Server) runJob(j *job) {
 		close(j.done)
 		s.logf("absolverd: batch done instances=%d wait=%v run=%v",
 			len(j.batch.instances), wait, time.Since(start))
+		return
+	}
+
+	if j.check != nil {
+		start := time.Now()
+		s.runCheckJob(j, wait)
+		close(j.done)
+		s.logf("absolverd: check done k=%d wait=%v run=%v",
+			j.check.params.K, wait, time.Since(start))
 		return
 	}
 

@@ -1,0 +1,161 @@
+package testkit
+
+// Differential runner for the model checker: mc.Check (SAT/theory
+// unrolling, with and without k-induction) against ExplicitCheck
+// (enumeration over the step evaluator) on generated programs.
+//
+// The comparison rules account for the unrolling's image-constraint
+// strengthening (see DESIGN.md §12): a Proved verdict is never compared
+// against a textbook induction depth, only against the ground truth "the
+// oracle finds no violation". Concretely, for a bound d:
+//
+//   - oracle violates at s ≤ d  → mc must answer Falsified at exactly s,
+//     with a certified trace that independently replays;
+//   - oracle violates at s > d  → mc must answer BoundReached (Falsified
+//     earlier would break minimality, Proved would be unsound);
+//   - oracle finds no violation up to the suite bound → mc may answer
+//     Proved or BoundReached, never Falsified.
+
+import (
+	"context"
+	"fmt"
+
+	"absolver/internal/lustre"
+	"absolver/internal/mc"
+)
+
+// MCDiffReport summarises one differential run for aggregate assertions.
+type MCDiffReport struct {
+	Seed     int64
+	Violated bool // oracle ground truth at the suite bound
+	Step     int  // minimal violation instant when Violated
+	Proved   int  // number of (depth, induction) runs answering Proved
+	States   int  // distinct oracle states
+}
+
+// RunMCDifferential generates program #seed, decides it with the
+// explicit-state oracle up to maxDepth, then runs mc.Check at every bound
+// 1..maxDepth with induction on and off (plus a cold-session run at the
+// full bound) and cross-examines every verdict. A non-nil error names the
+// seed and the disagreement.
+func RunMCDifferential(ctx context.Context, seed int64, maxDepth int) (MCDiffReport, error) {
+	rep := MCDiffReport{Seed: seed}
+	g, err := GenerateLustre(seed)
+	if err != nil {
+		return rep, err
+	}
+	oracle, err := ExplicitCheck(g.Prog, "ok", g.Inputs, maxDepth)
+	if err != nil {
+		return rep, fmt.Errorf("seed %d: oracle: %w\n%s", seed, err, g.Src)
+	}
+	rep.Violated, rep.Step, rep.States = oracle.Violated, oracle.Step, oracle.States
+
+	bounds := map[string][2]float64{}
+	for _, in := range g.Inputs {
+		if in.Int {
+			bounds[in.Name] = in.Bounds()
+		}
+	}
+
+	check := func(d int, opts mc.Options) error {
+		opts.MaxDepth = d
+		opts.InputBounds = bounds
+		res, err := mc.Check(ctx, g.Prog, opts)
+		if err != nil {
+			return fmt.Errorf("seed %d depth %d (noind=%v cold=%v): Check: %w\n%s",
+				seed, d, opts.NoInduction, opts.Cold, err, g.Src)
+		}
+		tag := fmt.Sprintf("seed %d depth %d (noind=%v cold=%v)", seed, d, opts.NoInduction, opts.Cold)
+		switch {
+		case oracle.Violated && oracle.Step <= d:
+			if res.Verdict != mc.Falsified || res.K != oracle.Step {
+				return fmt.Errorf("%s: engine %s at %d, oracle falsifies at %d\n%s",
+					tag, res.Verdict, res.K, oracle.Step, g.Src)
+			}
+			if !res.Certified {
+				return fmt.Errorf("%s: counterexample failed the engine's own replay\n%s", tag, g.Src)
+			}
+			if err := replayMCTrace(g.Prog, "ok", res.Trace); err != nil {
+				return fmt.Errorf("%s: %w\n%s", tag, err, g.Src)
+			}
+			if err := traceInDomains(res.Trace, g.Inputs); err != nil {
+				return fmt.Errorf("%s: %w\n%s", tag, err, g.Src)
+			}
+		case oracle.Violated: // violation exists but beyond this bound
+			if res.Verdict != mc.BoundReached {
+				return fmt.Errorf("%s: engine %s at %d, but the minimal violation is at %d > bound\n%s",
+					tag, res.Verdict, res.K, oracle.Step, g.Src)
+			}
+		default: // no violation up to the suite bound
+			if res.Verdict == mc.Falsified {
+				return fmt.Errorf("%s: engine falsifies at %d, oracle finds no violation to depth %d\n%s",
+					tag, res.K, maxDepth, g.Src)
+			}
+			if res.Verdict == mc.Proved {
+				rep.Proved++
+			}
+		}
+		return nil
+	}
+
+	for d := 1; d <= maxDepth; d++ {
+		if err := check(d, mc.Options{}); err != nil {
+			return rep, err
+		}
+		if err := check(d, mc.Options{NoInduction: true}); err != nil {
+			return rep, err
+		}
+	}
+	// One cold run at the full bound: per-depth fresh sessions must agree
+	// with the warm push/pop session.
+	if err := check(maxDepth, mc.Options{Cold: true}); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// replayMCTrace re-executes a counterexample through the step evaluator —
+// independently of the engine's own certification path — and demands the
+// property hold strictly before the reported step and fail at it.
+func replayMCTrace(p *lustre.Program, prop string, tr *mc.Trace) error {
+	if tr == nil {
+		return fmt.Errorf("falsified without a trace")
+	}
+	if len(tr.Inputs) != tr.Step+1 {
+		return fmt.Errorf("trace has %d instants for a violation at step %d", len(tr.Inputs), tr.Step)
+	}
+	vals, err := lustre.Run(p, tr.Inputs)
+	if err != nil {
+		return fmt.Errorf("trace replay: %w", err)
+	}
+	for i, m := range vals {
+		if i < tr.Step && m[prop] == 0 {
+			return fmt.Errorf("trace violates %q early at instant %d (reported %d)", prop, i, tr.Step)
+		}
+		if i == tr.Step && m[prop] != 0 {
+			return fmt.Errorf("trace does not violate %q at the reported instant %d", prop, tr.Step)
+		}
+	}
+	return nil
+}
+
+// traceInDomains checks every input value in the trace against its
+// declared domain — the engine must not need out-of-range inputs.
+func traceInDomains(tr *mc.Trace, inputs []LustreInput) error {
+	for step, m := range tr.Inputs {
+		for _, in := range inputs {
+			v := m[in.Name]
+			ok := false
+			for _, dv := range in.Domain {
+				if v == dv {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("trace instant %d: input %s = %g outside domain %v", step, in.Name, v, in.Domain)
+			}
+		}
+	}
+	return nil
+}

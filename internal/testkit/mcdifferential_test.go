@@ -1,0 +1,240 @@
+package testkit
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"absolver/internal/expr"
+	"absolver/internal/lustre"
+	"absolver/internal/mc"
+	"absolver/internal/simulink"
+)
+
+// mcSuiteSeeds sizes the model-checking differential: every seed is one
+// generated program checked at depths 1..mcSuiteDepth with induction on
+// and off plus one cold run, all against the explicit-state oracle.
+const (
+	mcSuiteSeeds      = 220
+	mcSuiteShortSeeds = 60
+	mcSuiteDepth      = 6
+)
+
+func TestMCGenerateDeterministic(t *testing.T) {
+	a, err := GenerateLustre(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateLustre(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Src != b.Src {
+		t.Fatalf("seed 42 not deterministic:\n%s\nvs\n%s", a.Src, b.Src)
+	}
+}
+
+func TestExplicitCheckKnownViolation(t *testing.T) {
+	p, err := lustre.Parse(`node counter(inc: bool) returns (ok: bool);
+var n: int;
+let
+  n = 0 -> (if inc then pre n + 1 else pre n);
+  ok = n <= 3;
+tel;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []LustreInput{{Name: "inc", Domain: []float64{0, 1}}}
+	res, err := ExplicitCheck(p, "ok", in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated || res.Step != 4 {
+		t.Fatalf("oracle: violated=%v step=%d, want violation at 4", res.Violated, res.Step)
+	}
+	// The witness must itself replay to the violation.
+	vals, err := lustre.Run(p, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[4]["ok"] != 0 {
+		t.Fatalf("oracle witness does not violate: %v", vals)
+	}
+
+	// The saturating variant has no violation and a tiny deduped state
+	// space (n sticks at 3).
+	p, err = lustre.Parse(`node sat3(inc: bool) returns (ok: bool);
+var n: int;
+let
+  n = 0 -> (if inc and pre n < 3 then pre n + 1 else pre n);
+  ok = n <= 3;
+tel;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ExplicitCheck(p, "ok", in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violated {
+		t.Fatalf("saturating counter violated at %d", res.Step)
+	}
+	if res.States > 8 {
+		t.Fatalf("dedup ineffective: %d states for a 5-state system", res.States)
+	}
+}
+
+// TestMCDifferentialSuite is the tentpole pin: zero disagreements between
+// the SAT/theory model checker and the explicit-state oracle across the
+// generated corpus, every counterexample replayed.
+func TestMCDifferentialSuite(t *testing.T) {
+	seeds := mcSuiteSeeds
+	if testing.Short() {
+		seeds = mcSuiteShortSeeds
+	}
+	type agg struct{ violated, proved int }
+	results := make([]MCDiffReport, seeds)
+	t.Run("seeds", func(t *testing.T) {
+		for s := 0; s < seeds; s++ {
+			s := s
+			t.Run(fmt.Sprintf("seed%03d", s), func(t *testing.T) {
+				t.Parallel()
+				rep, err := RunMCDifferential(context.Background(), int64(s), mcSuiteDepth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results[s] = rep
+			})
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	var a agg
+	for _, rep := range results {
+		if rep.Violated {
+			a.violated++
+		}
+		if rep.Proved > 0 {
+			a.proved++
+		}
+	}
+	t.Logf("%d seeds: %d falsified by the oracle, %d with at least one induction proof", seeds, a.violated, a.proved)
+	// The corpus must exercise both outcomes, or the differential is
+	// comparing nothing.
+	if a.violated < seeds/10 {
+		t.Errorf("only %d/%d seeds falsifiable — generator too tame", a.violated, seeds)
+	}
+	if a.proved < seeds/20 {
+		t.Errorf("only %d/%d seeds proved — induction path under-exercised", a.proved, seeds)
+	}
+}
+
+// genCombinationalModel samples a small combinational Simulink model with
+// a Boolean outport "ok": numeric signals from inports and constants
+// through sums and gains, compared by relops, optionally combined by a
+// logic gate.
+func genCombinationalModel(r *rand.Rand, id int) (*simulink.Model, string) {
+	m := simulink.NewModel(fmt.Sprintf("gen%d", id))
+	m.Add(&simulink.Block{Name: "in1", Type: simulink.Inport, IntSignal: r.Intn(2) == 0})
+	m.Add(&simulink.Block{Name: "c1", Type: simulink.Constant, Value: float64(r.Intn(7) - 3)})
+
+	num := "in1"
+	switch r.Intn(3) {
+	case 0:
+		signs := "++"
+		if r.Intn(2) == 0 {
+			signs = "+-"
+		}
+		m.Add(&simulink.Block{Name: "n1", Type: simulink.Sum, Signs: signs})
+		m.Connect("in1", "n1", 1)
+		m.Connect("c1", "n1", 2)
+		num = "n1"
+	case 1:
+		m.Add(&simulink.Block{Name: "n1", Type: simulink.Gain, Value: float64(r.Intn(3) + 1)})
+		m.Connect("in1", "n1", 1)
+		num = "n1"
+	}
+
+	ops := []expr.CmpOp{expr.CmpLT, expr.CmpLE, expr.CmpGT, expr.CmpGE}
+	m.Add(&simulink.Block{Name: "c2", Type: simulink.Constant, Value: float64(r.Intn(9) - 4)})
+	m.Add(&simulink.Block{Name: "cmp1", Type: simulink.RelOp, Op: ops[r.Intn(len(ops))]})
+	m.Connect(num, "cmp1", 1)
+	m.Connect("c2", "cmp1", 2)
+	final := "cmp1"
+
+	if r.Intn(2) == 0 {
+		m.Add(&simulink.Block{Name: "in2", Type: simulink.Inport})
+		m.Add(&simulink.Block{Name: "c3", Type: simulink.Constant, Value: float64(r.Intn(5) - 2)})
+		m.Add(&simulink.Block{Name: "cmp2", Type: simulink.RelOp, Op: ops[r.Intn(len(ops))]})
+		m.Connect("in2", "cmp2", 1)
+		m.Connect("c3", "cmp2", 2)
+		gate := []simulink.LogicOp{simulink.LogicAnd, simulink.LogicOr, simulink.LogicXor}[r.Intn(3)]
+		m.Add(&simulink.Block{Name: "f", Type: simulink.Logic, Logic: gate})
+		m.Connect("cmp1", "f", 1)
+		m.Connect("cmp2", "f", 2)
+		final = "f"
+	}
+
+	m.Add(&simulink.Block{Name: "ok", Type: simulink.Outport})
+	m.Connect(final, "ok", 1)
+	return m, final
+}
+
+// TestMCSimulinkRoundTrip checks the Simulink leg of the differential:
+// models round-tripped through lustre.FromSimulink and falsified by
+// mc.Check must reproduce the violation in simulink.Simulate on the
+// engine's own trace. Real-valued models can draw theory witnesses that
+// sit exactly on a strict-inequality boundary; the engine detects those
+// itself (tolerant replay clears Certified), so the Simulate obligation
+// binds certified traces — with a floor asserting most traces certify.
+func TestMCSimulinkRoundTrip(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 15
+	}
+	falsified, certified := 0, 0
+	for id := 0; id < n; id++ {
+		r := rand.New(rand.NewSource(int64(1000 + id)))
+		m, final := genCombinationalModel(r, id)
+		prog, err := lustre.FromSimulink(m)
+		if err != nil {
+			t.Fatalf("model %d: FromSimulink: %v", id, err)
+		}
+		res, err := mc.Check(context.Background(), prog, mc.Options{MaxDepth: 2})
+		if err != nil {
+			t.Fatalf("model %d: Check: %v", id, err)
+		}
+		if res.Verdict != mc.Falsified {
+			continue
+		}
+		falsified++
+		// Combinational models violate at the first instant or never.
+		if res.K != 0 {
+			t.Errorf("model %d: combinational violation at step %d, want 0", id, res.K)
+			continue
+		}
+		if !res.Certified {
+			continue // boundary witness, flagged by the engine itself
+		}
+		certified++
+		sim, err := m.Simulate(res.Trace.Inputs[0])
+		if err != nil {
+			t.Fatalf("model %d: Simulate: %v", id, err)
+		}
+		if sim.Bool[final] {
+			t.Errorf("model %d: certified trace %v does not violate in Simulate — evaluator and Simulate disagree",
+				id, res.Trace.Inputs[0])
+		}
+	}
+	t.Logf("%d/%d models falsified, %d certified and replayed through Simulate", falsified, n, certified)
+	if falsified < n/4 {
+		t.Errorf("only %d/%d models falsifiable — round-trip under-exercised", falsified, n)
+	}
+	if certified < falsified/2 {
+		t.Errorf("only %d/%d falsifications certified — trace extraction degraded", certified, falsified)
+	}
+}

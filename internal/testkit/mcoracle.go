@@ -1,0 +1,97 @@
+package testkit
+
+// Explicit-state bounded checker: the reference side of the model-checking
+// differential. It shares no code with the mc unrolling — verdicts come
+// from breadth-first enumeration of every input sequence over the step
+// evaluator (lustre.Evaluator), with per-state deduplication so saturating
+// systems stay cheap.
+
+import (
+	"fmt"
+
+	"absolver/internal/lustre"
+)
+
+// ExplicitResult is the oracle's verdict for one program and bound.
+type ExplicitResult struct {
+	// Violated reports whether some input sequence of length ≤ maxDepth+1
+	// drives the property to false. Step is the (minimal) instant of the
+	// first violation and Trace the witness input sequence, one map per
+	// instant 0..Step.
+	Violated bool
+	Step     int
+	Trace    []map[string]float64
+	// States counts distinct pre-states visited (diagnostic).
+	States int
+}
+
+// ExplicitCheck enumerates every input sequence up to maxDepth instants
+// (inclusive) breadth-first and reports the minimal-depth property
+// violation, if any. Dedup by Evaluator.StateKey is sound for minimality:
+// a state first reached at depth d can only be re-reached at d' ≥ d, and
+// every continuation from the later visit is available from the earlier
+// one at no greater depth.
+func ExplicitCheck(p *lustre.Program, prop string, inputs []LustreInput, maxDepth int) (*ExplicitResult, error) {
+	root, err := lustre.NewEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	combos := inputCombos(inputs)
+
+	type node struct {
+		ev    *lustre.Evaluator
+		trace []map[string]float64
+	}
+	layer := []node{{ev: root}}
+	seen := map[string]bool{root.StateKey(): true}
+
+	for d := 0; d <= maxDepth; d++ {
+		var next []node
+		for _, n := range layer {
+			for _, in := range combos {
+				ev := n.ev.Clone()
+				vals, err := ev.Step(in)
+				if err != nil {
+					return nil, fmt.Errorf("explicit step %d: %w", d, err)
+				}
+				v, ok := vals[prop]
+				if !ok {
+					return nil, fmt.Errorf("explicit step %d: no flow %q", d, prop)
+				}
+				if v == 0 {
+					tr := append(append([]map[string]float64{}, n.trace...), in)
+					return &ExplicitResult{Violated: true, Step: d, Trace: tr, States: len(seen)}, nil
+				}
+				if key := ev.StateKey(); !seen[key] {
+					seen[key] = true
+					tr := append(append([]map[string]float64{}, n.trace...), in)
+					next = append(next, node{ev: ev, trace: tr})
+				}
+			}
+		}
+		layer = next
+	}
+	return &ExplicitResult{States: len(seen)}, nil
+}
+
+// inputCombos returns the cartesian product of the input domains, one
+// valuation map per combination (a single empty valuation for a program
+// with no inputs).
+func inputCombos(inputs []LustreInput) []map[string]float64 {
+	out := []map[string]float64{{}}
+	for _, in := range inputs {
+		var grown []map[string]float64
+		for _, base := range out {
+			for _, v := range in.Domain {
+				m := make(map[string]float64, len(base)+1)
+				for k, bv := range base {
+					m[k] = bv
+				}
+				m[in.Name] = v
+				grown = append(grown, m)
+			}
+		}
+		out = grown
+	}
+	return out
+}
