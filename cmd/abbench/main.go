@@ -6,6 +6,7 @@
 //	abbench -table incr         # incremental-session ablation (PR 6)
 //	abbench -table sat          # SAT-core arena/inprocessing ablation (PR 7)
 //	abbench -table check        # model-checking warm/cold ablation (PR 8)
+//	abbench -table cluster      # cube-and-conquer cluster ablation (PR 9)
 //	abbench -table all
 //	abbench -table all -json    # machine-readable rows (CI artifact)
 //
@@ -36,9 +37,11 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, incr, sat, check, or all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, incr, sat, check, cluster, or all")
 	maxN := flag.Int("maxn", 11, "largest Fischer instance for table 2")
 	incrN := flag.Int("incr-n", 2, "Fischer process count for the incremental-session ablation")
+	clusterN := flag.Int("cluster-n", 3, "Fischer process count for the cluster ablation")
+	clusterPeers := flag.Int("cluster-peers", 2, "loopback worker servers for the cluster ablation")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-solver timeout per instance")
 	cvcMem := flag.Int64("cvc-mem", 32<<20, "CVCLiteLike proof-memory budget in bytes (table 3)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
@@ -141,6 +144,18 @@ func main() {
 		fmt.Println(bench.FormatCheck(rows))
 	}
 
+	runCluster := func() {
+		rows, err := bench.RunCluster(*clusterN, *clusterPeers, *timeout)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			jsonRows = append(jsonRows, bench.JSONCluster(rows)...)
+			return
+		}
+		fmt.Println(bench.FormatCluster(rows))
+	}
+
 	runSAT := func() {
 		rows, err := bench.RunSATCore(*maxN, *timeout, baseRows)
 		if err != nil {
@@ -166,6 +181,10 @@ func main() {
 		runSAT()
 	case "check":
 		runCheck()
+	case "cluster":
+		// Deliberately not part of "all": boots live HTTP servers, and
+		// BENCH_5.json's row set is a frozen contract.
+		runCluster()
 	case "all":
 		run1()
 		run2()
@@ -174,7 +193,7 @@ func main() {
 		runSAT()
 		runCheck()
 	default:
-		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr, sat, check or all")
+		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr, sat, check, cluster or all")
 		os.Exit(2)
 	}
 

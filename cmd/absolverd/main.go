@@ -22,6 +22,18 @@
 //	-solve-delay D      artificial pre-solve delay (load testing)
 //	-v                  log one line per job and lifecycle transition
 //
+// Cluster flags (see docs/cluster.md):
+//
+//	-peers URLS         comma-separated worker base URLs; coordinator mode:
+//	                    jobs are cube-split and fanned out instead of solved
+//	                    locally, and /v1/lemmas/<job> relays learned clauses
+//	-worker             worker mode: accept exchange_url attachments from a
+//	                    coordinator's relay (off by default — SSRF guard)
+//	-advertise URL      base URL workers use to reach this coordinator
+//	                    (default http://127.0.0.1:<bound port>)
+//	-cube-max N         cube cap per job in coordinator mode (0 = 8)
+//	-cluster-retries N  dispatch attempts per cube before the job fails (0 = 4)
+//
 // Endpoints: POST /v1/solve (extended DIMACS or SMT-LIB body; knobs as
 // query parameters; NDJSON streaming with ?stream=1), POST /v1/batch
 // (NDJSON base + instance deltas solved over one warm session),
@@ -43,9 +55,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"absolver/internal/cluster"
+	"absolver/internal/cube"
 	"absolver/internal/server"
 )
 
@@ -75,11 +90,20 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for admitted jobs")
 	solveDelay := fs.Duration("solve-delay", 0, "artificial pre-solve delay (load testing)")
 	verbose := fs.Bool("v", false, "log jobs and lifecycle transitions")
+	peers := fs.String("peers", "", "comma-separated worker base URLs (coordinator mode)")
+	workerMode := fs.Bool("worker", false, "worker mode: allow exchange_url attachments from a coordinator")
+	advertise := fs.String("advertise", "", "base URL workers use to reach this coordinator (default loopback)")
+	cubeMax := fs.Int("cube-max", 0, "cube cap per job in coordinator mode (0 = 8)")
+	clusterRetries := fs.Int("cluster-retries", 0, "dispatch attempts per cube (0 = 4)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintln(stderr, "absolverd: unexpected arguments (the problem arrives over HTTP)")
+		return 2
+	}
+	if *peers != "" && *workerMode {
+		fmt.Fprintln(stderr, "absolverd: -peers and -worker are mutually exclusive (a coordinator delegates, a worker solves)")
 		return 2
 	}
 
@@ -94,21 +118,65 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 		MaxBatchInstances: *maxBatch,
 		MaxCheckDepth:     *maxCheckDepth,
 		SolveDelay:        *solveDelay,
+		AllowExchange:     *workerMode,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
-	srv := server.New(cfg)
-	srv.Start()
 
+	// The listener is bound before the server is built: coordinator mode
+	// derives its default relay URL from the bound port.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "absolverd:", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	var coord *cluster.Coordinator
+	if *peers != "" {
+		relayBase := *advertise
+		if relayBase == "" {
+			_, port, perr := net.SplitHostPort(ln.Addr().String())
+			if perr != nil {
+				fmt.Fprintln(stderr, "absolverd:", perr)
+				ln.Close()
+				return 1
+			}
+			relayBase = "http://127.0.0.1:" + port
+		}
+		metrics := &server.ClusterMetrics{}
+		coord, err = cluster.New(cluster.Config{
+			Peers:       splitPeers(*peers),
+			Cube:        cube.Options{MaxCubes: *cubeMax},
+			MaxAttempts: *clusterRetries,
+			RelayURL:    strings.TrimRight(relayBase, "/") + "/v1/lemmas",
+			Observer:    metrics,
+			Logf:        cfg.Logf,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "absolverd:", err)
+			ln.Close()
+			return 1
+		}
+		metrics.LemmasRelayed = coord.LemmasRelayed
+		cfg.SolveFunc = coord.Solve
+		cfg.ClusterMetrics = metrics
+	}
+
+	srv := server.New(cfg)
+	srv.Start()
+
+	handler := srv.Handler()
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/v1/lemmas/", http.StripPrefix("/v1/lemmas/", coord.RelayHandler()))
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintf(stderr, "absolverd: coordinator over %d workers\n", len(splitPeers(*peers)))
+	}
+	httpSrv := &http.Server{Handler: handler}
 	fmt.Fprintf(stderr, "absolverd: listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
@@ -141,4 +209,17 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal, ready c
 	}
 	fmt.Fprintln(stdout, "absolverd: drained, bye")
 	return 0
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// skipped, trailing slashes trimmed.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -20,6 +20,11 @@ const satDIMACS = "p cnf 2 1\n1 2 0\nc def real 1 x >= 1\n"
 // startDaemon runs the daemon on a random port and returns a client plus
 // the channels to signal and join it.
 func startDaemon(t *testing.T, extraArgs ...string) (*client.Client, chan<- os.Signal, <-chan int, *bytes.Buffer) {
+	c, _, sigs, done, stdout := startDaemonAddr(t, extraArgs...)
+	return c, sigs, done, stdout
+}
+
+func startDaemonAddr(t *testing.T, extraArgs ...string) (*client.Client, string, chan<- os.Signal, <-chan int, *bytes.Buffer) {
 	t.Helper()
 	sigs := make(chan os.Signal, 1)
 	ready := make(chan string, 1)
@@ -29,13 +34,28 @@ func startDaemon(t *testing.T, extraArgs ...string) (*client.Client, chan<- os.S
 	go func() { done <- run(args, &stdout, &stderr, sigs, ready) }()
 	select {
 	case addr := <-ready:
-		return client.New("http://" + addr), sigs, done, &stdout
+		return client.New("http://" + addr), addr, sigs, done, &stdout
 	case code := <-done:
 		t.Fatalf("daemon exited early with %d: %s", code, stderr.String())
-		return nil, nil, nil, nil
+		return nil, "", nil, nil, nil
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon never became ready")
-		return nil, nil, nil, nil
+		return nil, "", nil, nil, nil
+	}
+}
+
+// stopDaemon SIGTERMs a daemon started by startDaemonAddr and requires a
+// clean exit.
+func stopDaemon(t *testing.T, sigs chan<- os.Signal, done <-chan int) {
+	t.Helper()
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("daemon exit code %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("daemon did not exit after SIGTERM")
 	}
 }
 
@@ -96,6 +116,46 @@ func TestSigtermDrainsUnderLoad(t *testing.T) {
 	}
 }
 
+const unsatDIMACS = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n"
+
+// TestClusterEndToEnd boots two -worker daemons and one -peers
+// coordinator, all through the real flag surface, solves through the
+// coordinator both ways, and checks the cluster metrics appear.
+func TestClusterEndToEnd(t *testing.T) {
+	_, w1, s1, d1, _ := startDaemonAddr(t, "-worker")
+	_, w2, s2, d2, _ := startDaemonAddr(t, "-worker")
+	co, _, cs, cd, _ := startDaemonAddr(t,
+		"-peers", "http://"+w1+",http://"+w2, "-cluster-retries", "2")
+	ctx := context.Background()
+
+	resp, err := co.Solve(ctx, satDIMACS, api.SolveParams{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "sat" || resp.Model == nil {
+		t.Fatalf("sat solve through cluster: %+v", resp)
+	}
+	resp, err = co.Solve(ctx, unsatDIMACS, api.SolveParams{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "unsat" {
+		t.Fatalf("unsat solve through cluster: %+v", resp)
+	}
+
+	m, err := co.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["absolverd_cluster_cubes_solved_total"] < 1 {
+		t.Fatalf("cluster metrics missing or zero: %v", m)
+	}
+
+	stopDaemon(t, cs, cd)
+	stopDaemon(t, s1, d1)
+	stopDaemon(t, s2, d2)
+}
+
 func TestUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &stdout, &stderr, nil, nil); code != 2 {
@@ -110,5 +170,12 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"-addr", "256.0.0.1:0"}, &stdout, &stderr, nil, nil); code != 1 {
 		t.Fatalf("bad listen address: exit %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-peers", "http://x", "-worker"}, &stdout, &stderr, nil, nil); code != 2 {
+		t.Fatalf("-peers with -worker: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Fatalf("missing diagnostic: %q", stderr.String())
 	}
 }

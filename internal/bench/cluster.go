@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"absolver/internal/cluster"
+	"absolver/internal/core"
+	"absolver/internal/fischer"
+	"absolver/internal/server"
+	"absolver/internal/server/api"
+)
+
+// ---------------------------------------------------------------------------
+// Table 9: cluster mode (PR 9 ablation, not a paper table).
+//
+// The same Fischer critical-section sweep as table 6, measured once on a
+// single in-process engine and once through a cube-and-conquer cluster:
+// a coordinator splitting each query into cubes and fanning them out to
+// worker absolverd instances over loopback HTTP. The cluster pays real
+// protocol overhead (DIMACS serialisation, HTTP round-trips, cube
+// derivation), so tiny queries are expected to lose; the reproduction
+// target is that the distributed path stays sound and competitive on the
+// harder rows, where cube-level parallelism buys back the overhead.
+
+// ClusterRow is one query of the sweep, measured both ways.
+type ClusterRow struct {
+	// Name identifies the query, e.g. "cs@3".
+	Name string
+	// Single is the in-process engine measurement, Cluster the
+	// coordinator-over-workers one.
+	Single  Cell
+	Cluster Cell
+}
+
+// RunCluster measures the critical-section sweep over FISCHER<nProc> on
+// `peers` loopback worker servers. Both modes run the same queries in the
+// same order; a verdict disagreement between them is an error, not a row.
+func RunCluster(nProc, peers int, timeout time.Duration) ([]ClusterRow, error) {
+	if peers < 1 {
+		peers = 2
+	}
+	in := fischer.Generate(fischer.Params{N: nProc})
+	steps := in.Params.Steps
+	lits := make([]int, 0, steps)
+	rows := make([]ClusterRow, 0, steps)
+	for t := 1; t <= steps; t++ {
+		v, ok := in.Var(fmt.Sprintf("loc/1/%d/cs", t))
+		if !ok {
+			return nil, fmt.Errorf("bench: no cs variable for step %d", t)
+		}
+		lits = append(lits, v)
+		rows = append(rows, ClusterRow{Name: fmt.Sprintf("cs@%d", t)})
+	}
+
+	// Single node: a fresh engine per query on the flattened problem.
+	for i, lit := range lits {
+		p := in.Problem.Clone()
+		p.AddClause(lit)
+		start := time.Now()
+		res, err := core.NewEngine(p, core.Config{Timeout: timeout}).Solve()
+		rows[i].Single = Cell{
+			Time: time.Since(start), Status: res.Status,
+			Checks: res.Stats.LinearChecks + res.Stats.NonlinearChecks,
+		}
+		if err == core.ErrTimeout {
+			rows[i].Single.Note = "timeout"
+		} else if err != nil {
+			return nil, err
+		}
+	}
+
+	// Cluster: worker absolverd instances behind loopback listeners, one
+	// coordinator fanning cubes across them.
+	urls := make([]string, peers)
+	for i := range urls {
+		w := server.New(server.Config{AllowExchange: true})
+		w.Start()
+		srv := httptest.NewServer(w.Handler())
+		urls[i] = srv.URL
+		defer func() {
+			srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = w.Shutdown(ctx)
+		}()
+	}
+	co, err := cluster.New(cluster.Config{Peers: urls})
+	if err != nil {
+		return nil, err
+	}
+	for i, lit := range lits {
+		p := in.Problem.Clone()
+		p.AddClause(lit)
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		start := time.Now()
+		out, err := co.Solve(ctx, p, api.SolveParams{}, nil)
+		rows[i].Cluster = Cell{
+			Time: time.Since(start), Status: out.Result.Status,
+			Checks: out.Result.Stats.LinearChecks + out.Result.Stats.NonlinearChecks,
+		}
+		if err == context.DeadlineExceeded {
+			rows[i].Cluster.Note = "timeout"
+		} else if err != nil {
+			return nil, err
+		}
+		if rows[i].Cluster.Status != rows[i].Single.Status &&
+			rows[i].Cluster.Note == "" && rows[i].Single.Note == "" {
+			return nil, fmt.Errorf("bench: %s: cluster %v vs single %v",
+				rows[i].Name, rows[i].Cluster.Status, rows[i].Single.Status)
+		}
+	}
+	return rows, nil
+}
+
+// ClusterWins counts rows where the cluster's wall time is no worse than
+// the single node's.
+func ClusterWins(rows []ClusterRow) int {
+	wins := 0
+	for _, r := range rows {
+		if r.Cluster.Time <= r.Single.Time {
+			wins++
+		}
+	}
+	return wins
+}
+
+// FormatCluster renders the sweep in the tables' layout.
+func FormatCluster(rows []ClusterRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster ablation (Fischer critical-section sweep, cube-and-conquer)\n")
+	fmt.Fprintf(&b, "%-8s | %-7s | %10s | %6s | %10s | %6s\n",
+		"query", "verdict", "single", "checks", "cluster", "checks")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 64))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s | %-7s | %10s | %6d | %10s | %6d\n",
+			r.Name, r.Single.Status, fmtDur(r.Single.Time), r.Single.Checks,
+			fmtDur(r.Cluster.Time), r.Cluster.Checks)
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 64))
+	fmt.Fprintf(&b, "rows where cluster <= single: %d/%d\n", ClusterWins(rows), len(rows))
+	return b.String()
+}
+
+// JSONCluster flattens the sweep into one JSONRow per mode and query
+// (table number 9, solvers "absolver-single" and "absolver-cluster").
+func JSONCluster(rows []ClusterRow) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out,
+			jsonRow(9, r.Name, "absolver-single", r.Single),
+			jsonRow(9, r.Name, "absolver-cluster", r.Cluster))
+	}
+	return out
+}

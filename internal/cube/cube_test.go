@@ -1,0 +1,181 @@
+package cube
+
+import (
+	"reflect"
+	"testing"
+
+	"absolver/internal/core"
+	"absolver/internal/testkit"
+)
+
+// enumSat decides a pure-CNF problem by exhaustive enumeration, optionally
+// under extra unit literals. Only usable at testkit sizes.
+func enumSat(p *core.Problem, units []int) bool {
+	n := p.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		holds := func(l int) bool {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			return (mask&(1<<(v-1)) != 0) == (l > 0)
+		}
+		for _, l := range units {
+			if !holds(l) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, cl := range p.Clauses {
+			sat := false
+			for _, l := range cl {
+				if holds(l) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPartition checks the structural contract on generated problems from
+// every fragment: live cubes plus refuted combinations cover the sign
+// combinations of the chosen variables exactly once, and every cube
+// assigns exactly the chosen variables.
+func TestPartition(t *testing.T) {
+	for frag := testkit.Fragment(0); frag < testkit.NumFragments; frag++ {
+		for seed := int64(0); seed < 40; seed++ {
+			p := testkit.Generate(seed, frag)
+			sp := Derive(p, Options{MaxCubes: 8})
+			if len(sp.Vars) == 0 {
+				if sp.Refuted == 0 && len(sp.Cubes) != 1 {
+					t.Fatalf("seed=%d frag=%v: no vars but %d cubes", seed, frag, len(sp.Cubes))
+				}
+				continue
+			}
+			if got := len(sp.Cubes) + sp.Refuted; got != 1<<len(sp.Vars) {
+				t.Fatalf("seed=%d frag=%v: %d cubes + %d refuted != 2^%d",
+					seed, frag, len(sp.Cubes), sp.Refuted, len(sp.Vars))
+			}
+			seen := map[string]bool{}
+			for _, c := range sp.Cubes {
+				if len(c) != len(sp.Vars) {
+					t.Fatalf("seed=%d frag=%v: cube %v does not cover vars %v", seed, frag, c, sp.Vars)
+				}
+				for i, l := range c {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if v != sp.Vars[i] {
+						t.Fatalf("seed=%d frag=%v: cube %v literal %d not over var %d", seed, frag, c, l, sp.Vars[i])
+					}
+				}
+				key := ""
+				for _, l := range c {
+					if l > 0 {
+						key += "+"
+					} else {
+						key += "-"
+					}
+				}
+				if seen[key] {
+					t.Fatalf("seed=%d frag=%v: duplicate cube %v", seed, frag, c)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+// TestRefutationSoundness pins the load-bearing property on pure Boolean
+// problems, where ground truth is enumerable: the problem is SAT iff some
+// live cube's subproblem is SAT. Refuted combinations must never hide a
+// model.
+func TestRefutationSoundness(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := testkit.Generate(seed, testkit.FragBool)
+		sp := Derive(p, Options{MaxCubes: 8})
+		want := enumSat(p, nil)
+		got := false
+		for _, c := range sp.Cubes {
+			if enumSat(p, c) {
+				got = true
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("seed=%d: problem sat=%v but cubes sat=%v (split %+v)", seed, want, got, sp)
+		}
+	}
+}
+
+// TestTopLevelConflict: a propositionally contradictory problem splits to
+// zero cubes with Refuted == 1.
+func TestTopLevelConflict(t *testing.T) {
+	p := core.NewProblem()
+	p.AddClause(1)
+	p.AddClause(-1)
+	sp := Derive(p, Options{})
+	if len(sp.Cubes) != 0 || sp.Refuted != 1 {
+		t.Fatalf("want 0 cubes / 1 refuted, got %+v", sp)
+	}
+}
+
+// TestEmptyProblem: nothing to split on yields the whole-problem cube.
+func TestEmptyProblem(t *testing.T) {
+	sp := Derive(core.NewProblem(), Options{})
+	if len(sp.Cubes) != 1 || sp.Cubes[0] != nil || len(sp.Vars) != 0 {
+		t.Fatalf("want one empty cube, got %+v", sp)
+	}
+}
+
+// TestDeterminism: same problem, same split.
+func TestDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := testkit.Generate(seed, testkit.FragLinear)
+		a := Derive(p, Options{MaxCubes: 8})
+		b := Derive(p.Clone(), Options{MaxCubes: 8})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed=%d: nondeterministic split:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+// TestApply asserts cube literals land as unit clauses on a clone.
+func TestApply(t *testing.T) {
+	p := core.NewProblem()
+	p.AddClause(1, 2)
+	q := Apply(p, []int{-1, 2})
+	if len(p.Clauses) != 1 {
+		t.Fatalf("Apply mutated the original: %v", p.Clauses)
+	}
+	if len(q.Clauses) != 3 || q.Clauses[1][0] != -1 || q.Clauses[2][0] != 2 {
+		t.Fatalf("bad applied problem: %v", q.Clauses)
+	}
+}
+
+// TestMaxCubesRespected: the cube count never exceeds the cap.
+func TestMaxCubesRespected(t *testing.T) {
+	for _, max := range []int{1, 2, 3, 4, 8, 16} {
+		for seed := int64(0); seed < 10; seed++ {
+			p := testkit.Generate(seed, testkit.FragMixedInt)
+			sp := Derive(p, Options{MaxCubes: max})
+			if len(sp.Cubes) > max {
+				t.Fatalf("max=%d seed=%d: %d cubes", max, seed, len(sp.Cubes))
+			}
+		}
+	}
+}

@@ -85,8 +85,10 @@ type shard struct {
 type Exchange struct {
 	opt    Options
 	shards []shard
-	// size is the total clause count across shards (atomic: checked
-	// lock-free on the publish fast path against MaxLemmas).
+	// size is the total clause count across shards. Publishers reserve a
+	// slot with a CAS against MaxLemmas before inserting (and release it on
+	// a duplicate), so the count never exceeds the cap even under
+	// concurrent publishes.
 	size atomic.Int64
 	// nextClient allocates client ids.
 	nextClient atomic.Uint64
@@ -165,21 +167,33 @@ func (ex *Exchange) publish(id uint64, canon []int, key string) bool {
 		ex.dropped.Add(1)
 		return false
 	}
-	if int(ex.size.Load()) >= ex.opt.MaxLemmas {
-		ex.dropped.Add(1)
-		return false
+	// Reserve a slot against the cap with a CAS loop before touching the
+	// shard: a plain load-then-insert would let concurrent publishers all
+	// pass the check and overshoot MaxLemmas together. With reservation,
+	// size never exceeds the cap — Len() ≤ MaxLemmas is an invariant, not
+	// a steady-state approximation — and a reservation that turns out to be
+	// a duplicate is released below.
+	for {
+		n := ex.size.Load()
+		if int(n) >= ex.opt.MaxLemmas {
+			ex.dropped.Add(1)
+			return false
+		}
+		if ex.size.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
 	sh := &ex.shards[shardOf(key, len(ex.shards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.seen[key]; dup {
+		ex.size.Add(-1) // release the reserved slot
 		ex.deduped.Add(1)
 		return false
 	}
 	sh.seen[key] = len(sh.clauses)
 	sh.clauses = append(sh.clauses, canon)
 	sh.owner = append(sh.owner, id)
-	ex.size.Add(1)
 	ex.published.Add(1)
 	return true
 }

@@ -251,3 +251,87 @@ func TestShardDistribution(t *testing.T) {
 	}
 	_ = fmt.Sprint(used)
 }
+
+// TestMaxLemmasNeverOvershot is the regression pin for the lock-free cap
+// check: concurrent publishers of distinct clauses race against a tiny
+// MaxLemmas while observers sample Len. With the old load-then-insert
+// scheme several publishers could pass the cap check together and push the
+// store past MaxLemmas; the reservation scheme must keep Len ≤ MaxLemmas
+// at every instant, and exactly at MaxLemmas once the dust settles.
+func TestMaxLemmasNeverOvershot(t *testing.T) {
+	const (
+		cap        = 32
+		publishers = 8
+		perPub     = 200
+	)
+	ex := New(Options{MaxLemmas: cap, Shards: 4})
+
+	stop := make(chan struct{})
+	var overshoot sync.Once
+	var overshot int
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := ex.Len(); n > cap {
+				overshoot.Do(func() { overshot = n })
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for id := 0; id < publishers; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := ex.NewClient()
+			for i := 0; i < perPub; i++ {
+				// Distinct clauses per publisher and iteration: every
+				// accepted publish consumes a fresh slot.
+				c.Publish([]int{id*perPub + i + 1, -(id*perPub + i + 2)})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+
+	if overshot > 0 {
+		t.Fatalf("observed Len = %d > MaxLemmas = %d mid-run", overshot, cap)
+	}
+	if got := ex.Len(); got != cap {
+		t.Fatalf("final Len = %d, want exactly %d", got, cap)
+	}
+	st := ex.Stats()
+	if st.Published != cap {
+		t.Fatalf("published = %d, want %d", st.Published, cap)
+	}
+	if st.Dropped != publishers*perPub-cap {
+		t.Fatalf("dropped = %d, want %d", st.Dropped, publishers*perPub-cap)
+	}
+}
+
+// TestCapReleaseOnDuplicate: a reservation released on a duplicate must
+// not eat into the cap — distinct clauses published afterwards still fit.
+func TestCapReleaseOnDuplicate(t *testing.T) {
+	ex := New(Options{MaxLemmas: 2})
+	c := ex.NewClient()
+	if !c.Publish([]int{1, 2}) {
+		t.Fatal("first publish rejected")
+	}
+	if c.Publish([]int{2, 1}) {
+		t.Fatal("duplicate accepted")
+	}
+	if !c.Publish([]int{3, 4}) {
+		t.Fatal("slot lost to a duplicate's released reservation")
+	}
+	if c.Publish([]int{5, 6}) {
+		t.Fatal("publish beyond the cap accepted")
+	}
+	if got := ex.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}

@@ -48,6 +48,15 @@ type SolveParams struct {
 	// Stream requests NDJSON trace streaming instead of a single JSON
 	// response.
 	Stream bool
+	// ExchangeURL, when set, attaches the solve's engine to a remote lemma
+	// relay at that URL (cluster workers sharing theory lemmas across
+	// cubes). Servers only honour it when configured to allow outbound
+	// exchange connections; others reject the request.
+	ExchangeURL string
+	// ExchangeNode names this engine on the relay; it scopes the import
+	// cursor and owner-skip, so every concurrently attached engine needs a
+	// distinct name. Ignored without ExchangeURL.
+	ExchangeNode string
 }
 
 // Values renders the parameters as URL query values (zero fields are
@@ -74,6 +83,12 @@ func (p SolveParams) Values() url.Values {
 	setBool("stream", p.Stream)
 	if p.Timeout > 0 {
 		v.Set("timeout", p.Timeout.String())
+	}
+	if p.ExchangeURL != "" {
+		v.Set("exchange_url", p.ExchangeURL)
+		if p.ExchangeNode != "" {
+			v.Set("exchange_node", p.ExchangeNode)
+		}
 	}
 	return v
 }
@@ -129,6 +144,11 @@ func ParseParams(v url.Values) (SolveParams, error) {
 		}
 		p.Timeout = d
 	}
+	p.ExchangeURL = v.Get("exchange_url")
+	p.ExchangeNode = v.Get("exchange_node")
+	if p.ExchangeNode != "" && p.ExchangeURL == "" {
+		return p, fmt.Errorf("exchange_node without exchange_url")
+	}
 	return p, nil
 }
 
@@ -173,6 +193,31 @@ func StatsFrom(s core.Stats) Stats {
 		LinearMS:          ms(s.LinearTime),
 		NonlinearMS:       ms(s.NonlinearTime),
 		WallMS:            ms(s.WallTime),
+	}
+}
+
+// ToCore converts wire statistics back to engine form (the inverse of
+// StatsFrom, up to sub-millisecond truncation). A cluster coordinator uses
+// it to merge workers' reported counters into one engine-shaped total.
+func (s Stats) ToCore() core.Stats {
+	d := func(ms float64) time.Duration { return time.Duration(ms * float64(time.Millisecond)) }
+	return core.Stats{
+		Iterations:        s.Iterations,
+		LinearChecks:      s.LinearChecks,
+		NonlinearChecks:   s.NonlinearChecks,
+		ConflictClauses:   s.ConflictClauses,
+		LossyBlocks:       s.LossyBlocks,
+		NESplits:          s.NESplits,
+		LemmasPublished:   s.LemmasPublished,
+		LemmasImported:    s.LemmasImported,
+		LemmasDeduped:     s.LemmasDeduped,
+		TheoryCacheHits:   s.TheoryCacheHits,
+		TheoryCacheMisses: s.TheoryCacheMisses,
+		SessionSolves:     s.SessionSolves,
+		BoolTime:          d(s.BoolMS),
+		LinearTime:        d(s.LinearMS),
+		NonlinearTime:     d(s.NonlinearMS),
+		WallTime:          d(s.WallMS),
 	}
 }
 

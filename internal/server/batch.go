@@ -156,7 +156,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.started || s.draining {
 		s.mu.Unlock()
 		s.metrics.reject(rejectDraining)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint(true))
 		writeError(w, http.StatusServiceUnavailable, api.ExitUnknown, "server is draining")
 		return
 	}
@@ -167,7 +167,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.metrics.reject(rejectQueueFull)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint(false))
 		writeError(w, http.StatusTooManyRequests, api.ExitUnknown,
 			"queue full (%d workers busy, %d queued)", s.cfg.Workers, cap(s.queue))
 		return

@@ -76,13 +76,44 @@ func asError(err error, target **Error) bool {
 	return false
 }
 
-// errorFromResponse decodes a non-200 body into *Error.
-func errorFromResponse(resp *http.Response) error {
-	e := &Error{StatusCode: resp.StatusCode}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil {
-			e.RetryAfter = time.Duration(secs) * time.Second
+// drainBody discards a bounded amount of unread response body. The
+// net/http transport only reuses a keep-alive connection whose body was
+// read to EOF; a JSON decode stops at the end of the value, so without an
+// explicit drain every error response (and every Solve) would burn its
+// connection — exactly the overhead a cluster coordinator's request rate
+// cannot afford. The bound keeps a pathological server from feeding us
+// forever.
+func drainBody(r io.Reader) {
+	io.Copy(io.Discard, io.LimitReader(r, 1<<20))
+}
+
+// parseRetryAfter reads a Retry-After header: integer seconds or an HTTP
+// date per RFC 9110. An unparseable value falls back to one second rather
+// than zero — a zero backoff would make every retry loop built on this
+// client hot-loop against a server that explicitly asked for restraint.
+func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
 		}
+		return time.Second
+	}
+	return time.Second
+}
+
+// errorFromResponse decodes a non-200 body into *Error, draining the rest
+// of the body so the connection can be reused.
+func errorFromResponse(resp *http.Response) error {
+	e := &Error{
+		StatusCode: resp.StatusCode,
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 	}
 	var body api.ErrorResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil {
@@ -91,6 +122,7 @@ func errorFromResponse(resp *http.Response) error {
 	} else {
 		e.Message = resp.Status
 	}
+	drainBody(resp.Body)
 	return e
 }
 
@@ -123,6 +155,7 @@ func (c *Client) Solve(ctx context.Context, problem string, params api.SolvePara
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("absolverd: decoding response: %w", err)
 	}
+	drainBody(resp.Body)
 	return &out, nil
 }
 
@@ -160,8 +193,15 @@ func (c *Client) SolveStream(ctx context.Context, problem string, params api.Sol
 		}
 		switch ev.Type {
 		case api.EventResult:
+			// The result is the stream's final line; drain the trailing
+			// newline so the connection is reusable. A caller-initiated
+			// abort (onEvent error below) deliberately skips the drain —
+			// closing an undrained stream is what cancels the solve
+			// server-side.
+			drainBody(resp.Body)
 			return ev.Result, nil
 		case api.EventError:
+			drainBody(resp.Body)
 			return nil, &Error{StatusCode: http.StatusOK, ExitCode: api.ExitInternal, Message: ev.Error}
 		default:
 			if onEvent != nil {
@@ -231,8 +271,10 @@ func (c *Client) Batch(ctx context.Context, base string, instances []api.BatchIn
 				items = append(items, *ev.Item)
 			}
 		case api.EventEnd:
+			drainBody(resp.Body)
 			return items, ev.Summary, nil
 		case api.EventError:
+			drainBody(resp.Body)
 			return items, nil, &Error{StatusCode: http.StatusOK, ExitCode: api.ExitInternal, Message: ev.Error}
 		}
 	}
@@ -280,8 +322,10 @@ func (c *Client) Check(ctx context.Context, program string, params api.CheckPara
 		}
 		switch ev.Type {
 		case api.EventResult:
+			drainBody(resp.Body)
 			return ev.Result, nil
 		case api.EventError:
+			drainBody(resp.Body)
 			return nil, &Error{StatusCode: http.StatusOK, ExitCode: api.ExitInternal, Message: ev.Error}
 		case api.CheckEventDepth:
 			if onDepth != nil && ev.Depth != nil {

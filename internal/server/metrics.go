@@ -5,10 +5,39 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"absolver/internal/core"
 )
+
+// ClusterMetrics counts a coordinator's cube-and-conquer activity. The
+// cluster package records into it through its Observer interface; the
+// server renders it as the absolverd_cluster_* series when Config wires it
+// in. All methods are safe for concurrent use.
+type ClusterMetrics struct {
+	cubesIssued    atomic.Int64
+	cubesSolved    atomic.Int64
+	cubesRequeued  atomic.Int64
+	workerFailures atomic.Int64
+	// LemmasRelayed, when set, reports clauses the coordinator's relay has
+	// delivered across workers (exchange.Relay.LemmasRelayed).
+	LemmasRelayed func() int64
+}
+
+// CubeIssued records one cube dispatched to a worker.
+func (c *ClusterMetrics) CubeIssued() { c.cubesIssued.Add(1) }
+
+// CubeSolved records one cube that reached a terminal verdict.
+func (c *ClusterMetrics) CubeSolved() { c.cubesSolved.Add(1) }
+
+// CubeRequeued records one cube sent back to the queue after its worker
+// failed.
+func (c *ClusterMetrics) CubeRequeued() { c.cubesRequeued.Add(1) }
+
+// WorkerFailure records one failed worker dispatch (transport error or
+// retryable HTTP rejection).
+func (c *ClusterMetrics) WorkerFailure() { c.workerFailures.Add(1) }
 
 // Job outcome classes for the solves_total counter. Every admitted job
 // lands in exactly one class when it finishes.
@@ -121,6 +150,8 @@ type gauges struct {
 	queueCapacity int
 	workers       int
 	workersBusy   int
+	// cluster, when non-nil, adds the absolverd_cluster_* series.
+	cluster *ClusterMetrics
 }
 
 // write renders the Prometheus text exposition format. Keys are emitted in
@@ -208,6 +239,29 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP absolverd_engine_wall_seconds_total Engine wall time summed over all finished jobs.")
 	fmt.Fprintln(w, "# TYPE absolverd_engine_wall_seconds_total counter")
 	fmt.Fprintf(w, "absolverd_engine_wall_seconds_total %g\n", engine.WallTime.Seconds())
+
+	if g.cluster != nil {
+		c := g.cluster
+		fmt.Fprintln(w, "# HELP absolverd_cluster_cubes_issued_total Cubes dispatched to workers.")
+		fmt.Fprintln(w, "# TYPE absolverd_cluster_cubes_issued_total counter")
+		fmt.Fprintf(w, "absolverd_cluster_cubes_issued_total %d\n", c.cubesIssued.Load())
+		fmt.Fprintln(w, "# HELP absolverd_cluster_cubes_solved_total Cubes with a terminal verdict.")
+		fmt.Fprintln(w, "# TYPE absolverd_cluster_cubes_solved_total counter")
+		fmt.Fprintf(w, "absolverd_cluster_cubes_solved_total %d\n", c.cubesSolved.Load())
+		fmt.Fprintln(w, "# HELP absolverd_cluster_cubes_requeued_total Cubes requeued after a worker failure.")
+		fmt.Fprintln(w, "# TYPE absolverd_cluster_cubes_requeued_total counter")
+		fmt.Fprintf(w, "absolverd_cluster_cubes_requeued_total %d\n", c.cubesRequeued.Load())
+		fmt.Fprintln(w, "# HELP absolverd_cluster_worker_failures_total Failed worker dispatches.")
+		fmt.Fprintln(w, "# TYPE absolverd_cluster_worker_failures_total counter")
+		fmt.Fprintf(w, "absolverd_cluster_worker_failures_total %d\n", c.workerFailures.Load())
+		var relayed int64
+		if c.LemmasRelayed != nil {
+			relayed = c.LemmasRelayed()
+		}
+		fmt.Fprintln(w, "# HELP absolverd_cluster_lemmas_relayed_total Lemmas delivered across workers by the relay.")
+		fmt.Fprintln(w, "# TYPE absolverd_cluster_lemmas_relayed_total counter")
+		fmt.Fprintf(w, "absolverd_cluster_lemmas_relayed_total %d\n", relayed)
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {

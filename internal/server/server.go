@@ -25,12 +25,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"absolver/internal/core"
 	"absolver/internal/dimacs"
+	"absolver/internal/exchange"
 	"absolver/internal/portfolio"
 	"absolver/internal/server/api"
 	"absolver/internal/smtlib"
@@ -82,6 +84,19 @@ type Config struct {
 	SMTLIBLimits smtlib.Limits
 	// SolveFunc overrides how admitted jobs are decided (nil = engine).
 	SolveFunc SolveFunc
+	// AllowExchange permits requests carrying exchange_url — worker mode:
+	// the engine of such a solve dials the named lemma relay and shares
+	// theory lemmas with its cube siblings. Off by default: a solve
+	// parameter that makes the server open outbound connections to an
+	// arbitrary URL is an SSRF vector on a public instance, so only
+	// deployments that opt in (absolverd -worker) honour it.
+	AllowExchange bool
+	// ExchangePollInterval throttles a worker engine's relay import polls
+	// (0 = the exchange package default).
+	ExchangePollInterval time.Duration
+	// ClusterMetrics, when set, is rendered into /metrics as the
+	// absolverd_cluster_* series (coordinator deployments).
+	ClusterMetrics *ClusterMetrics
 	// Logf, when set, receives one line per completed job and per
 	// lifecycle transition.
 	Logf func(format string, args ...any)
@@ -245,6 +260,28 @@ func (s *Server) worker() {
 	}
 }
 
+// retryAfterHint estimates how long a bounced client should wait before
+// retrying, as a Retry-After header value in seconds. A full queue hints
+// roughly the backlog per worker — each queued-or-running job is about one
+// solve the client is behind — clamped to [1, 30] so a deep backlog never
+// tells clients to go away for minutes. A draining server hints a flat 5:
+// the process is going away, and the retry should land on its replacement
+// rather than hot-poll the corpse.
+func (s *Server) retryAfterHint(draining bool) string {
+	if draining {
+		return "5"
+	}
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := 1 + (len(s.queue)+int(s.busy.Load()))/workers
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) runJob(j *job) {
 	defer s.jobs.Done()
 	s.busy.Add(1)
@@ -355,6 +392,15 @@ func (s *Server) solve(ctx context.Context, p *core.Problem, params api.SolvePar
 		return Outcome{Result: res, Winner: out.Winner}, out.Err
 	}
 	base.Trace = trace
+	if params.ExchangeURL != "" && s.cfg.AllowExchange {
+		// Worker mode: share theory lemmas with sibling cube solves through
+		// the coordinator's relay. The trailing Flush pushes lemmas learned
+		// just before this cube's verdict to peers still running.
+		nc := exchange.NewNetClient(params.ExchangeURL, params.ExchangeNode,
+			exchange.NetOptions{PollInterval: s.cfg.ExchangePollInterval})
+		defer nc.Flush()
+		base.Exchange = nc
+	}
 	res, err := core.NewEngine(p, base).SolveContext(ctx)
 	return Outcome{Result: res}, err
 }
@@ -398,6 +444,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		queueCapacity: cap(s.queue),
 		workers:       s.cfg.Workers,
 		workersBusy:   int(s.busy.Load()),
+		cluster:       s.cfg.ClusterMetrics,
 	})
 }
 
@@ -416,6 +463,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.metrics.reject(rejectBadRequest)
 		writeError(w, http.StatusBadRequest, api.ExitUsage,
 			"portfolio %d exceeds the server maximum %d", params.Portfolio, s.cfg.MaxPortfolio)
+		return
+	}
+	if params.ExchangeURL != "" && !s.cfg.AllowExchange {
+		s.metrics.reject(rejectBadRequest)
+		writeError(w, http.StatusBadRequest, api.ExitUsage,
+			"exchange_url requires a worker-mode server (absolverd -worker)")
 		return
 	}
 
@@ -506,7 +559,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.started || s.draining {
 		s.mu.Unlock()
 		s.metrics.reject(rejectDraining)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint(true))
 		writeError(w, http.StatusServiceUnavailable, api.ExitUnknown, "server is draining")
 		return
 	}
@@ -517,7 +570,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.metrics.reject(rejectQueueFull)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint(false))
 		writeError(w, http.StatusTooManyRequests, api.ExitUnknown,
 			"queue full (%d workers busy, %d queued)", s.cfg.Workers, cap(s.queue))
 		return
