@@ -7,6 +7,7 @@
 //	abbench -table sat          # SAT-core arena/inprocessing ablation (PR 7)
 //	abbench -table check        # model-checking warm/cold ablation (PR 8)
 //	abbench -table cluster      # cube-and-conquer cluster ablation (PR 9)
+//	abbench -table nlp          # PolyAR nonlinear-fallback ablation (PR 10)
 //	abbench -table all
 //	abbench -table all -json    # machine-readable rows (CI artifact)
 //
@@ -37,11 +38,12 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, incr, sat, check, cluster, or all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, incr, sat, check, cluster, nlp, or all")
 	maxN := flag.Int("maxn", 11, "largest Fischer instance for table 2")
 	incrN := flag.Int("incr-n", 2, "Fischer process count for the incremental-session ablation")
 	clusterN := flag.Int("cluster-n", 3, "Fischer process count for the cluster ablation")
 	clusterPeers := flag.Int("cluster-peers", 2, "loopback worker servers for the cluster ablation")
+	nlpRows := flag.Int("nlp-rows", 12, "instances kept for the PolyAR nonlinear ablation")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-solver timeout per instance")
 	cvcMem := flag.Int64("cvc-mem", 32<<20, "CVCLiteLike proof-memory budget in bytes (table 3)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
@@ -156,6 +158,18 @@ func main() {
 		fmt.Println(bench.FormatCluster(rows))
 	}
 
+	runNLP := func() {
+		rows, err := bench.RunNLP(*nlpRows, *timeout)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			jsonRows = append(jsonRows, bench.JSONNLP(rows)...)
+			return
+		}
+		fmt.Println(bench.FormatNLP(rows))
+	}
+
 	runSAT := func() {
 		rows, err := bench.RunSATCore(*maxN, *timeout, baseRows)
 		if err != nil {
@@ -185,6 +199,10 @@ func main() {
 		// Deliberately not part of "all": boots live HTTP servers, and
 		// BENCH_5.json's row set is a frozen contract.
 		runCluster()
+	case "nlp":
+		// Also outside "all": BENCH_5.json's row set is frozen; the PolyAR
+		// ablation is archived separately as BENCH_10.json.
+		runNLP()
 	case "all":
 		run1()
 		run2()
@@ -193,7 +211,7 @@ func main() {
 		runSAT()
 		runCheck()
 	default:
-		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr, sat, check, cluster or all")
+		fmt.Fprintln(os.Stderr, "abbench: -table must be 1, 2, 3, incr, sat, check, cluster, nlp or all")
 		os.Exit(2)
 	}
 

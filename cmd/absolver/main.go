@@ -36,13 +36,16 @@
 //	-no-iis         disable smallest-conflicting-subset refinement
 //	-no-lemmas      disable static theory-lemma grounding
 //	-no-cache       disable the theory-verdict cache
+//	-no-polyar      disable the PolyAR abstraction-refinement fallback
+//	                for nonlinear checks the penalty solver leaves
+//	                undecided (docs/nonlinear.md)
 //	-stats          print engine statistics
 //	-q              verdict only
 //	-v              trace engine iterations to stderr
 //
-// The per-engine knobs (-restart, -no-iis, -no-lemmas, -no-cache) compose
-// with -portfolio: each is applied on top of every racing strategy's own
-// configuration. -all does not compose with -portfolio and is rejected.
+// The per-engine knobs (-restart, -no-iis, -no-lemmas, -no-cache,
+// -no-polyar) compose with -portfolio: each is applied on top of every
+// racing strategy's own configuration. -all does not compose with -portfolio and is rejected.
 // -batch runs a single warm session and is single-strategy by design:
 // -portfolio, -all, and -restart are all rejected alongside it (a restart
 // or a race would discard exactly the state the session exists to keep).
@@ -102,6 +105,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	noLemmas := fs.Bool("no-lemmas", false, "disable theory-lemma grounding")
 	noCache := fs.Bool("no-cache", false, "disable the theory-verdict cache")
 	noInpro := fs.Bool("no-inprocess", false, "disable SAT inprocessing (subsumption, failed-literal probing)")
+	noPolyAR := fs.Bool("no-polyar", false, "disable the PolyAR abstraction-refinement fallback for undecided nonlinear checks")
 	stats := fs.Bool("stats", false, "print statistics")
 	quiet := fs.Bool("q", false, "print the verdict only")
 	verbose := fs.Bool("v", false, "trace engine iterations")
@@ -160,6 +164,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		NoGroundLemmas: *noLemmas,
 		NoTheoryCache:  *noCache,
 		NoInprocess:    *noInpro,
+		NoPolyAR:       *noPolyAR,
 		Timeout:        *timeout,
 	}
 	if *verbose {
@@ -319,6 +324,7 @@ func composeStrategies(strategies []absolver.Strategy, base absolver.Config) {
 		strategies[i].Config.NoGroundLemmas = strategies[i].Config.NoGroundLemmas || base.NoGroundLemmas
 		strategies[i].Config.NoTheoryCache = strategies[i].Config.NoTheoryCache || base.NoTheoryCache
 		strategies[i].Config.NoInprocess = strategies[i].Config.NoInprocess || base.NoInprocess
+		strategies[i].Config.NoPolyAR = strategies[i].Config.NoPolyAR || base.NoPolyAR
 	}
 }
 
@@ -377,6 +383,8 @@ func printStats(w io.Writer, st core.Stats) {
 		st.TheoryCacheHits, st.TheoryCacheMisses)
 	fmt.Fprintf(w, "c sat-inprocess: subsumed=%d probes=%d compactions=%d\n",
 		st.ClausesSubsumed, st.ProbedLiterals, st.ArenaCompactions)
+	fmt.Fprintf(w, "c polyar: regions=%d pruned=%d witnesses=%d rescued=%d/%d undecided\n",
+		st.PolyARRegions, st.PolyARPruned, st.PolyARWitnesses, st.NLPUnknownRescued, st.NLPUnknown)
 	fmt.Fprintf(w, "c time: bool=%v linear=%v nonlinear=%v wall=%v\n",
 		st.BoolTime, st.LinearTime, st.NonlinearTime, st.WallTime)
 }

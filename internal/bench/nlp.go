@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"absolver/internal/core"
+	"absolver/internal/testkit"
+)
+
+// ---------------------------------------------------------------------------
+// Table 10: PolyAR nonlinear-fallback ablation (PR 10, not a paper table).
+//
+// The workload is the slice of the testkit generator space where the
+// penalty-descent/HC4 nonlinear stage comes back inconclusive — exactly the
+// instances the PolyAR abstraction-refinement fallback exists for. Each kept
+// instance is solved twice under identical budgets: once with the fallback
+// disabled (Config.NoPolyAR, the pre-PR-10 engine) and once with it enabled
+// (the default). The verdict column is the headline — "unknown" cells should
+// disappear on the enabled side — and the rescued counter records how many
+// theory checks the fallback converted into definitive answers.
+
+// NLPRow is one generator instance measured both ways.
+type NLPRow struct {
+	// Name identifies the instance, e.g. "nonlinear/17".
+	Name string
+	// NoPolyAR is the fallback-disabled measurement, PolyAR the enabled one.
+	NoPolyAR Cell
+	PolyAR   Cell
+	// Rescued counts theory checks the fallback turned from unknown into a
+	// definitive answer on the enabled run; Regions and Pruned are the
+	// refinement-tree totals behind them.
+	Rescued int
+	Regions int
+	Pruned  int
+}
+
+// RunNLP scans testkit's nonlinear and mixed-integer fragments for
+// instances whose nonlinear stage is inconclusive (Stats.NLPUnknown > 0 on
+// a probe run) and measures up to maxRows of them with and without the
+// PolyAR fallback. A definitive-verdict disagreement between the two modes
+// is an error.
+func RunNLP(maxRows int, timeout time.Duration) ([]NLPRow, error) {
+	const scanCap = 2000 // seeds probed per fragment before giving up
+
+	solve := func(p *core.Problem, noPolyAR bool) (Cell, core.Stats, error) {
+		start := time.Now()
+		res, err := core.NewEngine(p.Clone(), core.Config{
+			Timeout:  timeout,
+			NoPolyAR: noPolyAR,
+		}).Solve()
+		cell := Cell{
+			Time: time.Since(start), Status: res.Status,
+			Checks: res.Stats.LinearChecks + res.Stats.NonlinearChecks,
+		}
+		switch err {
+		case nil:
+		case core.ErrTimeout:
+			cell.Note = "timeout"
+		case core.ErrIterationLimit:
+			cell.Note = "iteration limit"
+			cell.Status = core.StatusUnknown
+		default:
+			return cell, res.Stats, err
+		}
+		return cell, res.Stats, nil
+	}
+
+	var rows []NLPRow
+	for _, frag := range []testkit.Fragment{testkit.FragNonlinear, testkit.FragMixedInt} {
+		for seed := int64(0); seed < scanCap && len(rows) < maxRows; seed++ {
+			p := testkit.Generate(seed, frag)
+
+			// Probe with the fallback enabled: Stats.NLPUnknown counts every
+			// inconclusive nonlinear check regardless of the NoPolyAR knob,
+			// so it selects exactly the instances this table is about.
+			with, st, err := solve(p, false)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %v/%d polyar: %v", frag, seed, err)
+			}
+			if st.NLPUnknown == 0 {
+				continue
+			}
+
+			without, _, err := solve(p, true)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %v/%d no-polyar: %v", frag, seed, err)
+			}
+			if with.Status != without.Status &&
+				with.Status != core.StatusUnknown && without.Status != core.StatusUnknown {
+				return nil, fmt.Errorf("bench: %v/%d: polyar %v vs no-polyar %v",
+					frag, seed, with.Status, without.Status)
+			}
+			rows = append(rows, NLPRow{
+				Name:     fmt.Sprintf("%v/%d", frag, seed),
+				NoPolyAR: without,
+				PolyAR:   with,
+				Rescued:  st.NLPUnknownRescued,
+				Regions:  st.PolyARRegions,
+				Pruned:   st.PolyARPruned,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// NLPTotals sums the unknown verdicts of both modes and the rescued checks.
+func NLPTotals(rows []NLPRow) (unknownWithout, unknownWith, rescued int) {
+	for _, r := range rows {
+		if r.NoPolyAR.Status == core.StatusUnknown {
+			unknownWithout++
+		}
+		if r.PolyAR.Status == core.StatusUnknown {
+			unknownWith++
+		}
+		rescued += r.Rescued
+	}
+	return unknownWithout, unknownWith, rescued
+}
+
+// FormatNLP renders the ablation in the tables' layout.
+func FormatNLP(rows []NLPRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PolyAR nonlinear-fallback ablation (inconclusive-stage instances)\n")
+	fmt.Fprintf(&b, "%-16s | %-9s | %10s | %-8s | %10s | %7s | %7s\n",
+		"instance", "no-polyar", "time", "polyar", "time", "regions", "rescued")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 84))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s | %-9s | %10s | %-8s | %10s | %7d | %7d\n",
+			r.Name, r.NoPolyAR.Status, fmtDur(r.NoPolyAR.Time),
+			r.PolyAR.Status, fmtDur(r.PolyAR.Time), r.Regions, r.Rescued)
+	}
+	unknownWithout, unknownWith, rescued := NLPTotals(rows)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 84))
+	fmt.Fprintf(&b, "unknown verdicts: no-polyar=%d polyar=%d; theory checks rescued=%d\n",
+		unknownWithout, unknownWith, rescued)
+	return b.String()
+}
+
+// JSONNLP flattens the ablation into one JSONRow per mode and instance
+// (table number 10, solvers "absolver-no-polyar" and "absolver-polyar").
+// The polyar rows carry the refinement counters.
+func JSONNLP(rows []NLPRow) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		polyar := jsonRow(10, r.Name, "absolver-polyar", r.PolyAR)
+		polyar.Counters = map[string]int64{
+			"nlp_unknown_rescued": int64(r.Rescued),
+			"polyar_regions":      int64(r.Regions),
+			"polyar_pruned":       int64(r.Pruned),
+		}
+		out = append(out,
+			jsonRow(10, r.Name, "absolver-no-polyar", r.NoPolyAR),
+			polyar)
+	}
+	return out
+}

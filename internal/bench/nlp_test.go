@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"absolver/internal/core"
+)
+
+// TestRunNLPSmoke runs the PolyAR ablation down to its first kept instance
+// and checks the row is well-formed: the instance genuinely engaged the
+// fallback (regions explored), both cells carry verdicts, and the
+// formatting/JSON paths accept the rows.
+func TestRunNLPSmoke(t *testing.T) {
+	rows, err := RunNLP(1, 30*time.Second)
+	if err != nil {
+		t.Fatalf("RunNLP: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("RunNLP kept %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Regions == 0 {
+		t.Errorf("%s: fallback engaged but explored 0 regions", r.Name)
+	}
+	if r.PolyAR.Status == core.StatusUnknown && r.NoPolyAR.Status != core.StatusUnknown {
+		t.Errorf("%s: polyar unknown but no-polyar %v", r.Name, r.NoPolyAR.Status)
+	}
+
+	text := FormatNLP(rows)
+	if !strings.Contains(text, r.Name) {
+		t.Errorf("FormatNLP output missing instance %q:\n%s", r.Name, text)
+	}
+
+	js := JSONNLP(rows)
+	if len(js) != 2 {
+		t.Fatalf("JSONNLP produced %d rows, want 2", len(js))
+	}
+	for _, jr := range js {
+		if jr.Table != 10 {
+			t.Errorf("JSON row table = %d, want 10", jr.Table)
+		}
+	}
+	if js[1].Counters["polyar_regions"] != int64(r.Regions) {
+		t.Errorf("polyar JSON row counters = %v, want polyar_regions=%d", js[1].Counters, r.Regions)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"absolver/internal/interval"
 	"absolver/internal/lp"
 	"absolver/internal/nlp"
+	"absolver/internal/polyar"
 	"absolver/internal/sat"
 )
 
@@ -109,6 +110,15 @@ type Config struct {
 	// iteration. Use WriterTrace to reproduce the stand-alone tool's -v
 	// text output.
 	Trace TraceFunc
+	// NoPolyAR disables the convex-abstraction-refinement fallback
+	// (internal/polyar) that re-examines assignments the penalty-descent
+	// nonlinear solver left undecided. With the fallback on (the default),
+	// many would-be lossy blocks become definitive sat/unsat verdicts;
+	// this knob is the ablation switch and the escape hatch.
+	NoPolyAR bool
+	// PolyAR tunes the fallback's budgets (regions, workers, LP pivots);
+	// the zero value means polyar's defaults. Ignored when NoPolyAR.
+	PolyAR polyar.Options
 }
 
 // EventKind classifies an engine trace event.
@@ -130,6 +140,11 @@ const (
 	// iteration's Boolean query (Event.Subsumed/Probed/Compactions carry
 	// the deltas).
 	EventInprocess
+	// EventPolyAR reports a nonlinear verdict the penalty solver left
+	// undecided that the convex-abstraction-refinement fallback rescued
+	// to a definitive answer (Event.Regions/Pruned carry that call's
+	// refinement work; the rescued verdict follows as its own event).
+	EventPolyAR
 )
 
 // String returns the kind's trace-line name.
@@ -145,6 +160,8 @@ func (k EventKind) String() string {
 		return "import"
 	case EventInprocess:
 		return "inprocess"
+	case EventPolyAR:
+		return "polyar"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -168,6 +185,10 @@ type Event struct {
 	Subsumed    int64
 	Probed      int64
 	Compactions int64
+	// Regions and Pruned carry one EventPolyAR's refinement work: regions
+	// visited and regions discharged as solution-free.
+	Regions int
+	Pruned  int
 }
 
 // TraceFunc receives engine iteration events. Callbacks run synchronously
@@ -185,6 +206,8 @@ func WriterTrace(w io.Writer) TraceFunc {
 			fmt.Fprintf(w, " (%d peer lemmas)", ev.Imported)
 		case ev.Kind == EventInprocess:
 			fmt.Fprintf(w, " (%d subsumed, %d probes, %d compactions)", ev.Subsumed, ev.Probed, ev.Compactions)
+		case ev.Kind == EventPolyAR:
+			fmt.Fprintf(w, " (%d regions, %d pruned)", ev.Regions, ev.Pruned)
 		case ev.Kind != EventSat:
 			fmt.Fprintf(w, " (clause of %d literals)", ev.ClauseLen)
 		}
@@ -250,9 +273,23 @@ type Stats struct {
 	ClausesSubsumed  int64
 	ProbedLiterals   int64
 	ArenaCompactions int64
-	BoolTime         time.Duration
-	LinearTime       time.Duration
-	NonlinearTime    time.Duration
+	// NLPUnknown counts theory checks the penalty-descent/HC4 nonlinear
+	// solver left undecided (no verified witness, no refutation) — the
+	// engine's only unknown-prone verdict source and the denominator of
+	// the nonlinear-v2 north-star metric.
+	NLPUnknown int
+	// NLPUnknownRescued counts those undecided checks the PolyAR fallback
+	// converted into a definitive sat or unsat verdict.
+	NLPUnknownRescued int
+	// PolyARRegions, PolyARPruned and PolyARWitnesses total the fallback's
+	// refinement work: regions visited, regions discharged as
+	// solution-free, and verified SAT witnesses found.
+	PolyARRegions   int
+	PolyARPruned    int
+	PolyARWitnesses int
+	BoolTime        time.Duration
+	LinearTime      time.Duration
+	NonlinearTime   time.Duration
 	// WallTime is the engine's total wall-clock time inside Solve /
 	// SolveContext. In a portfolio run each engine reports its own
 	// WallTime; merged Stats carry the sum over engines (total work),
@@ -282,6 +319,11 @@ func (s *Stats) Merge(o Stats) {
 	s.ClausesSubsumed += o.ClausesSubsumed
 	s.ProbedLiterals += o.ProbedLiterals
 	s.ArenaCompactions += o.ArenaCompactions
+	s.NLPUnknown += o.NLPUnknown
+	s.NLPUnknownRescued += o.NLPUnknownRescued
+	s.PolyARRegions += o.PolyARRegions
+	s.PolyARPruned += o.PolyARPruned
+	s.PolyARWitnesses += o.PolyARWitnesses
 	s.BoolTime += o.BoolTime
 	s.LinearTime += o.LinearTime
 	s.NonlinearTime += o.NonlinearTime
@@ -311,6 +353,11 @@ func (s Stats) Counters() map[string]int64 {
 		"clauses_subsumed":    s.ClausesSubsumed,
 		"probed_literals":     s.ProbedLiterals,
 		"arena_compactions":   s.ArenaCompactions,
+		"nlp_unknown":         int64(s.NLPUnknown),
+		"nlp_unknown_rescued": int64(s.NLPUnknownRescued),
+		"polyar_regions":      int64(s.PolyARRegions),
+		"polyar_pruned":       int64(s.PolyARPruned),
+		"polyar_witnesses":    int64(s.PolyARWitnesses),
 	}
 }
 
@@ -941,8 +988,12 @@ func (e *Engine) theoryCheck(ctx context.Context, model []bool) theoryVerdict {
 		if verifyAsserted(asserted, env) {
 			return theoryVerdict{kind: thSat, env: env}
 		}
-		// The rounded witness broke an atom: treat the assignment as
-		// undecidable rather than report a bogus model.
+		// The rounded witness broke an atom: the assignment is undecided.
+		// Give the abstraction-refinement fallback a chance before
+		// degrading to a lossy block.
+		if v, ok := e.polyARFallback(ctx, atoms, lits, asserted); ok {
+			return v
+		}
 		return theoryVerdict{kind: thLossyBlock, conflict: negate(allLits(asserted))}
 	case nlp.Infeasible:
 		core := e.minimizeNonlinearConflict(ctx, atoms, lits)
@@ -951,8 +1002,73 @@ func (e *Engine) theoryCheck(ctx context.Context, model []bool) theoryVerdict {
 		}
 		return theoryVerdict{kind: thConflict, conflict: negate(core)}
 	default:
+		if v, ok := e.polyARFallback(ctx, atoms, lits, asserted); ok {
+			return v
+		}
 		return theoryVerdict{kind: thLossyBlock, conflict: negate(allLits(asserted))}
 	}
+}
+
+// polyARFallback escalates a nonlinear check the penalty solver left
+// undecided to internal/polyar's convex abstraction refinement. It
+// reports (verdict, true) when refinement reached a definitive answer —
+// a verified witness (thSat) or an exhaustive refutation of the joint
+// atom set (thConflict over exactly those atoms' literals) — and
+// (_, false) when refinement also ran out of budget, in which case the
+// caller falls back to the lossy block. Sound by construction: polyar
+// prunes a region only when its LP relaxation (a superset of the true
+// solution set) is empty, and its witnesses are re-verified here against
+// every asserted atom.
+func (e *Engine) polyARFallback(ctx context.Context, atoms []expr.Atom, lits []int, asserted []assertedAtom) (theoryVerdict, bool) {
+	e.st.NLPUnknown++
+	if e.cfg.NoPolyAR {
+		return theoryVerdict{}, false
+	}
+	res := polyar.Solve(ctx, atoms, e.p.Bounds, e.intVars, e.cfg.PolyAR)
+	e.st.PolyARRegions += res.Stats.Regions
+	e.st.PolyARPruned += res.Stats.Pruned
+	e.st.PolyARWitnesses += res.Stats.Witnesses
+	if ctx.Err() != nil {
+		return theoryVerdict{kind: thCanceled}, true
+	}
+	switch res.Status {
+	case nlp.Feasible:
+		env := e.defaultEnv(nil)
+		for k, v := range res.X {
+			env[k] = v
+		}
+		for v := range e.intVars {
+			if val, ok := env[v]; ok {
+				env[v] = math.Round(val)
+			}
+		}
+		if verifyAsserted(asserted, env) {
+			e.st.NLPUnknownRescued++
+			e.tracePolyAR(res.Stats)
+			return theoryVerdict{kind: thSat, env: env}, true
+		}
+	case nlp.Infeasible:
+		e.st.NLPUnknownRescued++
+		e.tracePolyAR(res.Stats)
+		core := lits
+		if !e.cfg.NoIIS {
+			core = e.minimizeNonlinearConflict(ctx, atoms, lits)
+		}
+		return theoryVerdict{kind: thConflict, conflict: negate(core)}, true
+	}
+	return theoryVerdict{}, false
+}
+
+func (e *Engine) tracePolyAR(st polyar.Stats) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	e.cfg.Trace(Event{
+		Iteration: e.st.Iterations,
+		Kind:      EventPolyAR,
+		Regions:   st.Regions,
+		Pruned:    st.Pruned,
+	})
 }
 
 // checkLinearWithNE decides the conjunction of weak linear rows plus linear

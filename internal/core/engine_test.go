@@ -493,7 +493,8 @@ func TestStatsCounters(t *testing.T) {
 		"lossy_blocks", "ne_splits", "lemmas_published", "lemmas_imported",
 		"lemmas_deduped", "theory_cache_hits", "theory_cache_misses",
 		"session_solves", "clauses_subsumed", "probed_literals",
-		"arena_compactions",
+		"arena_compactions", "nlp_unknown", "nlp_unknown_rescued",
+		"polyar_regions", "polyar_pruned", "polyar_witnesses",
 	}
 	zero := Stats{}.Counters()
 	if len(zero) != len(keys) {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"absolver/internal/expr"
+	"absolver/internal/interval"
+	"absolver/internal/nlp"
+)
+
+// unknowingNonlinear always shrugs, forcing every nonlinear check onto
+// the PolyAR fallback path.
+type unknowingNonlinear struct{}
+
+func (unknowingNonlinear) Name() string { return "unknowing" }
+
+func (unknowingNonlinear) Check(context.Context, []expr.Atom, expr.Box, expr.Env) NonlinearVerdict {
+	return NonlinearVerdict{Status: nlp.Unknown}
+}
+
+func polyARProblem(t *testing.T, productAtom, linearAtom string) *Problem {
+	t.Helper()
+	p := NewProblem()
+	p.AddClause(1)
+	p.AddClause(2)
+	p.Bind(0, atomT(t, productAtom, expr.Real))
+	p.Bind(1, atomT(t, linearAtom, expr.Real))
+	return p
+}
+
+// TestPolyARRescuesUnknownToSat pins the fallback's sat side: with the
+// penalty solver lobotomised to always-Unknown, the engine still proves
+// x·y ≥ 2 ∧ x + y ≤ 4 satisfiable over [0,2]² via abstraction
+// refinement, counts the rescue, and returns a checkable model.
+func TestPolyARRescuesUnknownToSat(t *testing.T) {
+	p := polyARProblem(t, "x * y >= 2", "x + y <= 4")
+	p.Bounds = expr.Box{
+		"x": interval.Interval{Lo: 0, Hi: 2},
+		"y": interval.Interval{Lo: 0, Hi: 2},
+	}
+
+	res := solveP(t, p.Clone(), Config{Nonlinear: unknowingNonlinear{}, NoPolyAR: true})
+	if res.Status != StatusUnknown {
+		t.Fatalf("NoPolyAR status = %v, want unknown (the stub cannot decide)", res.Status)
+	}
+	if res.Stats.NLPUnknown == 0 {
+		t.Fatalf("NLPUnknown not counted on the undecided path: %+v", res.Stats)
+	}
+	if res.Stats.NLPUnknownRescued != 0 || res.Stats.PolyARRegions != 0 {
+		t.Fatalf("NoPolyAR must not run the fallback: %+v", res.Stats)
+	}
+
+	res = solveP(t, p, Config{Nonlinear: unknowingNonlinear{}, CheckModels: true})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v, want sat via PolyAR rescue (stats %+v)", res.Status, res.Stats)
+	}
+	if err := p.Check(*res.Model); err != nil {
+		t.Fatalf("rescued model fails check: %v", err)
+	}
+	if res.Stats.NLPUnknownRescued == 0 || res.Stats.PolyARWitnesses == 0 || res.Stats.PolyARRegions == 0 {
+		t.Fatalf("rescue not counted: %+v", res.Stats)
+	}
+}
+
+// TestPolyARRescuesUnknownToUnsat pins the unsat side: x·y ≥ 2 with
+// x + y ≤ 2 is impossible over [0,3]² (AM-GM caps the product at 1), yet
+// each atom alone is interval-consistent, so only joint refinement can
+// turn the would-be lossy block into a real refutation.
+func TestPolyARRescuesUnknownToUnsat(t *testing.T) {
+	p := polyARProblem(t, "x * y >= 2", "x + y <= 2")
+	p.Bounds = expr.Box{
+		"x": interval.Interval{Lo: 0, Hi: 3},
+		"y": interval.Interval{Lo: 0, Hi: 3},
+	}
+
+	res := solveP(t, p.Clone(), Config{Nonlinear: unknowingNonlinear{}, NoPolyAR: true})
+	if res.Status != StatusUnknown {
+		t.Fatalf("NoPolyAR status = %v, want unknown", res.Status)
+	}
+
+	res = solveP(t, p, Config{Nonlinear: unknowingNonlinear{}})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v, want unsat via PolyAR refutation (stats %+v)", res.Status, res.Stats)
+	}
+	if res.Stats.NLPUnknownRescued == 0 || res.Stats.PolyARPruned == 0 {
+		t.Fatalf("refutation not counted: %+v", res.Stats)
+	}
+}
+
+// TestPolyAREventTraced checks the rescue emits its EventPolyAR with the
+// refinement numbers attached.
+func TestPolyAREventTraced(t *testing.T) {
+	p := polyARProblem(t, "x * y >= 2", "x + y <= 2")
+	p.Bounds = expr.Box{
+		"x": interval.Interval{Lo: 0, Hi: 3},
+		"y": interval.Interval{Lo: 0, Hi: 3},
+	}
+	var events []Event
+	cfg := Config{
+		Nonlinear: unknowingNonlinear{},
+		Trace:     func(ev Event) { events = append(events, ev) },
+	}
+	if res := solveP(t, p, cfg); res.Status != StatusUnsat {
+		t.Fatalf("status = %v, want unsat", res.Status)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Kind == EventPolyAR {
+			found = true
+			if ev.Regions == 0 || ev.Pruned == 0 {
+				t.Fatalf("EventPolyAR missing refinement numbers: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no EventPolyAR among %d events", len(events))
+	}
+}

@@ -355,6 +355,11 @@ func statsDelta(after, before Stats) Stats {
 		ClausesSubsumed:   after.ClausesSubsumed - before.ClausesSubsumed,
 		ProbedLiterals:    after.ProbedLiterals - before.ProbedLiterals,
 		ArenaCompactions:  after.ArenaCompactions - before.ArenaCompactions,
+		NLPUnknown:        after.NLPUnknown - before.NLPUnknown,
+		NLPUnknownRescued: after.NLPUnknownRescued - before.NLPUnknownRescued,
+		PolyARRegions:     after.PolyARRegions - before.PolyARRegions,
+		PolyARPruned:      after.PolyARPruned - before.PolyARPruned,
+		PolyARWitnesses:   after.PolyARWitnesses - before.PolyARWitnesses,
 		BoolTime:          after.BoolTime - before.BoolTime,
 		LinearTime:        after.LinearTime - before.LinearTime,
 		NonlinearTime:     after.NonlinearTime - before.NonlinearTime,

@@ -1,0 +1,270 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDivEdgeCases pins the behaviour of Div around zero-containing
+// denominators. The contract (see the Div doc comment) is that the result is
+// a sound hull of the true quotient set: division by the point zero is the
+// empty relation, an interior zero yields the whole line, and a zero
+// endpoint yields the appropriate ray.
+func TestDivEdgeCases(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		a, b Interval
+		// Sample true quotients that must be contained in the result, and
+		// points that must NOT be (to catch the hull collapsing to Whole
+		// when a tighter ray is available).
+		in      []float64
+		out     []float64
+		empty   bool
+		whole   bool
+		unbndLo bool // result must reach -Inf
+		unbndHi bool // result must reach +Inf
+	}{
+		{
+			name:  "point zero denominator",
+			a:     New(1, 2),
+			b:     Point(0),
+			empty: true,
+		},
+		{
+			name:  "interior zero denominator",
+			a:     New(1, 2),
+			b:     New(-1, 1),
+			whole: true,
+		},
+		{
+			name:    "zero lower endpoint, positive numerator",
+			a:       New(1, 2),
+			b:       New(0, 4),
+			in:      []float64{0.25, 1, 1e6},
+			out:     []float64{0, -1},
+			unbndHi: true,
+		},
+		{
+			name:    "zero lower endpoint, negative numerator",
+			a:       New(-2, -1),
+			b:       New(0, 4),
+			in:      []float64{-0.25, -1, -1e6},
+			out:     []float64{0, 1},
+			unbndLo: true,
+		},
+		{
+			name:  "zero lower endpoint, sign-spanning numerator",
+			a:     New(-1, 2),
+			b:     New(0, 4),
+			whole: true,
+		},
+		{
+			name:    "zero upper endpoint, positive numerator",
+			a:       New(1, 2),
+			b:       New(-4, 0),
+			in:      []float64{-0.25, -1, -1e6},
+			out:     []float64{0, 1},
+			unbndLo: true,
+		},
+		{
+			name:    "zero upper endpoint, negative numerator",
+			a:       New(-2, -1),
+			b:       New(-4, 0),
+			in:      []float64{0.25, 1, 1e6},
+			out:     []float64{0, -1},
+			unbndHi: true,
+		},
+		{
+			name: "zero numerator over zero-endpoint denominator",
+			a:    Point(0),
+			b:    New(0, 4),
+			in:   []float64{0},
+			out:  []float64{1, -1},
+		},
+		{
+			name: "sign-definite denominator stays finite",
+			a:    New(1, 2),
+			b:    New(2, 4),
+			in:   []float64{0.25, 0.5, 1},
+			out:  []float64{0.2, 1.5},
+		},
+		{
+			name:  "unbounded denominator spanning zero",
+			a:     New(1, 1),
+			b:     Whole(),
+			whole: true,
+		},
+		{
+			name: "positive ray denominator",
+			a:    New(2, 4),
+			b:    New(1, inf),
+			in:   []float64{0, 1, 4},
+			out:  []float64{-1, 5},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.a.Div(c.b)
+			if c.empty != got.IsEmpty() {
+				t.Fatalf("%v / %v = %v, empty=%v want %v", c.a, c.b, got, got.IsEmpty(), c.empty)
+			}
+			if c.empty {
+				return
+			}
+			if c.whole && !got.IsWhole() {
+				t.Fatalf("%v / %v = %v, want whole line", c.a, c.b, got)
+			}
+			if c.unbndLo && !math.IsInf(got.Lo, -1) {
+				t.Fatalf("%v / %v = %v, want lower bound -Inf", c.a, c.b, got)
+			}
+			if c.unbndHi && !math.IsInf(got.Hi, 1) {
+				t.Fatalf("%v / %v = %v, want upper bound +Inf", c.a, c.b, got)
+			}
+			for _, x := range c.in {
+				if !approxIn(x, got) {
+					t.Errorf("%v / %v = %v should contain %g", c.a, c.b, got, x)
+				}
+			}
+			for _, x := range c.out {
+				if approxIn(x, got) {
+					t.Errorf("%v / %v = %v should exclude %g", c.a, c.b, got, x)
+				}
+			}
+		})
+	}
+}
+
+// TestDivInclusionProperty cross-checks Div against pointwise quotients: for
+// every sampled a in the numerator and b≠0 in the denominator, a/b must lie
+// in the interval quotient. This is the soundness property HC4 and polyar
+// rely on.
+func TestDivInclusionProperty(t *testing.T) {
+	nums := []Interval{New(-3, -1), New(-1, 2), Point(0), New(0.5, 4)}
+	dens := []Interval{New(-2, -0.5), New(-1, 1), New(-3, 0), New(0, 3), New(0.25, 2)}
+	for _, a := range nums {
+		for _, b := range dens {
+			q := a.Div(b)
+			for ai := 0; ai <= 8; ai++ {
+				for bi := 0; bi <= 8; bi++ {
+					x := a.Lo + (a.Hi-a.Lo)*float64(ai)/8
+					y := b.Lo + (b.Hi-b.Lo)*float64(bi)/8
+					if y == 0 {
+						continue
+					}
+					if !approxIn(x/y, q) {
+						t.Fatalf("%v / %v = %v misses %g/%g = %g", a, b, q, x, y, x/y)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPowEdgeCases pins the behaviour of Pow on sign-spanning bases and
+// negative exponents.
+func TestPowEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Interval
+		n    int
+		in   []float64
+		out  []float64
+	}{
+		{
+			// Even power of a sign-spanning base must include 0 (the base
+			// passes through zero) and reach both endpoint powers.
+			name: "even power of sign-spanning base",
+			v:    New(-2, 3),
+			n:    2,
+			in:   []float64{0, 4, 9},
+			out:  []float64{-1, 10},
+		},
+		{
+			name: "fourth power of sign-spanning base",
+			v:    New(-2, 3),
+			n:    4,
+			in:   []float64{0, 16, 81},
+			out:  []float64{-1, 100},
+		},
+		{
+			name: "even power of negative base is positive",
+			v:    New(-3, -1),
+			n:    2,
+			in:   []float64{1, 9},
+			out:  []float64{0, -1, 10},
+		},
+		{
+			// 1/x² over a sign-spanning base: the true set is [min, ∞); the
+			// result must at least cover it and must not dip below zero far
+			// enough to include large negatives spuriously... it may be the
+			// whole line as a hull, so only inclusion is pinned.
+			name: "negative even power of sign-spanning base",
+			v:    New(-2, 3),
+			n:    -2,
+			in:   []float64{1.0 / 9, 1, 1e9},
+		},
+		{
+			name: "negative even power of positive base",
+			v:    New(2, 4),
+			n:    -2,
+			in:   []float64{1.0 / 16, 1.0 / 4},
+			out:  []float64{0, 1},
+		},
+		{
+			name: "zeroth power",
+			v:    New(-5, 7),
+			n:    0,
+			in:   []float64{1},
+			out:  []float64{0, 2},
+		},
+		{
+			name: "odd power of sign-spanning base",
+			v:    New(-2, 3),
+			n:    3,
+			in:   []float64{-8, 0, 27},
+		},
+		{
+			name: "odd negative power of positive base",
+			v:    New(1, 2),
+			n:    -3,
+			in:   []float64{1.0 / 8, 1},
+			out:  []float64{0, 2},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.v.Pow(c.n)
+			for _, x := range c.in {
+				if !approxIn(x, got) {
+					t.Errorf("%v ^ %d = %v should contain %g", c.v, c.n, got, x)
+				}
+			}
+			for _, x := range c.out {
+				if approxIn(x, got) {
+					t.Errorf("%v ^ %d = %v should exclude %g", c.v, c.n, got, x)
+				}
+			}
+		})
+	}
+}
+
+// TestPowInclusionProperty cross-checks Pow against pointwise powers.
+func TestPowInclusionProperty(t *testing.T) {
+	bases := []Interval{New(-3, -1), New(-2, 3), New(0, 2), New(0.5, 4)}
+	for _, v := range bases {
+		for n := -3; n <= 5; n++ {
+			p := v.Pow(n)
+			for i := 0; i <= 16; i++ {
+				x := v.Lo + (v.Hi-v.Lo)*float64(i)/16
+				if x == 0 && n < 0 {
+					continue
+				}
+				want := math.Pow(x, float64(n))
+				if !approxIn(want, p) {
+					t.Fatalf("%v ^ %d = %v misses %g^%d = %g", v, n, p, x, n, want)
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,17 @@ import (
 // i.e. the conjunction is infeasible over the box, and canceled=true when
 // ctx ended the sweep before a fixpoint (the contraction so far is still
 // sound, but refutation may have been missed).
+// Contract runs HC4 interval constraint propagation on box in place for
+// at most rounds sweeps, narrowing every variable's interval to exclude
+// values that cannot satisfy the atom conjunction. It reports whether
+// some interval emptied (the conjunction is infeasible over the original
+// box — a sound refutation) and whether ctx cancelled the propagation.
+// Exported for internal/polyar, which contracts its initial region box
+// before refinement.
+func Contract(ctx context.Context, atoms []expr.Atom, box expr.Box, rounds int) (emptied, canceled bool) {
+	return contract(ctx, atoms, box, rounds)
+}
+
 func contract(ctx context.Context, atoms []expr.Atom, box expr.Box, rounds int) (emptied, canceled bool) {
 	for round := 0; round < rounds; round++ {
 		if ctx.Err() != nil {

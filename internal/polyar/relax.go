@@ -1,0 +1,466 @@
+// Package polyar implements parallel convex abstraction refinement for
+// conjunctions of nonlinear arithmetic atoms, after "PolyAR: A Highly
+// Parallelizable Solver For Polynomial Inequality Constraints Using Convex
+// Abstraction Refinement" (2021). The variable box is partitioned into a
+// region tree; each region gets a sound linear relaxation of every atom
+// (McCormick envelopes for bilinear terms, secant/tangent bounds for
+// univariate convex/concave terms) discharged through internal/lp's
+// simplex. An LP-infeasible region contains no solution and is pruned; an
+// LP point that satisfies the original atoms is a SAT witness; anything
+// else is bisected along the widest-relative-width variable and refined.
+//
+// Soundness invariant (pinned by FuzzPolyARRegion): every point inside a
+// region's box that satisfies the original atoms extends — by assigning
+// each auxiliary variable the exact value of the subterm it names — to a
+// feasible point of that region's LP. Pruning on LP infeasibility is
+// therefore sound, and an exhaustive refinement that prunes every region
+// is a proof of infeasibility over the initial box.
+package polyar
+
+import (
+	"fmt"
+	"math"
+
+	"absolver/internal/expr"
+	"absolver/internal/interval"
+	"absolver/internal/lp"
+)
+
+// auxPrefix namespaces relaxation variables away from problem variables
+// (parsers reject "·" in identifiers, so collisions are impossible).
+const auxPrefix = "·aux"
+
+// coefCap drops envelope rows whose coefficients would destabilise the
+// simplex (tangents of exp at large arguments and the like). The aux
+// variable keeps its interval-range bounds, so dropping a row only
+// loosens the relaxation — it never breaks soundness.
+const coefCap = 1e12
+
+// form is a linear expression Σ coeffs[v]·v + c over problem and
+// auxiliary variables. Relaxation keeps forms exact under the canonical
+// extension: with every aux variable set to its subterm's true value, a
+// form evaluates to exactly the value of the node it stands for.
+type form struct {
+	coeffs map[string]float64
+	c      float64
+}
+
+func newForm() form { return form{coeffs: map[string]float64{}} }
+
+func constForm(v float64) form { return form{coeffs: map[string]float64{}, c: v} }
+
+func varForm(name string) form { return form{coeffs: map[string]float64{name: 1}} }
+
+func (f form) isConst() bool { return len(f.coeffs) == 0 }
+
+func (f form) clone() form {
+	g := form{coeffs: make(map[string]float64, len(f.coeffs)), c: f.c}
+	for k, v := range f.coeffs {
+		g.coeffs[k] = v
+	}
+	return g
+}
+
+// addScaled accumulates k·o into f.
+func (f *form) addScaled(o form, k float64) {
+	for v, cf := range o.coeffs {
+		f.coeffs[v] += k * cf
+	}
+	f.c += k * o.c
+}
+
+func (f form) scale(k float64) form {
+	g := newForm()
+	g.addScaled(f, k)
+	return g
+}
+
+// auxDef records which subterm an auxiliary variable stands for, so the
+// canonical extension (and the fuzz harness) can recompute its value.
+type auxDef struct {
+	name string
+	e    expr.Expr
+}
+
+// relaxation is the per-region LP abstraction of an atom conjunction.
+type relaxation struct {
+	prob *lp.Problem
+	aux  []auxDef
+	box  expr.Box
+}
+
+// relaxer builds a relaxation bottom-up over one region box.
+type relaxer struct {
+	box  expr.Box
+	prob *lp.Problem
+	aux  []auxDef
+}
+
+func (r *relaxer) rangeOf(name string) interval.Interval {
+	if iv, ok := r.box[name]; ok {
+		return iv
+	}
+	return interval.Whole()
+}
+
+// newAux introduces an auxiliary variable standing for subterm e, bounded
+// by e's interval range over the region (unbounded sides stay free).
+func (r *relaxer) newAux(e expr.Expr, rng interval.Interval) string {
+	name := fmt.Sprintf("%s%d", auxPrefix, len(r.aux))
+	r.aux = append(r.aux, auxDef{name: name, e: e})
+	lo, hi := math.Inf(-1), math.Inf(1)
+	if !math.IsInf(rng.Lo, 0) {
+		lo = rng.Lo
+	}
+	if !math.IsInf(rng.Hi, 0) {
+		hi = rng.Hi
+	}
+	r.prob.SetBounds(name, lo, hi)
+	return name
+}
+
+// addRel emits f rel rhs as an LP row tagged tag (source-atom index, or
+// -1 for envelope rows). Rows with non-finite or oversized numbers are
+// silently dropped: the aux interval bounds already cover the term, so a
+// skipped envelope row only loosens the relaxation.
+func (r *relaxer) addRel(f form, rel lp.Rel, rhs float64, tag int) {
+	b := rhs - f.c
+	if !finiteSmall(b) {
+		return
+	}
+	coeffs := make(map[string]float64, len(f.coeffs))
+	for v, cf := range f.coeffs {
+		if !finiteSmall(cf) {
+			return
+		}
+		if cf != 0 {
+			coeffs[v] = cf
+		}
+	}
+	r.prob.AddRow(lp.Constraint{Coeffs: coeffs, Rel: rel, RHS: b, Tag: tag})
+}
+
+func finiteSmall(v float64) bool {
+	return !math.IsInf(v, 0) && !math.IsNaN(v) && math.Abs(v) <= coefCap
+}
+
+// le emits the envelope row lhs ≤ rhs over two forms.
+func (r *relaxer) le(lhs, rhs form) {
+	d := lhs.clone()
+	d.addScaled(rhs, -1)
+	r.addRel(d, lp.LE, 0, -1)
+}
+
+// relax returns a linear form for e (exact under the canonical extension)
+// and e's interval range over the region, emitting envelope rows that tie
+// auxiliary variables to their subterms as a side effect.
+func (r *relaxer) relax(e expr.Expr) (form, interval.Interval) {
+	switch n := e.(type) {
+	case expr.Const:
+		return constForm(n.V), interval.Point(n.V)
+	case expr.Var:
+		return varForm(n.Name), r.rangeOf(n.Name)
+	case expr.Neg:
+		f, iv := r.relax(n.X)
+		return f.scale(-1), iv.Neg()
+	case expr.Bin:
+		return r.relaxBin(n)
+	case expr.Call:
+		return r.relaxCall(n)
+	}
+	// Unknown node kind: abstract with a free aux variable (sound, loose).
+	rng := e.Interval(r.box)
+	return varForm(r.newAux(e, rng)), rng
+}
+
+func (r *relaxer) relaxBin(b expr.Bin) (form, interval.Interval) {
+	fl, il := r.relax(b.L)
+	switch b.Op {
+	case expr.OpAdd:
+		fr, ir := r.relax(b.R)
+		f := fl.clone()
+		f.addScaled(fr, 1)
+		return f, il.Add(ir)
+	case expr.OpSub:
+		fr, ir := r.relax(b.R)
+		f := fl.clone()
+		f.addScaled(fr, -1)
+		return f, il.Sub(ir)
+	case expr.OpMul:
+		if expr.Equal(b.L, b.R) {
+			// x² — the square case Bin.Interval also special-cases.
+			return r.relaxSquare(b, fl, il)
+		}
+		fr, ir := r.relax(b.R)
+		if fl.isConst() {
+			return fr.scale(fl.c), il.Mul(ir)
+		}
+		if fr.isConst() {
+			return fl.scale(fr.c), il.Mul(ir)
+		}
+		return r.relaxBilinear(b, fl, il, fr, ir)
+	case expr.OpDiv:
+		fr, ir := r.relax(b.R)
+		if fr.isConst() && fr.c != 0 {
+			return fl.scale(1 / fr.c), il.Div(ir)
+		}
+		return r.relaxDiv(b, fl, il, fr, ir)
+	}
+	rng := b.Interval(r.box)
+	return varForm(r.newAux(b, rng)), rng
+}
+
+// relaxSquare envelopes u = g² for g ∈ [lo,hi]: tangents 2t·g − t² from
+// below (valid everywhere, g² is convex) and the secant (lo+hi)·g − lo·hi
+// from above (valid on [lo,hi]).
+func (r *relaxer) relaxSquare(e expr.Expr, fg form, ig interval.Interval) (form, interval.Interval) {
+	rng := ig.Sqr()
+	u := varForm(r.newAux(e, rng))
+	for _, t := range tangentPoints(ig) {
+		// u ≥ 2t·g − t²
+		tan := fg.scale(2 * t)
+		tan.c -= t * t
+		r.le(tan, u)
+	}
+	if isFinite(ig) {
+		sec := fg.scale(ig.Lo + ig.Hi)
+		sec.c -= ig.Lo * ig.Hi
+		r.le(u, sec)
+	}
+	return u, rng
+}
+
+// relaxBilinear envelopes u = a·b with the four McCormick inequalities
+// over a ∈ [al,ah], b ∈ [bl,bh]; each row is emitted only when the bounds
+// it references are finite.
+func (r *relaxer) relaxBilinear(e expr.Expr, fa form, ia interval.Interval, fb form, ib interval.Interval) (form, interval.Interval) {
+	rng := ia.Mul(ib)
+	u := varForm(r.newAux(e, rng))
+	r.mcCormick(u, fa, ia, fb, ib)
+	return u, rng
+}
+
+// mcCormick emits the four envelope rows tying product form fp to its
+// factors fa ∈ ia, fb ∈ ib. Valid for any point with fa, fb inside their
+// intervals and fp equal to their product.
+func (r *relaxer) mcCormick(fp, fa form, ia interval.Interval, fb form, ib interval.Interval) {
+	al, ah, bl, bh := ia.Lo, ia.Hi, ib.Lo, ib.Hi
+	lower := func(ca, cb float64) {
+		// fp ≥ cb·fa + ca·fb − ca·cb
+		rhs := fa.scale(cb)
+		rhs.addScaled(fb, ca)
+		rhs.c -= ca * cb
+		r.le(rhs, fp)
+	}
+	upper := func(ca, cb float64) {
+		// fp ≤ cb·fa + ca·fb − ca·cb
+		rhs := fa.scale(cb)
+		rhs.addScaled(fb, ca)
+		rhs.c -= ca * cb
+		r.le(fp, rhs)
+	}
+	if finiteSmall(al) && finiteSmall(bl) {
+		lower(al, bl)
+	}
+	if finiteSmall(ah) && finiteSmall(bh) {
+		lower(ah, bh)
+	}
+	if finiteSmall(al) && finiteSmall(bh) {
+		upper(al, bh)
+	}
+	if finiteSmall(ah) && finiteSmall(bl) {
+		upper(ah, bl)
+	}
+}
+
+// relaxDiv envelopes u = a/b by McCormick on the product identity
+// u·b = a, with u ranging over the interval quotient. At any true point b
+// is nonzero and u·b equals a exactly, so the rows hold under the
+// canonical extension even when the region straddles b = 0.
+func (r *relaxer) relaxDiv(e expr.Expr, fa form, ia interval.Interval, fb form, ib interval.Interval) (form, interval.Interval) {
+	rng := ia.Div(ib)
+	if rng.IsEmpty() {
+		// Division defined nowhere in the region (b ≡ 0): keep the aux
+		// free; the interval-truth prepass handles the contradiction.
+		rng = interval.Whole()
+	}
+	u := varForm(r.newAux(e, rng))
+	r.mcCormick(fa, u, rng, fb, ib)
+	return u, rng
+}
+
+func (r *relaxer) relaxCall(c expr.Call) (form, interval.Interval) {
+	fg, ig := r.relax(c.Arg)
+	switch c.Fn {
+	case expr.FuncExp:
+		return r.relaxConvex(c, fg, ig, ig.Exp(), math.Exp, math.Exp)
+	case expr.FuncLog:
+		pos := ig.Intersect(interval.Interval{Lo: math.SmallestNonzeroFloat64, Hi: math.Inf(1)})
+		if pos.IsEmpty() {
+			rng := ig.Log() // empty or tiny: fall back to range-only aux
+			return varForm(r.newAux(c, rng)), rng
+		}
+		return r.relaxConcave(c, fg, pos, ig.Log(), math.Log, func(t float64) float64 { return 1 / t })
+	case expr.FuncSqrt:
+		nn := ig.Intersect(interval.Interval{Lo: 0, Hi: math.Inf(1)})
+		if nn.IsEmpty() || nn.Hi <= 0 {
+			rng := ig.Sqrt()
+			return varForm(r.newAux(c, rng)), rng
+		}
+		return r.relaxConcave(c, fg, nn, ig.Sqrt(), math.Sqrt, func(t float64) float64 {
+			if t <= 0 {
+				return math.Inf(1) // dropped by addRel
+			}
+			return 1 / (2 * math.Sqrt(t))
+		})
+	case expr.FuncAbs:
+		return r.relaxAbs(c, fg, ig)
+	case expr.FuncSin, expr.FuncCos:
+		// Periodic: interval-range bounds only; bisection tightens them.
+		rng := c.Interval(r.box)
+		return varForm(r.newAux(c, rng)), rng
+	}
+	rng := c.Interval(r.box)
+	return varForm(r.newAux(c, rng)), rng
+}
+
+// relaxConvex envelopes u = fn(g) for convex fn: tangents below (valid
+// everywhere), secant above (valid on the finite range).
+func (r *relaxer) relaxConvex(e expr.Expr, fg form, ig, rng interval.Interval, fn, deriv func(float64) float64) (form, interval.Interval) {
+	u := varForm(r.newAux(e, rng))
+	for _, t := range tangentPoints(ig) {
+		// u ≥ fn(t) + fn'(t)·(g − t)
+		tan := fg.scale(deriv(t))
+		tan.c += fn(t) - deriv(t)*t
+		r.le(tan, u)
+	}
+	if sec, ok := secant(fg, ig, fn); ok {
+		r.le(u, sec)
+	}
+	return u, rng
+}
+
+// relaxConcave mirrors relaxConvex for concave fn: tangents above, secant
+// below. Tangent points are drawn from dom (the part of the argument range
+// where fn and its derivative are defined).
+func (r *relaxer) relaxConcave(e expr.Expr, fg form, dom, rng interval.Interval, fn, deriv func(float64) float64) (form, interval.Interval) {
+	u := varForm(r.newAux(e, rng))
+	for _, t := range tangentPoints(dom) {
+		tan := fg.scale(deriv(t))
+		tan.c += fn(t) - deriv(t)*t
+		r.le(u, tan)
+	}
+	if sec, ok := secant(fg, dom, fn); ok {
+		r.le(sec, u)
+	}
+	return u, rng
+}
+
+// relaxAbs envelopes u = |g|: u ≥ g, u ≥ −g always, chord above on a
+// finite range.
+func (r *relaxer) relaxAbs(e expr.Expr, fg form, ig interval.Interval) (form, interval.Interval) {
+	rng := ig.Abs()
+	u := varForm(r.newAux(e, rng))
+	r.le(fg, u)
+	r.le(fg.scale(-1), u)
+	if sec, ok := secant(fg, ig, math.Abs); ok {
+		r.le(u, sec)
+	}
+	return u, rng
+}
+
+// secant returns the chord of fn over [iv.Lo, iv.Hi] as a form in g, or
+// false when the range is unbounded or degenerate.
+func secant(fg form, iv interval.Interval, fn func(float64) float64) (form, bool) {
+	if !isFinite(iv) || iv.Hi <= iv.Lo {
+		return form{}, false
+	}
+	s := (fn(iv.Hi) - fn(iv.Lo)) / (iv.Hi - iv.Lo)
+	f := fg.scale(s)
+	f.c += fn(iv.Lo) - s*iv.Lo
+	return f, true
+}
+
+// tangentPoints picks up to three finite support points across the range.
+func tangentPoints(iv interval.Interval) []float64 {
+	var ts []float64
+	push := func(t float64) {
+		if !finiteSmall(t) {
+			return
+		}
+		for _, seen := range ts {
+			if seen == t {
+				return
+			}
+		}
+		ts = append(ts, t)
+	}
+	push(iv.Lo)
+	push(iv.Hi)
+	if !iv.IsEmpty() {
+		push(iv.Mid())
+	} else {
+		push(0)
+	}
+	return ts
+}
+
+func isFinite(iv interval.Interval) bool {
+	return finiteSmall(iv.Lo) && finiteSmall(iv.Hi)
+}
+
+// buildRelaxation assembles the region LP: variable bounds from the box,
+// one relaxed row per atom (strict comparisons relaxed to weak — a sound
+// superset; disequalities skipped entirely and enforced only at witness
+// verification), plus all envelope rows.
+func buildRelaxation(atoms []expr.Atom, box expr.Box, ints map[string]bool) *relaxation {
+	r := &relaxer{box: box, prob: lp.NewProblem()}
+	for v, iv := range box {
+		lo, hi := iv.Lo, iv.Hi
+		if math.IsInf(lo, -1) {
+			lo = math.Inf(-1)
+		}
+		if math.IsInf(hi, 1) {
+			hi = math.Inf(1)
+		}
+		r.prob.SetBounds(v, lo, hi)
+		if ints[v] {
+			r.prob.MarkInteger(v)
+		}
+	}
+	for i, a := range atoms {
+		if a.Op == expr.CmpNE {
+			continue
+		}
+		f, _ := r.relax(a.Diff())
+		switch a.Op {
+		case expr.CmpLT, expr.CmpLE:
+			r.addRel(f, lp.LE, 0, i)
+		case expr.CmpGT, expr.CmpGE:
+			r.addRel(f, lp.GE, 0, i)
+		case expr.CmpEQ:
+			r.addRel(f, lp.EQ, 0, i)
+		}
+	}
+	return &relaxation{prob: r.prob, aux: r.aux, box: box}
+}
+
+// extend computes the canonical extension of env: every auxiliary
+// variable set to the exact value of the subterm it stands for. Used by
+// the soundness fuzz harness; returns an error when a subterm is
+// undefined at env (domain error), in which case env satisfies no atom
+// mentioning it either.
+func (rx *relaxation) extend(env expr.Env) (map[string]float64, error) {
+	full := make(map[string]float64, len(env)+len(rx.aux))
+	for k, v := range env {
+		full[k] = v
+	}
+	for _, a := range rx.aux {
+		v, err := a.e.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		full[a.name] = v
+	}
+	return full, nil
+}

@@ -41,6 +41,7 @@ import (
 	"absolver/internal/core"
 	"absolver/internal/exchange"
 	"absolver/internal/nlp"
+	"absolver/internal/polyar"
 )
 
 // Strategy names one engine configuration entering the race. The Config's
@@ -106,6 +107,17 @@ func DefaultStrategies(n int) []Strategy {
 		{Name: "restart", Config: core.Config{RestartBoolean: true}},
 		{Name: "light-nlp", Config: core.Config{
 			Nonlinear: &core.PenaltySolver{Options: nlp.Options{Starts: 6, MaxIters: 120}},
+		}},
+		// polyar keeps the penalty stage minimal so undecided checks reach
+		// the abstraction-refinement fallback almost immediately; the wide
+		// variant additionally buys the fallback a much larger region
+		// budget for the instances only exhaustive refinement can close.
+		{Name: "polyar", Config: core.Config{
+			Nonlinear: &core.PenaltySolver{Options: nlp.Options{Starts: 2, MaxIters: 60}},
+		}},
+		{Name: "polyar-wide", Config: core.Config{
+			Nonlinear: &core.PenaltySolver{Options: nlp.Options{Starts: 2, MaxIters: 60}},
+			PolyAR:    polyar.Options{MaxRegions: 8192},
 		}},
 	}
 	out := make([]Strategy, 0, n)

@@ -40,6 +40,9 @@ type SolveParams struct {
 	NoLemmas bool
 	// NoCache disables the theory-verdict cache.
 	NoCache bool
+	// NoPolyAR disables the PolyAR abstraction-refinement fallback for
+	// nonlinear checks the penalty solver leaves undecided.
+	NoPolyAR bool
 	// CheckModels independently re-certifies every SAT model.
 	CheckModels bool
 	// Timeout bounds queue wait + solve for this request; 0 selects the
@@ -79,6 +82,7 @@ func (p SolveParams) Values() url.Values {
 	setBool("no_iis", p.NoIIS)
 	setBool("no_lemmas", p.NoLemmas)
 	setBool("no_cache", p.NoCache)
+	setBool("no_polyar", p.NoPolyAR)
 	setBool("check_models", p.CheckModels)
 	setBool("stream", p.Stream)
 	if p.Timeout > 0 {
@@ -131,6 +135,7 @@ func ParseParams(v url.Values) (SolveParams, error) {
 	for key, dst := range map[string]*bool{
 		"no_share": &p.NoShare, "restart": &p.Restart, "no_iis": &p.NoIIS,
 		"no_lemmas": &p.NoLemmas, "no_cache": &p.NoCache,
+		"no_polyar":    &p.NoPolyAR,
 		"check_models": &p.CheckModels, "stream": &p.Stream,
 	} {
 		if err := getBool(key, dst); err != nil {
@@ -167,6 +172,11 @@ type Stats struct {
 	TheoryCacheHits   int     `json:"theory_cache_hits"`
 	TheoryCacheMisses int     `json:"theory_cache_misses"`
 	SessionSolves     int     `json:"session_solves,omitempty"`
+	NLPUnknown        int     `json:"nlp_unknown,omitempty"`
+	NLPUnknownRescued int     `json:"nlp_unknown_rescued,omitempty"`
+	PolyARRegions     int     `json:"polyar_regions,omitempty"`
+	PolyARPruned      int     `json:"polyar_pruned,omitempty"`
+	PolyARWitnesses   int     `json:"polyar_witnesses,omitempty"`
 	BoolMS            float64 `json:"bool_ms"`
 	LinearMS          float64 `json:"linear_ms"`
 	NonlinearMS       float64 `json:"nonlinear_ms"`
@@ -189,6 +199,11 @@ func StatsFrom(s core.Stats) Stats {
 		TheoryCacheHits:   s.TheoryCacheHits,
 		TheoryCacheMisses: s.TheoryCacheMisses,
 		SessionSolves:     s.SessionSolves,
+		NLPUnknown:        s.NLPUnknown,
+		NLPUnknownRescued: s.NLPUnknownRescued,
+		PolyARRegions:     s.PolyARRegions,
+		PolyARPruned:      s.PolyARPruned,
+		PolyARWitnesses:   s.PolyARWitnesses,
 		BoolMS:            ms(s.BoolTime),
 		LinearMS:          ms(s.LinearTime),
 		NonlinearMS:       ms(s.NonlinearTime),
@@ -214,6 +229,11 @@ func (s Stats) ToCore() core.Stats {
 		TheoryCacheHits:   s.TheoryCacheHits,
 		TheoryCacheMisses: s.TheoryCacheMisses,
 		SessionSolves:     s.SessionSolves,
+		NLPUnknown:        s.NLPUnknown,
+		NLPUnknownRescued: s.NLPUnknownRescued,
+		PolyARRegions:     s.PolyARRegions,
+		PolyARPruned:      s.PolyARPruned,
+		PolyARWitnesses:   s.PolyARWitnesses,
 		BoolTime:          d(s.BoolMS),
 		LinearTime:        d(s.LinearMS),
 		NonlinearTime:     d(s.NonlinearMS),
@@ -287,6 +307,9 @@ type StreamEvent struct {
 	ClauseLen int    `json:"clause_len,omitempty"`
 	Imported  int    `json:"imported,omitempty"`
 	CacheHit  bool   `json:"cache_hit,omitempty"`
+	// Regions/Pruned carry a polyar event's refinement work.
+	Regions int `json:"regions,omitempty"`
+	Pruned  int `json:"pruned,omitempty"`
 	// Result is the final verdict (Type == EventResult).
 	Result *SolveResponse `json:"result,omitempty"`
 	// Error is the failure diagnostic (Type == EventError).
@@ -302,6 +325,8 @@ func TraceEvent(ev core.Event) StreamEvent {
 		ClauseLen: ev.ClauseLen,
 		Imported:  ev.Imported,
 		CacheHit:  ev.CacheHit,
+		Regions:   ev.Regions,
+		Pruned:    ev.Pruned,
 	}
 }
 

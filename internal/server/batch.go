@@ -215,6 +215,7 @@ func (s *Server) runBatch(j *job, wait time.Duration) {
 		NoIIS:          j.params.NoIIS,
 		NoGroundLemmas: j.params.NoLemmas,
 		NoTheoryCache:  j.params.NoCache,
+		NoPolyAR:       j.params.NoPolyAR,
 		CheckModels:    j.params.CheckModels,
 	})
 	if err != nil {

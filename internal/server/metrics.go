@@ -240,6 +240,17 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# TYPE absolverd_engine_wall_seconds_total counter")
 	fmt.Fprintf(w, "absolverd_engine_wall_seconds_total %g\n", engine.WallTime.Seconds())
 
+	// The nonlinear unknown-rate — the north-star metric of the PolyAR
+	// subsystem — gets first-class series (beyond the generic engine
+	// counters above): undecided nonlinear checks and how many of them the
+	// abstraction-refinement fallback rescued to a definitive verdict.
+	fmt.Fprintln(w, "# HELP absolverd_nlp_unknown_total Nonlinear theory checks the penalty solver left undecided.")
+	fmt.Fprintln(w, "# TYPE absolverd_nlp_unknown_total counter")
+	fmt.Fprintf(w, "absolverd_nlp_unknown_total %d\n", engine.NLPUnknown)
+	fmt.Fprintln(w, "# HELP absolverd_nlp_rescued_total Undecided nonlinear checks PolyAR converted to a definitive verdict.")
+	fmt.Fprintln(w, "# TYPE absolverd_nlp_rescued_total counter")
+	fmt.Fprintf(w, "absolverd_nlp_rescued_total %d\n", engine.NLPUnknownRescued)
+
 	if g.cluster != nil {
 		c := g.cluster
 		fmt.Fprintln(w, "# HELP absolverd_cluster_cubes_issued_total Cubes dispatched to workers.")

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"absolver/internal/core"
+)
+
+// TestNLPMetricsBookkeeping pins the first-class nonlinear unknown-rate
+// series: absolverd_nlp_unknown_total / absolverd_nlp_rescued_total must
+// track the merged engine stats across jobs (alongside — not instead of —
+// the generic absolverd_engine_* rendering of the same counters).
+func TestNLPMetricsBookkeeping(t *testing.T) {
+	m := newMetrics()
+	m.jobDone(verdictSat, core.Stats{
+		NLPUnknown: 3, NLPUnknownRescued: 2,
+		PolyARRegions: 40, PolyARPruned: 25, PolyARWitnesses: 1,
+	}, 0)
+	m.jobDone(verdictUnsat, core.Stats{
+		NLPUnknown: 2, NLPUnknownRescued: 1,
+		PolyARRegions: 10, PolyARPruned: 10,
+	}, 0)
+
+	var sb strings.Builder
+	m.write(&sb, gauges{})
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE absolverd_nlp_unknown_total counter",
+		"absolverd_nlp_unknown_total 5",
+		"# TYPE absolverd_nlp_rescued_total counter",
+		"absolverd_nlp_rescued_total 3",
+		"absolverd_engine_nlp_unknown_total 5",
+		"absolverd_engine_nlp_unknown_rescued_total 3",
+		"absolverd_engine_polyar_regions_total 50",
+		"absolverd_engine_polyar_pruned_total 35",
+		"absolverd_engine_polyar_witnesses_total 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestNLPMetricsZeroSeries checks the series exist (at zero) before any
+// nonlinear work, so dashboards see a stable series set from first scrape.
+func TestNLPMetricsZeroSeries(t *testing.T) {
+	var sb strings.Builder
+	newMetrics().write(&sb, gauges{})
+	out := sb.String()
+	for _, want := range []string{
+		"absolverd_nlp_unknown_total 0",
+		"absolverd_nlp_rescued_total 0",
+		"absolverd_engine_polyar_regions_total 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -369,6 +369,7 @@ func (s *Server) solve(ctx context.Context, p *core.Problem, params api.SolvePar
 		NoIIS:          params.NoIIS,
 		NoGroundLemmas: params.NoLemmas,
 		NoTheoryCache:  params.NoCache,
+		NoPolyAR:       params.NoPolyAR,
 		CheckModels:    params.CheckModels,
 	}
 	if params.Portfolio > 0 {
@@ -382,6 +383,7 @@ func (s *Server) solve(ctx context.Context, p *core.Problem, params api.SolvePar
 			c.NoIIS = c.NoIIS || base.NoIIS
 			c.NoGroundLemmas = c.NoGroundLemmas || base.NoGroundLemmas
 			c.NoTheoryCache = c.NoTheoryCache || base.NoTheoryCache
+			c.NoPolyAR = c.NoPolyAR || base.NoPolyAR
 			c.CheckModels = c.CheckModels || base.CheckModels
 		}
 		// N interleaved engine traces are not readable; streaming a

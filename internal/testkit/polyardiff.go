@@ -1,0 +1,88 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+
+	"absolver/internal/core"
+)
+
+// PolyARDiffReport summarises one three-way PolyAR differential run: the
+// reference oracle against the engine with the PolyAR fallback enabled
+// (default) and with it disabled (Config.NoPolyAR). Aggregating reports
+// exposes the ablation the fallback exists for — how many instances move
+// from unknown to a definitive verdict.
+type PolyARDiffReport struct {
+	Seed     int64
+	Fragment Fragment
+	// Oracle is the reference verdict.
+	Oracle Verdict
+	// With / Without are the engine verdicts with and without PolyAR
+	// (StatusUnknown when the engine could not decide or hit its budget).
+	With    core.Status
+	Without core.Status
+	// Rescued counts theory checks the PolyAR fallback turned from unknown
+	// into a definitive answer on the enabled run.
+	Rescued int
+}
+
+// RunPolyARDifferential generates the (seed, fragment) instance, decides it
+// with the reference oracle, and solves it twice — once with the PolyAR
+// fallback (the default) and once with Config.NoPolyAR — under
+// Config.CheckModels. Any definitive verdict that contradicts the oracle,
+// or a sat/unsat split between the two engine runs, is an error. A nil
+// oracle uses defaults.
+func RunPolyARDifferential(seed int64, frag Fragment, o *Oracle) (PolyARDiffReport, error) {
+	rep := PolyARDiffReport{Seed: seed, Fragment: frag}
+	p := Generate(seed, frag)
+
+	ov, err := o.Decide(p)
+	if err != nil {
+		return rep, fmt.Errorf("oracle: seed=%d frag=%v: %v", seed, frag, err)
+	}
+	rep.Oracle = ov
+
+	solve := func(noPolyAR bool) (core.Status, int, error) {
+		eng := core.NewEngine(p.Clone(), core.Config{
+			CheckModels: true,
+			NoPolyAR:    noPolyAR,
+		})
+		res, err := eng.Solve()
+		if err != nil {
+			if errors.Is(err, core.ErrModelRejected) {
+				return core.StatusUnknown, 0, fmt.Errorf("certificate: seed=%d frag=%v noPolyAR=%v: %v", seed, frag, noPolyAR, err)
+			}
+			if errors.Is(err, core.ErrIterationLimit) {
+				return core.StatusUnknown, res.Stats.NLPUnknownRescued, nil
+			}
+			return core.StatusUnknown, 0, fmt.Errorf("engine: seed=%d frag=%v noPolyAR=%v: %v", seed, frag, noPolyAR, err)
+		}
+		return res.Status, res.Stats.NLPUnknownRescued, nil
+	}
+
+	var rescued int
+	if rep.With, rescued, err = solve(false); err != nil {
+		return rep, err
+	}
+	rep.Rescued = rescued
+	if rep.Without, _, err = solve(true); err != nil {
+		return rep, err
+	}
+
+	for _, run := range []struct {
+		name string
+		got  core.Status
+	}{{"with-polyar", rep.With}, {"no-polyar", rep.Without}} {
+		switch {
+		case run.got == core.StatusSat && ov == Unsat:
+			return rep, fmt.Errorf("disagreement: seed=%d frag=%v: engine(%s) sat, oracle unsat", seed, frag, run.name)
+		case run.got == core.StatusUnsat && ov == Sat:
+			return rep, fmt.Errorf("disagreement: seed=%d frag=%v: engine(%s) unsat, oracle sat", seed, frag, run.name)
+		}
+	}
+	if (rep.With == core.StatusSat && rep.Without == core.StatusUnsat) ||
+		(rep.With == core.StatusUnsat && rep.Without == core.StatusSat) {
+		return rep, fmt.Errorf("disagreement: seed=%d frag=%v: with-polyar %v vs no-polyar %v", seed, frag, rep.With, rep.Without)
+	}
+	return rep, nil
+}
